@@ -1,0 +1,699 @@
+(* Reproduction harness: one section per table/figure of the paper, each
+   printing the regenerated rows next to the paper's published values, plus
+   ablations the paper only gestures at, plus Bechamel micro-benchmarks of
+   the encoding machinery itself.
+
+   Run with:  dune exec bench/main.exe
+   Fast mode: POWERCODE_FAST=1 dune exec bench/main.exe   (scaled workloads)
+
+   Absolute transition counts depend on our Minic compiler's instruction
+   selection, so they differ from the paper's SimpleScalar/gcc numbers; the
+   shapes (who wins, how savings decay with block size, which benchmark
+   lags) are the reproduction targets.  EXPERIMENTS.md records both sides. *)
+
+let section title =
+  Format.printf "@.=====================================================@.";
+  Format.printf "== %s@." title;
+  Format.printf "=====================================================@."
+
+(* ---- Figure 2: optimal code table for k = 3 -------------------------------- *)
+
+let fig2 () =
+  section "Figure 2: power-efficient transformations for 3-bit blocks";
+  Format.printf "   X -> X~   tau     Tx Tx~@.";
+  Array.iter
+    (fun e -> Format.printf "  %a@." (Powercode.Solver.pp_entry ~k:3) e)
+    (Powercode.Solver.table ~k:3 ());
+  Format.printf
+    "Paper: identical table (verified verbatim in test/test_solver.ml).@."
+
+(* ---- Figure 3: TTN/RTN/improvement for k = 2..7 ------------------------------ *)
+
+let fig3 () =
+  section "Figure 3: transition improvements for block sizes 2..7";
+  let paper =
+    [ (2, 2, 0, 100.0); (3, 8, 2, 75.0); (4, 24, 10, 58.3); (5, 64, 32, 50.0);
+      (6, 320, 180, 43.8); (7, 384, 234, 39.1) ]
+  in
+  Format.printf "%4s %18s %18s %12s %10s@." "k" "TTN (ours/paper)"
+    "RTN (ours/paper)" "impr ours" "paper";
+  List.iter
+    (fun (k, pttn, prtn, ppct) ->
+      let t = Powercode.Solver.totals ~k () in
+      Format.printf "%4d %10d/%-7d %10d/%-7d %11.1f%% %9.1f%%@." k
+        t.Powercode.Solver.ttn pttn t.Powercode.Solver.rtn prtn
+        t.Powercode.Solver.improvement_pct ppct)
+    paper;
+  Format.printf
+    "Notes: the paper's k=6 row is printed doubled (TTN over all 64 words is \
+     provably (k-1)*2^(k-1) = 160); its percentage matches ours.  For k=7 \
+     our exhaustive optimum is RTN=236 (38.5%%), 2 transitions above the \
+     paper's printed 234.@."
+
+(* ---- Figure 4: k = 5 table under the 8-transformation restriction ------------- *)
+
+let fig4 () =
+  section "Figure 4: transformations for 5-bit blocks (8-function set)";
+  Format.printf "      X -> X~      tau     Tx Tx~@.";
+  let table =
+    Powercode.Solver.table ~subset_mask:Powercode.Subset.paper_eight_mask ~k:5 ()
+  in
+  Array.iteri
+    (fun w e ->
+      if w < 16 then Format.printf "  %a@." (Powercode.Solver.pp_entry ~k:5) e)
+    table;
+  Format.printf
+    "(first half shown, as in the paper; the second half is the bitwise \
+     complement under the XOR<->XNOR / NOR<->NAND duality).@.";
+  let full = Powercode.Solver.totals ~k:5 () in
+  let sub =
+    Powercode.Solver.totals ~subset_mask:Powercode.Subset.paper_eight_mask ~k:5 ()
+  in
+  Format.printf
+    "Restriction to 8 functions costs nothing: RTN %d (restricted) = %d \
+     (all 16), as the paper claims.  Optimal codes are not unique, so a few \
+     equal-cost rows differ from the printed table; the Tx~ column matches \
+     verbatim (test/test_solver.ml).@."
+    sub.Powercode.Solver.rtn full.Powercode.Solver.rtn
+
+(* ---- Section 5.2: the minimal transformation subset ---------------------------- *)
+
+let sec52 () =
+  section "Section 5.2: how few transformations suffice?";
+  let mins = Powercode.Subset.all_minimal ~kmax:7 in
+  Format.printf "Paper claim: a unique 8-function subset achieves optimality \
+                 for all k <= 7.@.";
+  Format.printf "Our exhaustive hitting-set search: minimum size %d, %d \
+                 such set(s):@."
+    (List.length (Powercode.Boolfun.list_of_mask (List.hd mins)))
+    (List.length mins);
+  List.iter
+    (fun m ->
+      Format.printf "  {";
+      List.iter
+        (fun f -> Format.printf " %s" (Powercode.Boolfun.name f))
+        (Powercode.Boolfun.list_of_mask m);
+      Format.printf " }@.")
+    mins;
+  List.iter
+    (fun k ->
+      Format.printf "  k=%d: paper-eight optimal: %b; minimal-six optimal: %b@."
+        k
+        (Powercode.Subset.achieves_per_word_optimal
+           ~subset_mask:Powercode.Subset.paper_eight_mask ~k)
+        (Powercode.Subset.achieves_per_word_optimal
+           ~subset_mask:(Powercode.Subset.canonical_mask ()) ~k))
+    [ 2; 3; 4; 5; 6; 7 ];
+  Format.printf
+    "=> the paper's eight are sufficient (confirmed) but six already \
+     suffice; 3-bit TT indices remain the right hardware choice either way.@."
+
+(* ---- Section 6: chained random streams ------------------------------------------ *)
+
+let seeded_stream seed n =
+  let state = ref seed in
+  Bitutil.Bitvec.init n (fun _ ->
+      state := !state lxor (!state lsl 13);
+      state := !state lxor (!state lsr 7);
+      state := !state lxor (!state lsl 17);
+      !state land 1 = 1)
+
+let sec6 () =
+  section "Section 6: chained encoding of random 1000-bit streams (k = 5)";
+  let trials = 50 in
+  let sum_g = ref 0.0 and sum_o = ref 0.0 and worst = ref 100.0 in
+  for seed = 1 to trials do
+    let s = seeded_stream (seed * 7919) 1000 in
+    let t0 = float_of_int (Bitutil.Bitvec.transitions s) in
+    let g = Powercode.Chain.encode_greedy ~k:5 s in
+    let o = Powercode.Chain.encode_optimal ~k:5 s in
+    let rg = 100.0 *. (1.0 -. (float_of_int (Bitutil.Bitvec.transitions g.Powercode.Chain.code) /. t0)) in
+    let ro = 100.0 *. (1.0 -. (float_of_int (Bitutil.Bitvec.transitions o.Powercode.Chain.code) /. t0)) in
+    sum_g := !sum_g +. rg;
+    sum_o := !sum_o +. ro;
+    if rg < !worst then worst := rg
+  done;
+  Format.printf
+    "paper: within 1%% of the expected 50%% on all cases@.";
+  Format.printf
+    "ours over %d streams: greedy avg %.2f%%, exact-DP avg %.2f%%, worst \
+     single stream %.2f%%@."
+    trials (!sum_g /. float_of_int trials) (!sum_o /. float_of_int trials) !worst;
+  Format.printf
+    "=> the paper's 'iterative approach leads in practice to optimal \
+     results' holds: greedy and the exact chain DP coincide to the decimal.@."
+
+(* ---- Figure 6 / Figure 7: the benchmark evaluation -------------------------------- *)
+
+let paper_fig6 =
+  [
+    ("mmul", 14.0, [ 44.0; 39.2; 26.7; 28.5 ]);
+    ("sor", 3.3, [ 44.3; 30.5; 35.3; 20.1 ]);
+    ("ej", 113.4, [ 45.5; 38.8; 38.7; 23.1 ]);
+    ("fft", 0.2, [ 20.6; 17.5; 13.4; 0.0 ]);
+    ("tri", 8.1, [ 51.6; 37.8; 31.1; 24.4 ]);
+    ("lu", 63.8, [ 32.7; 23.6; 19.1; 9.4 ]);
+  ]
+
+let fig6_reports = ref []
+
+let fig6 () =
+  let fast = Sys.getenv_opt "POWERCODE_FAST" = Some "1" in
+  let set = if fast then Workloads.scaled else Workloads.paper_sized in
+  section
+    (if fast then
+       "Figure 6: transition reductions (FAST mode: scaled workloads)"
+     else "Figure 6: transition reductions (paper-sized workloads)");
+  Format.printf "%-5s %10s %8s | %!" "bench" "#TR(M)" "paper#TR";
+  List.iter (fun k -> Format.printf " k=%d ours/paper |" k) [ 4; 5; 6; 7 ];
+  Format.printf "@.";
+  List.iter
+    (fun w ->
+      let name = w.Workloads.name in
+      let r = Pipeline.Evaluate.evaluate_workload w in
+      fig6_reports := (name, r) :: !fig6_reports;
+      let _, ptr, ppcts = List.find (fun (n, _, _) -> n = name) paper_fig6 in
+      Format.printf "%-5s %10.2f %8.1f |" name
+        (float_of_int r.Pipeline.Evaluate.baseline_transitions /. 1e6)
+        ptr;
+      List.iter2
+        (fun (run : Pipeline.Evaluate.encoded_run) ppct ->
+          Format.printf "  %4.1f/%4.1f  |" run.Pipeline.Evaluate.reduction_pct ppct)
+        r.Pipeline.Evaluate.runs ppcts;
+      Format.printf "  (coverage %.0f%%)@.%!" r.Pipeline.Evaluate.coverage_pct)
+    set;
+  Format.printf
+    "Shapes to check against the paper: reductions shrink as k grows on \
+     fully covered kernels; fft is the weakest (many very short blocks in \
+     its hot loops); bus-invert (below) is ineffective by contrast.@."
+
+let fig7 () =
+  section "Figure 7: percentage reduction comparison (bar view of Figure 6)";
+  let reports = List.rev !fig6_reports in
+  List.iter
+    (fun (name, (r : Pipeline.Evaluate.report)) ->
+      Format.printf "%-5s@." name;
+      List.iter
+        (fun (run : Pipeline.Evaluate.encoded_run) ->
+          let bar =
+            String.make
+              (max 0 (int_of_float (run.Pipeline.Evaluate.reduction_pct /. 2.0)))
+              '#'
+          in
+          Format.printf "  k=%d %-26s %.1f%%@." run.Pipeline.Evaluate.k bar
+            run.Pipeline.Evaluate.reduction_pct)
+        r.Pipeline.Evaluate.runs)
+    reports
+
+let businvert_baseline () =
+  section "Baseline: bus-invert coding on the same fetch streams";
+  Format.printf "%-5s %14s %14s %10s@." "bench" "baseline" "bus-invert" "saved";
+  List.iter
+    (fun (name, (r : Pipeline.Evaluate.report)) ->
+      Format.printf "%-5s %14d %14d %9.2f%%@." name
+        r.Pipeline.Evaluate.baseline_transitions
+        r.Pipeline.Evaluate.businvert_transitions
+        (100.0
+        *. (1.0
+           -. float_of_int r.Pipeline.Evaluate.businvert_transitions
+              /. float_of_int r.Pipeline.Evaluate.baseline_transitions)))
+    (List.rev !fig6_reports);
+  Format.printf
+    "=> the general-purpose encoder saves well under 1%% on instruction \
+     streams, the contrast the related-work section draws.@."
+
+(* ---- Section 7.2: hardware cost ---------------------------------------------------- *)
+
+let hw_cost () =
+  section "Section 7.2: hardware overhead";
+  List.iter
+    (fun k ->
+      let r = Hardware.Cost.report ~k ~tt_entries:16 ~fn_count:8 () in
+      Format.printf "  %a@." Hardware.Cost.pp r)
+    [ 4; 5; 6; 7 ];
+  Format.printf
+    "Paper: a 16-entry TT at k=7 'handles 7*16 = 112 instructions'; the \
+     exact one-bit-overlap coverage is 7 + 15*6 = 97.@."
+
+(* ---- Ablations ----------------------------------------------------------------------- *)
+
+let ablation_chain () =
+  section "Ablation: greedy vs exact-DP chain encoding (random streams)";
+  Format.printf "%4s %14s %14s %10s@." "k" "greedy avg%" "optimal avg%" "gap";
+  List.iter
+    (fun k ->
+      let trials = 30 in
+      let sg = ref 0.0 and so = ref 0.0 in
+      for seed = 1 to trials do
+        let s = seeded_stream ((seed * 131) + k) 600 in
+        let t0 = float_of_int (Bitutil.Bitvec.transitions s) in
+        let g = Powercode.Chain.encode_greedy ~k s in
+        let o = Powercode.Chain.encode_optimal ~k s in
+        sg := !sg +. (100.0 *. (1.0 -. (float_of_int (Bitutil.Bitvec.transitions g.Powercode.Chain.code) /. t0)));
+        so := !so +. (100.0 *. (1.0 -. (float_of_int (Bitutil.Bitvec.transitions o.Powercode.Chain.code) /. t0)))
+      done;
+      let ag = !sg /. float_of_int trials and ao = !so /. float_of_int trials in
+      Format.printf "%4d %13.2f%% %13.2f%% %9.3f@." k ag ao (ao -. ag))
+    [ 2; 3; 4; 5; 6; 7 ]
+
+let ablation_subset () =
+  section "Ablation: transformation universe (16 vs paper-8 vs minimal-6)";
+  let w = Workloads.by_name Workloads.scaled "mmul" in
+  let c = Workloads.compile w in
+  let program = c.Minic.Compile.program in
+  Format.printf "%10s %14s %12s@." "universe" "transitions" "reduction";
+  List.iter
+    (fun (label, mask) ->
+      let r =
+        Pipeline.Evaluate.evaluate ~ks:[ 5 ] ~subset_mask:mask ~name:label
+          program
+      in
+      match r.Pipeline.Evaluate.runs with
+      | [ run ] ->
+          Format.printf "%10s %14d %11.2f%%@." label
+            run.Pipeline.Evaluate.transitions
+            run.Pipeline.Evaluate.reduction_pct
+      | _ -> assert false)
+    [
+      ("all-16", Powercode.Boolfun.full_mask);
+      ("paper-8", Powercode.Subset.paper_eight_mask);
+      ("minimal-6", Powercode.Subset.canonical_mask ());
+      ( "identity",
+        Powercode.Boolfun.mask_of_list [ Powercode.Boolfun.identity ] );
+    ];
+  Format.printf
+    "=> the restricted sets lose essentially nothing on real code, the \
+     design point the hardware's 3-bit indices rely on.@."
+
+let ablation_tt_capacity () =
+  section "Ablation: Transformation Table capacity (design-space sweep)";
+  let w = Workloads.by_name Workloads.scaled "sor" in
+  let c = Workloads.compile w in
+  Format.printf "%8s %14s %12s@." "entries" "transitions" "reduction";
+  List.iter
+    (fun tt ->
+      let r =
+        Pipeline.Evaluate.evaluate ~ks:[ 5 ] ~tt_capacity:tt
+          ~name:(string_of_int tt) c.Minic.Compile.program
+      in
+      match r.Pipeline.Evaluate.runs with
+      | [ run ] ->
+          Format.printf "%8d %14d %11.2f%%@." tt run.Pipeline.Evaluate.transitions
+            run.Pipeline.Evaluate.reduction_pct
+      | _ -> assert false)
+    [ 2; 4; 8; 16; 32; 64 ];
+  Format.printf
+    "=> savings saturate once the table covers the hot loop bodies; the \
+     paper's 16 entries sit near the knee for compiler-typical block sizes.@."
+
+(* ---- Analysis: where on the word do the savings come from? ------------------ *)
+
+let per_line_analysis () =
+  section "Analysis: per-bit-line transitions (MIPS field structure)";
+  let w = Workloads.by_name Workloads.scaled "mmul" in
+  let c = Workloads.compile w in
+  let program = c.Minic.Compile.program in
+  let words = Isa.Program.words program in
+  let blocks = Cfg.Block.partition (Isa.Program.insns program) in
+  let profile, _ = Cfg.Profile.collect program in
+  let candidates =
+    Array.to_list blocks
+    |> List.filter (fun b -> Cfg.Profile.block_weight profile b > 0)
+    |> List.map (fun (b : Cfg.Block.t) ->
+           {
+             Powercode.Program_encoder.start_index = b.Cfg.Block.start;
+             body =
+               Bitutil.Bitmat.of_words ~width:32
+                 (Array.sub words b.Cfg.Block.start b.Cfg.Block.len);
+             weight = Cfg.Profile.block_weight profile b;
+           })
+  in
+  let plan =
+    Powercode.Program_encoder.plan
+      (Powercode.Program_encoder.default_config ())
+      candidates
+  in
+  let system = Hardware.Reprogram.build program plan in
+  let base = Buspower.Buscount.create () in
+  let enc = Buspower.Buscount.create () in
+  let state = Machine.Cpu.create_state () in
+  let on_fetch ~pc =
+    Buspower.Buscount.observe base words.(pc);
+    Buspower.Buscount.observe enc system.Hardware.Reprogram.image.(pc)
+  in
+  let _ = Machine.Cpu.run ~on_fetch program state in
+  let pb = Buspower.Buscount.per_line base in
+  let pe = Buspower.Buscount.per_line enc in
+  let field line =
+    (* MIPS I-type fields, which dominate compiled code *)
+    if line >= 26 then "opcode"
+    else if line >= 21 then "rs"
+    else if line >= 16 then "rt"
+    else "imm/rd/funct"
+  in
+  Format.printf "%4s %-12s %12s %12s %8s@." "line" "field" "baseline"
+    "encoded" "saved";
+  for line = 31 downto 0 do
+    Format.printf "%4d %-12s %12d %12d %7.1f%%@." line (field line) pb.(line)
+      pe.(line)
+      (if pb.(line) = 0 then 0.0
+       else 100.0 *. (1.0 -. (float_of_int pe.(line) /. float_of_int pb.(line))))
+  done;
+  Format.printf
+    "=> the register and immediate fields toggle most (operands vary \
+     instruction to instruction) and also yield the bulk of the savings; \
+     opcode lines are quieter, matching the vertical-stream intuition of \
+     Figure 1.@."
+
+(* ---- Ablation: what do basic-block boundaries cost? ------------------------ *)
+
+let ablation_bb_boundaries () =
+  section "Ablation: cost of basic-block boundaries (static upper bound)";
+  Format.printf
+    "Encoding cannot cross branch targets (the decoder would desynchronise); \
+     this compares real per-block encoding against an idealised single chain \
+     over the whole image, statically.@.";
+  Format.printf "%-5s %10s %14s %16s@." "bench" "static TR" "per-block saved"
+    "one-chain bound";
+  List.iter
+    (fun w ->
+      let c = Workloads.compile w in
+      let program = c.Minic.Compile.program in
+      let words = Isa.Program.words program in
+      let m = Bitutil.Bitmat.of_words ~width:32 words in
+      let static = Bitutil.Bitmat.transitions m in
+      (* idealised: one chain per line over the whole image *)
+      let ideal =
+        Array.init 32 (fun line ->
+            let col = Bitutil.Bitmat.column m line in
+            let e =
+              Powercode.Chain.encode_greedy
+                ~subset_mask:Powercode.Subset.paper_eight_mask ~k:5 col
+            in
+            Bitutil.Bitvec.transitions e.Powercode.Chain.code)
+        |> Array.fold_left ( + ) 0
+      in
+      (* real: per basic block, every block encoded (no TT limit), counted
+         over the whole stored image including inter-block seams *)
+      let blocks = Cfg.Block.partition (Isa.Program.insns program) in
+      let config =
+        {
+          (Powercode.Program_encoder.default_config ()) with
+          Powercode.Program_encoder.tt_capacity = max_int / 2;
+        }
+      in
+      let image = Array.copy words in
+      Array.iter
+        (fun (b : Cfg.Block.t) ->
+          if b.Cfg.Block.len >= 2 then begin
+            let body =
+              Bitutil.Bitmat.of_words ~width:32
+                (Array.sub words b.Cfg.Block.start b.Cfg.Block.len)
+            in
+            let enc = Powercode.Program_encoder.encode_block config body in
+            Array.blit
+              (Bitutil.Bitmat.words enc.Powercode.Program_encoder.encoded)
+              0 image b.Cfg.Block.start b.Cfg.Block.len
+          end)
+        blocks;
+      let per_block =
+        Bitutil.Bitmat.transitions (Bitutil.Bitmat.of_words ~width:32 image)
+      in
+      let pct x = 100.0 *. (1.0 -. (float_of_int x /. float_of_int static)) in
+      Format.printf "%-5s %10d %13.1f%% %15.1f%%@." w.Workloads.name static
+        (pct per_block) (pct ideal))
+    Workloads.scaled;
+  Format.printf
+    "(the gap combines seam losses between blocks, pass-through head \
+     instructions, and blocks too short to encode -- the structural price \
+     of branchability the paper accepts.)@."
+
+(* ---- Extension: longer histories (the paper's unexplored h > 1) ---------- *)
+
+let multihistory () =
+  section "Extension: history length sweep (the paper stops at h = 1)";
+  Format.printf
+    "%4s | %-24s | %-24s | %-24s@." "k" "h=1 RTN (impr)" "h=2 RTN (impr)"
+    "h=3 RTN (impr)";
+  List.iter
+    (fun k ->
+      Format.printf "%4d |" k;
+      List.iter
+        (fun h ->
+          let t = Powercode.Multihistory.totals ~h ~k in
+          Format.printf " %6d (%5.1f%%)         |" t.Powercode.Multihistory.rtn
+            t.Powercode.Multihistory.improvement_pct)
+        [ 1; 2; 3 ];
+      Format.printf "@.")
+    [ 2; 3; 4; 5; 6; 7 ];
+  Format.printf
+    "=> longer histories are surprisingly potent at large block sizes (k=7: \
+     38.5%% -> 59.4%% -> 73.4%%), because more equations become satisfiable \
+     per block -- but the function space squares each step (16 -> 256 -> \
+     65536) and with it the per-line index bits (3 -> 8 -> 16), eroding the \
+     TT frugality that motivates the paper's h = 1 choice.@."
+
+(* ---- Extension: storage-type invariance (paper section 8 claim) --------- *)
+
+let storage_invariance () =
+  section
+    "Extension: 'the type of storage bears no impact' (I-cache experiment)";
+  let w = Workloads.by_name Workloads.scaled "mmul" in
+  let c = Workloads.compile w in
+  let program = c.Minic.Compile.program in
+  let words = Isa.Program.words program in
+  (* plan an encoding at k = 5 *)
+  let blocks = Cfg.Block.partition (Isa.Program.insns program) in
+  let profile, _ = Cfg.Profile.collect program in
+  let candidates =
+    Array.to_list blocks
+    |> List.filter (fun b -> Cfg.Profile.block_weight profile b > 0)
+    |> List.map (fun (b : Cfg.Block.t) ->
+           {
+             Powercode.Program_encoder.start_index = b.Cfg.Block.start;
+             body =
+               Bitutil.Bitmat.of_words ~width:32
+                 (Array.sub words b.Cfg.Block.start b.Cfg.Block.len);
+             weight = Cfg.Profile.block_weight profile b;
+           })
+  in
+  let plan =
+    Powercode.Program_encoder.plan
+      (Powercode.Program_encoder.default_config ())
+      candidates
+  in
+  let system = Hardware.Reprogram.build program plan in
+  let cache_cfg = { Machine.Icache.lines = 8; words_per_line = 4 } in
+  let cache_base = Machine.Icache.create cache_cfg ~image:words in
+  let cache_enc =
+    Machine.Icache.create cache_cfg ~image:system.Hardware.Reprogram.image
+  in
+  let proc_base = Buspower.Buscount.create () in
+  let proc_enc = Buspower.Buscount.create () in
+  let state = Machine.Cpu.create_state () in
+  let on_fetch ~pc =
+    let wb, _ = Machine.Icache.access cache_base ~pc in
+    let we, _ = Machine.Icache.access cache_enc ~pc in
+    Buspower.Buscount.observe proc_base wb;
+    Buspower.Buscount.observe proc_enc we
+  in
+  let result = Machine.Cpu.run ~on_fetch program state in
+  let sb = Machine.Icache.stats cache_base in
+  let se = Machine.Icache.stats cache_enc in
+  let pb = Buspower.Buscount.total proc_base in
+  let pe = Buspower.Buscount.total proc_enc in
+  Format.printf
+    "mmul (scaled), %d fetches, 8x4-word direct-mapped I-cache, miss rate \
+     %.2f%%@."
+    result.Machine.Cpu.instructions
+    (100.0 *. float_of_int sb.Machine.Icache.misses
+    /. float_of_int sb.Machine.Icache.accesses);
+  Format.printf
+    "  processor-side bus:  baseline %d, encoded %d (%.1f%% saved) -- \
+     identical savings with or without a cache@."
+    pb pe
+    (100.0 *. (1.0 -. (float_of_int pe /. float_of_int pb)));
+  Format.printf
+    "  memory-side refills: baseline %d transitions / %d words, encoded %d \
+     (%.1f%% saved through the static layout)@."
+    sb.Machine.Icache.memory_transitions sb.Machine.Icache.memory_words
+    se.Machine.Icache.memory_transitions
+    (100.0
+    *. (1.0
+       -. float_of_int se.Machine.Icache.memory_transitions
+          /. float_of_int sb.Machine.Icache.memory_transitions))
+
+(* ---- Extension: the address bus under T0 ---------------------------------- *)
+
+let address_bus () =
+  section "Extension: address bus alongside (T0 / Gray on the PC trace)";
+  Format.printf "%-5s %14s %12s %12s@." "bench" "raw addr bus" "T0 (saved)"
+    "Gray (saved)";
+  List.iter
+    (fun w ->
+      let c = Workloads.compile w in
+      let t0 = Buspower.T0.create ~width:16 () in
+      let raw = Buspower.Buscount.create ~width:16 () in
+      let gray = Buspower.Buscount.create ~width:16 () in
+      let state = Machine.Cpu.create_state () in
+      let on_fetch ~pc =
+        Buspower.T0.observe t0 pc;
+        Buspower.Buscount.observe raw pc;
+        Buspower.Buscount.observe gray (Buspower.Gray.encode pc)
+      in
+      let _ = Machine.Cpu.run ~on_fetch c.Minic.Compile.program state in
+      let r = Buspower.Buscount.total raw
+      and t = Buspower.T0.transitions t0
+      and g = Buspower.Buscount.total gray in
+      let pct x = 100.0 *. (1.0 -. (float_of_int x /. float_of_int r)) in
+      Format.printf "%-5s %14d %5.1f%% %5.1f%%@." w.Workloads.name r (pct t)
+        (pct g))
+    Workloads.scaled;
+  Format.printf
+    "=> the sequentiality the T0 paper exploits is real: combining address \
+     and data-bus encodings attacks the whole instruction path.@."
+
+let ablation_compiler () =
+  section "Ablation: compiler quality (O0 naive vs O1 folding+regalloc)";
+  Format.printf
+    "The paper compiled with a production toolchain; ours is simpler.  This \
+     sweep shows how code quality moves the encoding's efficacy (shorter \
+     loop bodies fit the TT at smaller k, restoring the paper's decay \
+     shape).@.";
+  Format.printf "%-5s %6s | %18s | %18s@." "bench" "level" "dynamic insns"
+    "reduction k=4/5/6/7";
+  List.iter
+    (fun w ->
+      List.iter
+        (fun (label, opt) ->
+          let c = Minic.Compile.compile ~opt w.Workloads.source in
+          let r =
+            Pipeline.Evaluate.evaluate ~name:w.Workloads.name
+              c.Minic.Compile.program
+          in
+          Format.printf "%-5s %6s | %18d |" w.Workloads.name label
+            r.Pipeline.Evaluate.instructions;
+          List.iter
+            (fun (run : Pipeline.Evaluate.encoded_run) ->
+              Format.printf " %5.1f" run.Pipeline.Evaluate.reduction_pct)
+            r.Pipeline.Evaluate.runs;
+          Format.printf "@.")
+        [ ("O0", Minic.Compile.O0); ("O1", Minic.Compile.O1) ])
+    [ Workloads.by_name Workloads.scaled "sor";
+      Workloads.by_name Workloads.scaled "mmul" ]
+
+(* ---- Extension: workloads beyond the paper's six ---------------------------- *)
+
+let extended_workloads () =
+  section "Extension: additional DSP kernels (FIR / IIR / DCT)";
+  Format.printf "%-5s %10s | %s@." "bench" "#TR" "reduction k=4/5/6/7";
+  List.iter
+    (fun w ->
+      let r = Pipeline.Evaluate.evaluate_workload w in
+      Format.printf "%-5s %10d |" w.Workloads.name
+        r.Pipeline.Evaluate.baseline_transitions;
+      List.iter
+        (fun (run : Pipeline.Evaluate.encoded_run) ->
+          Format.printf " %5.1f" run.Pipeline.Evaluate.reduction_pct)
+        r.Pipeline.Evaluate.runs;
+      Format.printf "  (coverage %.0f%%)@." r.Pipeline.Evaluate.coverage_pct)
+    Workloads.extended;
+  Format.printf
+    "=> the technique generalises beyond the paper's suite to the DSP \
+     kernels its introduction motivates.@."
+
+(* ---- Bechamel micro-benchmarks -------------------------------------------------------- *)
+
+let bechamel_suite () =
+  section "Bechamel: cost of regenerating each experiment";
+  let open Bechamel in
+  let open Toolkit in
+  let stream = seeded_stream 424242 1000 in
+  let block_words =
+    let st = ref 99 in
+    Array.init 24 (fun _ ->
+        st := !st lxor (!st lsl 13);
+        st := !st lxor (!st lsr 7);
+        st := !st lxor (!st lsl 17);
+        !st land 0xffffffff)
+  in
+  let matrix = Bitutil.Bitmat.of_words ~width:32 block_words in
+  let config = Powercode.Program_encoder.default_config () in
+  let quick = Workloads.by_name Workloads.scaled "fft" in
+  let compiled = Workloads.compile quick in
+  let tests =
+    [
+      Test.make ~name:"fig2_table_k3"
+        (Staged.stage (fun () -> Powercode.Solver.table ~k:3 ()));
+      Test.make ~name:"fig3_totals_k7"
+        (Staged.stage (fun () -> Powercode.Solver.totals ~k:7 ()));
+      Test.make ~name:"fig4_table_k5_subset"
+        (Staged.stage (fun () ->
+             Powercode.Solver.table
+               ~subset_mask:Powercode.Subset.paper_eight_mask ~k:5 ()));
+      Test.make ~name:"sec6_chain_1000bits"
+        (Staged.stage (fun () -> Powercode.Chain.encode_greedy ~k:5 stream));
+      Test.make ~name:"sec6_chain_dp_1000bits"
+        (Staged.stage (fun () -> Powercode.Chain.encode_optimal ~k:5 stream));
+      Test.make ~name:"fig6_block_encode_24x32"
+        (Staged.stage (fun () ->
+             Powercode.Program_encoder.encode_block config matrix));
+      Test.make ~name:"fig6_pipeline_fft_scaled"
+        (Staged.stage (fun () ->
+             Pipeline.Evaluate.evaluate ~ks:[ 5 ] ~name:"fft"
+               compiled.Minic.Compile.program));
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] ->
+            let human v =
+              if v > 1e9 then Printf.sprintf "%.2f s" (v /. 1e9)
+              else if v > 1e6 then Printf.sprintf "%.2f ms" (v /. 1e6)
+              else if v > 1e3 then Printf.sprintf "%.2f us" (v /. 1e3)
+              else Printf.sprintf "%.0f ns" v
+            in
+            Format.printf "  %-28s %12s/run@." name (human est)
+        | Some _ | None -> Format.printf "  %-28s (no estimate)@." name)
+      results
+  in
+  List.iter (fun t -> benchmark (Test.make_grouped ~name:"" [ t ])) tests
+
+(* ---- main ------------------------------------------------------------------------------ *)
+
+let () =
+  Format.printf
+    "Power Efficiency through Application-Specific Instruction Memory \
+     Transformations@.(DATE 2003) -- reproduction harness@.";
+  fig2 ();
+  fig3 ();
+  fig4 ();
+  sec52 ();
+  sec6 ();
+  fig6 ();
+  fig7 ();
+  businvert_baseline ();
+  hw_cost ();
+  ablation_chain ();
+  ablation_subset ();
+  ablation_tt_capacity ();
+  ablation_compiler ();
+  ablation_bb_boundaries ();
+  per_line_analysis ();
+  multihistory ();
+  storage_invariance ();
+  address_bus ();
+  extended_workloads ();
+  bechamel_suite ();
+  Format.printf "@.Done.@."

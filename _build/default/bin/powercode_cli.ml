@@ -1,0 +1,330 @@
+(* powercode: command-line front door to the library.
+
+   Subcommands:
+     tables    - regenerate the paper's code tables (Figs 2/4) and totals (Fig 3)
+     subset    - minimal transformation-set analysis (paper section 5.2)
+     encode    - assemble a .s file, encode its hot blocks, report savings
+     simulate  - assemble and run a .s file, print its output
+     evaluate  - full Figure 6 style evaluation of a named benchmark
+     cost      - hardware overhead sheet (paper section 7.2)                   *)
+
+open Cmdliner
+
+let subset_conv =
+  let parse = function
+    | "all" -> Ok Powercode.Boolfun.full_mask
+    | "eight" -> Ok Powercode.Subset.paper_eight_mask
+    | "minimal" -> Ok (Powercode.Subset.canonical_mask ())
+    | s -> Error (`Msg ("unknown subset " ^ s ^ " (use all|eight|minimal)"))
+  in
+  Arg.conv (parse, fun fmt _ -> Format.pp_print_string fmt "<subset>")
+
+let k_arg =
+  Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc:"Code block size (2..16).")
+
+let subset_arg =
+  Arg.(
+    value
+    & opt subset_conv Powercode.Subset.paper_eight_mask
+    & info [ "subset" ] ~docv:"SET"
+        ~doc:"Transformation set: all, eight (paper), or minimal (six).")
+
+(* ---- tables ---------------------------------------------------------------- *)
+
+let tables k subset_mask =
+  if k < 2 || k > 10 then `Error (false, "K must be in 2..10")
+  else begin
+    Format.printf "Optimal power code, k = %d:@." k;
+    Array.iter
+      (fun e -> Format.printf "  %a@." (Powercode.Solver.pp_entry ~k) e)
+      (Powercode.Solver.table ~subset_mask ~k ());
+    Format.printf "%a@." Powercode.Solver.pp_totals
+      (Powercode.Solver.totals ~subset_mask ~k ());
+    `Ok ()
+  end
+
+let tables_cmd =
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's code tables")
+    Term.(ret (const tables $ k_arg $ subset_arg))
+
+(* ---- subset ---------------------------------------------------------------- *)
+
+let subset_analysis () =
+  Format.printf "Minimal transformation subsets preserving optimality, k <= 7:@.";
+  List.iter
+    (fun mask ->
+      Format.printf "  {";
+      List.iter
+        (fun f -> Format.printf " %s" (Powercode.Boolfun.name f))
+        (Powercode.Boolfun.list_of_mask mask);
+      Format.printf " }@.")
+    (Powercode.Subset.all_minimal ~kmax:7);
+  Format.printf "The paper's eight:@.  {";
+  List.iter
+    (fun f -> Format.printf " %s" (Powercode.Boolfun.name f))
+    Powercode.Subset.paper_eight;
+  Format.printf " }@.";
+  List.iter
+    (fun k ->
+      Format.printf "  k=%d: paper eight optimal: %b, minimal six optimal: %b@."
+        k
+        (Powercode.Subset.achieves_per_word_optimal
+           ~subset_mask:Powercode.Subset.paper_eight_mask ~k)
+        (Powercode.Subset.achieves_per_word_optimal
+           ~subset_mask:(Powercode.Subset.canonical_mask ()) ~k))
+    [ 2; 3; 4; 5; 6; 7 ]
+
+let subset_cmd =
+  Cmd.v
+    (Cmd.info "subset" ~doc:"Minimal transformation-set analysis (section 5.2)")
+    Term.(const subset_analysis $ const ())
+
+(* ---- file helpers ------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_program path =
+  let source = read_file path in
+  if Filename.check_suffix path ".mc" then
+    (Minic.Compile.compile source).Minic.Compile.program
+  else Isa.Asm.assemble source
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Assembly (.s) or Minic (.mc) source file.")
+
+(* ---- encode ------------------------------------------------------------------- *)
+
+let build_system k subset_mask program =
+  let words = Isa.Program.words program in
+  let blocks = Cfg.Block.partition (Isa.Program.insns program) in
+  let profile, _ = Cfg.Profile.collect program in
+  let candidates =
+    Array.to_list blocks
+    |> List.filter (fun b -> Cfg.Profile.block_weight profile b > 0)
+    |> List.map (fun (b : Cfg.Block.t) ->
+           {
+             Powercode.Program_encoder.start_index = b.Cfg.Block.start;
+             body =
+               Bitutil.Bitmat.of_words ~width:32
+                 (Array.sub words b.Cfg.Block.start b.Cfg.Block.len);
+             weight = Cfg.Profile.block_weight profile b;
+           })
+  in
+  let config =
+    { Powercode.Program_encoder.k; subset_mask; tt_capacity = 16;
+      optimal_chain = false }
+  in
+  let plan = Powercode.Program_encoder.plan config candidates in
+  Hardware.Reprogram.build
+    ~functions:(Array.of_list (Powercode.Boolfun.list_of_mask subset_mask))
+    program plan
+
+let encode path k subset_mask firmware_out =
+  match load_program path with
+  | exception e ->
+      let msg =
+        Option.value (Minic.Compile.describe_error e)
+          ~default:(Printexc.to_string e)
+      in
+      `Error (false, msg)
+  | program ->
+      let report =
+        Pipeline.Evaluate.evaluate ~ks:[ k ] ~subset_mask ~verify:true
+          ~name:(Filename.basename path) program
+      in
+      Format.printf "%a@." Pipeline.Evaluate.pp_report report;
+      (match firmware_out with
+      | None -> ()
+      | Some out ->
+          let system = build_system k subset_mask program in
+          let oc = open_out out in
+          output_string oc (Hardware.Firmware.to_string system);
+          close_out oc;
+          Format.printf "firmware bundle written to %s@." out);
+      `Ok ()
+
+let encode_cmd =
+  let firmware_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "firmware" ] ~docv:"FILE"
+          ~doc:"Also write a flashable firmware bundle (encoded image + tables).")
+  in
+  Cmd.v
+    (Cmd.info "encode"
+       ~doc:"Encode a program's hot blocks and report transition savings")
+    Term.(ret (const encode $ file_arg $ k_arg $ subset_arg $ firmware_arg))
+
+(* ---- restore --------------------------------------------------------------- *)
+
+let restore path run =
+  match Hardware.Firmware.of_string (read_file path) with
+  | exception Hardware.Firmware.Parse_error msg -> `Error (false, msg)
+  | system ->
+      let program = Hardware.Firmware.restore_program system in
+      if run then begin
+        let state = Machine.Cpu.create_state () in
+        let result = Machine.Cpu.run program state in
+        print_string (Machine.Cpu.output state);
+        Format.printf "@.[%d instructions, exit %d]@."
+          result.Machine.Cpu.instructions result.Machine.Cpu.exit_code
+      end
+      else print_string (Isa.Disasm.to_source program);
+      `Ok ()
+
+let restore_cmd =
+  let run_arg =
+    Arg.(
+      value & flag
+      & info [ "run" ] ~doc:"Execute the restored program instead of printing it.")
+  in
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:"Decode a firmware bundle back to a program (print or --run)")
+    Term.(ret (const restore $ file_arg $ run_arg))
+
+(* ---- simulate ------------------------------------------------------------------ *)
+
+let simulate path max_instructions =
+  match load_program path with
+  | exception e ->
+      let msg =
+        Option.value (Minic.Compile.describe_error e)
+          ~default:(Printexc.to_string e)
+      in
+      `Error (false, msg)
+  | program ->
+      let state = Machine.Cpu.create_state () in
+      let result = Machine.Cpu.run ~max_instructions program state in
+      print_string (Machine.Cpu.output state);
+      Format.printf "@.[%d instructions, exit %d]@."
+        result.Machine.Cpu.instructions result.Machine.Cpu.exit_code;
+      `Ok ()
+
+let simulate_cmd =
+  let max_arg =
+    Arg.(
+      value
+      & opt int 1_000_000_000
+      & info [ "max-instructions" ] ~docv:"N" ~doc:"Instruction budget.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Assemble/compile and run a program")
+    Term.(ret (const simulate $ file_arg $ max_arg))
+
+(* ---- evaluate ------------------------------------------------------------------- *)
+
+let evaluate name scaled verify csv =
+  let set =
+    (if scaled then Workloads.scaled else Workloads.paper_sized)
+    @ Workloads.extended
+  in
+  match Workloads.by_name set name with
+  | exception Not_found ->
+      `Error
+        ( false,
+          "unknown benchmark " ^ name
+          ^ " (mmul, sor, ej, fft, tri, lu, fir, iir, dct)" )
+  | w ->
+      let report = Pipeline.Evaluate.evaluate_workload ~verify w in
+      if csv then begin
+        print_endline "bench,k,baseline_transitions,transitions,reduction_pct,coverage_pct";
+        List.iter
+          (fun (run : Pipeline.Evaluate.encoded_run) ->
+            Printf.printf "%s,%d,%d,%d,%.2f,%.2f\n"
+              report.Pipeline.Evaluate.name run.Pipeline.Evaluate.k
+              report.Pipeline.Evaluate.baseline_transitions
+              run.Pipeline.Evaluate.transitions
+              run.Pipeline.Evaluate.reduction_pct
+              report.Pipeline.Evaluate.coverage_pct)
+          report.Pipeline.Evaluate.runs
+      end
+      else Format.printf "%a@." Pipeline.Evaluate.pp_report report;
+      `Ok ()
+
+let evaluate_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark name: mmul sor ej fft tri lu.")
+  in
+  let scaled_arg =
+    Arg.(value & flag & info [ "scaled" ] ~doc:"Use the small test sizes.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ] ~doc:"Push every fetch through the decoder model.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV rows.")
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Figure 6 style evaluation of a benchmark")
+    Term.(ret (const evaluate $ name_arg $ scaled_arg $ verify_arg $ csv_arg))
+
+(* ---- disasm ------------------------------------------------------------------- *)
+
+let disasm path =
+  match load_program path with
+  | exception e ->
+      let msg =
+        Option.value (Minic.Compile.describe_error e)
+          ~default:(Printexc.to_string e)
+      in
+      `Error (false, msg)
+  | program ->
+      print_string (Isa.Disasm.to_source program);
+      `Ok ()
+
+let disasm_cmd =
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:"Disassemble a program (Minic sources show the generated code)")
+    Term.(ret (const disasm $ file_arg))
+
+(* ---- cost ------------------------------------------------------------------------ *)
+
+let cost k entries fns =
+  let r = Hardware.Cost.report ~k ~tt_entries:entries ~fn_count:fns () in
+  Format.printf "%a@." Hardware.Cost.pp r;
+  `Ok ()
+
+let cost_cmd =
+  let entries_arg =
+    Arg.(value & opt int 16 & info [ "entries" ] ~docv:"N" ~doc:"TT entries.")
+  in
+  let fns_arg =
+    Arg.(value & opt int 8 & info [ "functions" ] ~docv:"N" ~doc:"Decode gates.")
+  in
+  Cmd.v
+    (Cmd.info "cost" ~doc:"Hardware overhead sheet (section 7.2)")
+    Term.(ret (const cost $ k_arg $ entries_arg $ fns_arg))
+
+(* ---- main ------------------------------------------------------------------------- *)
+
+let () =
+  let info =
+    Cmd.info "powercode" ~version:"1.0.0"
+      ~doc:
+        "Application-specific instruction memory transformations (DATE 2003 \
+         reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            tables_cmd; subset_cmd; encode_cmd; restore_cmd; simulate_cmd;
+            evaluate_cmd; disasm_cmd; cost_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/codes_explorer.mli:

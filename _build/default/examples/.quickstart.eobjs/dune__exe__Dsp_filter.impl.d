@@ -1,0 +1,1 @@
+examples/dsp_filter.ml: Array Bitutil Cfg Format Hardware Isa List Machine Minic Pipeline Powercode

@@ -1,0 +1,1 @@
+examples/offchip_flash.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bitutil Buspower Format Isa Machine Powercode

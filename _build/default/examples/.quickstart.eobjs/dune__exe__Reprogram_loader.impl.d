@@ -1,0 +1,1 @@
+examples/reprogram_loader.ml: Array Bitutil Buspower Cfg Format Hardware Isa List Machine Powercode

@@ -1,0 +1,41 @@
+(* Explore the theory: regenerate the paper's code tables for any block
+   size, inspect which transformations matter, and see how the savings decay
+   as blocks grow (the Figure 3 trade-off).
+
+   Run with: dune exec examples/codes_explorer.exe [-- K]            *)
+
+let () =
+  let k =
+    if Array.length Sys.argv > 1 then
+      match int_of_string_opt Sys.argv.(1) with
+      | Some v when v >= 2 && v <= 10 -> v
+      | Some _ | None ->
+          prerr_endline "usage: codes_explorer [K in 2..10]";
+          exit 1
+    else 3
+  in
+  Format.printf "Optimal power code for %d-bit blocks (all 16 functions):@." k;
+  Array.iter
+    (fun e -> Format.printf "  %a@." (Powercode.Solver.pp_entry ~k) e)
+    (Powercode.Solver.table ~k ());
+  Format.printf "@.%a@." Powercode.Solver.pp_totals (Powercode.Solver.totals ~k ());
+
+  Format.printf
+    "@.Restricted to the paper's eight transformations (identical totals):@.";
+  Format.printf "%a@." Powercode.Solver.pp_totals
+    (Powercode.Solver.totals ~subset_mask:Powercode.Subset.paper_eight_mask ~k ());
+
+  Format.printf "@.Savings decay with block size (Figure 3):@.";
+  List.iter
+    (fun kk ->
+      Format.printf "  %a@." Powercode.Solver.pp_totals
+        (Powercode.Solver.totals ~k:kk ()))
+    [ 2; 3; 4; 5; 6; 7 ];
+
+  Format.printf
+    "@.The minimal transformation set preserving optimality for k <= 7:@.  ";
+  List.iter
+    (fun f -> Format.printf "%s  " (Powercode.Boolfun.name f))
+    (Powercode.Subset.canonical ());
+  Format.printf
+    "@.(six functions -- the paper's eight are sufficient but not minimal)@."

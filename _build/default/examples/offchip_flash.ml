@@ -1,0 +1,37 @@
+(* Energy lens: the paper motivates the technique with off-chip instruction
+   memories ("external flash"), where the bus lines run through I/O pads
+   with capacitances tens of times larger than on-chip wires.  This example
+   puts joule figures on the transition counts for the scaled benchmark
+   suite, comparing no encoding, bus-invert coding, and the paper's power
+   codes.
+
+   Run with: dune exec examples/offchip_flash.exe *)
+
+let () =
+  Format.printf
+    "Instruction-bus energy per full run (off-chip flash: %g pF/line @ %g V)@."
+    (Buspower.Energy.off_chip.Buspower.Energy.capacitance_per_line_f *. 1e12)
+    Buspower.Energy.off_chip.Buspower.Energy.vdd_v;
+  Format.printf "%-6s %12s %14s %14s %10s@." "bench" "baseline" "bus-invert"
+    "powercode" "saved";
+  List.iter
+    (fun w ->
+      let r = Pipeline.Evaluate.evaluate_workload ~ks:[ 5 ] w in
+      let joules n = Buspower.Energy.of_transitions Buspower.Energy.off_chip n in
+      match r.Pipeline.Evaluate.runs with
+      | [ run ] ->
+          Format.printf "%-6s %12s %14s %14s %9.1f%%@." w.Workloads.name
+            (Format.asprintf "%a" Buspower.Energy.pp_joules
+               (joules r.Pipeline.Evaluate.baseline_transitions))
+            (Format.asprintf "%a" Buspower.Energy.pp_joules
+               (joules r.Pipeline.Evaluate.businvert_transitions))
+            (Format.asprintf "%a" Buspower.Energy.pp_joules
+               (joules run.Pipeline.Evaluate.transitions))
+            run.Pipeline.Evaluate.reduction_pct
+      | _ -> assert false)
+    Workloads.scaled;
+  Format.printf
+    "@.Bus-invert barely helps instruction streams (adjacent opcodes rarely \
+     differ in more than half the lines), while the application-specific \
+     codes cut a large share of the switching energy -- the contrast the \
+     paper draws with the general-purpose baseline.@."

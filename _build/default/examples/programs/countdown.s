@@ -1,0 +1,14 @@
+# Count down from 10, printing each value.
+      li $t0, 10
+loop:
+      addu $a0, $t0, $zero
+      li $v0, 1
+      syscall
+      li $a0, 10
+      li $v0, 11
+      syscall
+      addiu $t0, $t0, -1
+      bgtz $t0, loop
+      li $a0, 0
+      li $v0, 10
+      syscall

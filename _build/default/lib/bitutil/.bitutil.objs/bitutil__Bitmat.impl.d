@@ -1,0 +1,1 @@
+lib/bitutil/bitmat.ml: Array Bitvec

@@ -1,0 +1,1 @@
+lib/bitutil/bitvec.ml: Array Bytes Char Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/bitutil/bitvec.mli: Format

@@ -1,0 +1,60 @@
+type t = { width : int; words : int array }
+
+let of_words ~width words =
+  if width < 1 || width > 62 then invalid_arg "Bitmat.of_words: bad width";
+  Array.iter
+    (fun w ->
+      if w < 0 || (width < 62 && w lsr width <> 0) then
+        invalid_arg "Bitmat.of_words: word does not fit width")
+    words;
+  { width; words = Array.copy words }
+
+let width m = m.width
+let rows m = Array.length m.words
+
+let word m i =
+  if i < 0 || i >= rows m then invalid_arg "Bitmat.word: row out of range";
+  m.words.(i)
+
+let words m = Array.copy m.words
+
+let column m b =
+  if b < 0 || b >= m.width then invalid_arg "Bitmat.column: line out of range";
+  Bitvec.init (rows m) (fun i -> m.words.(i) lsr b land 1 = 1)
+
+let of_columns cols =
+  let width = Array.length cols in
+  if width = 0 then invalid_arg "Bitmat.of_columns: no columns";
+  let n = Bitvec.length cols.(0) in
+  Array.iter
+    (fun c ->
+      if Bitvec.length c <> n then invalid_arg "Bitmat.of_columns: ragged")
+    cols;
+  let words =
+    Array.init n (fun i ->
+        let w = ref 0 in
+        for b = width - 1 downto 0 do
+          w := (!w lsl 1) lor (if Bitvec.get cols.(b) i then 1 else 0)
+        done;
+        !w)
+  in
+  { width; words }
+
+let column_transitions m =
+  let counts = Array.make m.width 0 in
+  for i = 0 to rows m - 2 do
+    let diff = m.words.(i) lxor m.words.(i + 1) in
+    for b = 0 to m.width - 1 do
+      if diff lsr b land 1 = 1 then counts.(b) <- counts.(b) + 1
+    done
+  done;
+  counts
+
+let transitions m =
+  let total = ref 0 in
+  for i = 0 to rows m - 2 do
+    let diff = m.words.(i) lxor m.words.(i + 1) in
+    let rec pop x acc = if x = 0 then acc else pop (x lsr 1) (acc + (x land 1)) in
+    total := !total + pop diff 0
+  done;
+  !total

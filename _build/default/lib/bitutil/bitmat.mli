@@ -1,0 +1,39 @@
+(** Bit matrices over sequences of machine words.
+
+    A matrix views a sequence of [width]-bit words (instructions in fetch or
+    storage order) as [width] independent vertical bit columns — one per bus
+    line — which is the decomposition the power encoding operates on. *)
+
+type t
+
+(** [of_words ~width words] views [words] as rows.  Bits of each word beyond
+    [width] must be zero.  Raises [Invalid_argument] if [width] is not in
+    [1..62] or a word does not fit. *)
+val of_words : width:int -> int array -> t
+
+(** [width m] is the number of columns (bus lines). *)
+val width : t -> int
+
+(** [rows m] is the number of words. *)
+val rows : t -> int
+
+(** [word m i] is row [i] as an integer. *)
+val word : t -> int -> int
+
+(** [words m] is a fresh array of all rows. *)
+val words : t -> int array
+
+(** [column m b] is the vertical bit stream of bus line [b]: bit [i] of the
+    result is bit [b] of word [i]. *)
+val column : t -> int -> Bitvec.t
+
+(** [of_columns cols] rebuilds a matrix from [width] columns of equal
+    length.  Raises [Invalid_argument] on empty or ragged input. *)
+val of_columns : Bitvec.t array -> t
+
+(** [transitions m] is the total number of bit transitions summed over all
+    columns — the bus-transition cost of fetching the rows in order. *)
+val transitions : t -> int
+
+(** [column_transitions m] is the per-line transition count, index = line. *)
+val column_transitions : t -> int array

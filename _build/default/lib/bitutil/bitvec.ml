@@ -1,0 +1,122 @@
+(* Bits are stored in a Bytes.t, one bit per position, packed 8 per byte.
+   Vectors are small (block words, 32-bit columns), so simplicity beats
+   bit-twiddling cleverness. *)
+
+type t = { len : int; data : Bytes.t }
+
+let bytes_for len = (len + 7) / 8
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create: negative length";
+  { len; data = Bytes.make (bytes_for len) '\000' }
+
+let length v = v.len
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Bitvec: index out of range"
+
+let get v i =
+  check v i;
+  Char.code (Bytes.get v.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set v i b =
+  check v i;
+  let data = Bytes.copy v.data in
+  let byte = Char.code (Bytes.get data (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if b then byte lor mask else byte land lnot mask in
+  Bytes.set data (i lsr 3) (Char.chr (byte land 0xff));
+  { v with data }
+
+let init n f =
+  let v = ref (create n) in
+  for i = 0 to n - 1 do
+    if f i then v := set !v i true
+  done;
+  !v
+
+let of_list bits =
+  let arr = Array.of_list bits in
+  init (Array.length arr) (fun i -> arr.(i))
+
+let to_list v =
+  List.init v.len (fun i -> get v i)
+
+let of_int ~width n =
+  if width < 0 || width > 62 then invalid_arg "Bitvec.of_int: bad width";
+  if n < 0 || (width < 62 && n lsr width <> 0) then
+    invalid_arg "Bitvec.of_int: value does not fit";
+  init width (fun i -> n lsr i land 1 = 1)
+
+let to_int v =
+  if v.len > 62 then invalid_arg "Bitvec.to_int: too long";
+  let r = ref 0 in
+  for i = v.len - 1 downto 0 do
+    r := (!r lsl 1) lor (if get v i then 1 else 0)
+  done;
+  !r
+
+let of_string s =
+  let n = String.length s in
+  init n (fun i ->
+      match s.[n - 1 - i] with
+      | '0' -> false
+      | '1' -> true
+      | c -> invalid_arg (Printf.sprintf "Bitvec.of_string: bad char %c" c))
+
+let to_string v =
+  String.init v.len (fun i -> if get v (v.len - 1 - i) then '1' else '0')
+
+let append a b =
+  init (a.len + b.len) (fun i -> if i < a.len then get a i else get b (i - a.len))
+
+let sub v ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > v.len then invalid_arg "Bitvec.sub";
+  init len (fun i -> get v (pos + i))
+
+let transitions v =
+  let n = ref 0 in
+  for i = 0 to v.len - 2 do
+    if get v i <> get v (i + 1) then incr n
+  done;
+  !n
+
+let popcount v =
+  let n = ref 0 in
+  for i = 0 to v.len - 1 do
+    if get v i then incr n
+  done;
+  !n
+
+let check_same a b =
+  if a.len <> b.len then invalid_arg "Bitvec: length mismatch"
+
+let hamming a b =
+  check_same a b;
+  let n = ref 0 in
+  for i = 0 to a.len - 1 do
+    if get a i <> get b i then incr n
+  done;
+  !n
+
+let map2 f a b =
+  check_same a b;
+  init a.len (fun i -> f (get a i) (get b i))
+
+let lnot_ v = init v.len (fun i -> not (get v i))
+
+let equal a b = a.len = b.len && Bytes.equal a.data b.data
+
+let compare a b =
+  match Int.compare a.len b.len with
+  | 0 -> Bytes.compare a.data b.data
+  | c -> c
+
+let fold f init v =
+  let acc = ref init in
+  for i = 0 to v.len - 1 do
+    acc := f !acc (get v i)
+  done;
+  !acc
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

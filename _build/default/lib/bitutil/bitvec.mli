@@ -1,0 +1,82 @@
+(** Fixed-length bit vectors.
+
+    A [t] is an immutable sequence of bits indexed from 0.  Index 0 is the
+    {e first} bit in stream order (the earliest bit fetched on a bus line);
+    when a vector is rendered as a string the first bit is printed rightmost,
+    matching the paper's convention of writing block words with the earliest
+    bit on the right. *)
+
+type t
+
+(** [create n] is a vector of [n] zero bits.  Raises [Invalid_argument] if
+    [n < 0]. *)
+val create : int -> t
+
+(** [length v] is the number of bits in [v]. *)
+val length : t -> int
+
+(** [get v i] is bit [i].  Raises [Invalid_argument] if out of range. *)
+val get : t -> int -> bool
+
+(** [set v i b] is a copy of [v] with bit [i] set to [b]. *)
+val set : t -> int -> bool -> t
+
+(** [init n f] is the vector whose bit [i] is [f i]. *)
+val init : int -> (int -> bool) -> t
+
+(** [of_list bits] has bit [i] equal to [List.nth bits i]. *)
+val of_list : bool list -> t
+
+(** [to_list v] lists the bits of [v] in index order. *)
+val to_list : t -> bool list
+
+(** [of_int ~width n] is the [width]-bit vector whose bit [i] is bit [i] of
+    [n] (so the string rendering equals the usual binary notation of [n]).
+    Raises [Invalid_argument] if [width] exceeds 62 or [n] does not fit. *)
+val of_int : width:int -> int -> t
+
+(** [to_int v] interprets [v] as a binary number with bit [i] weighted
+    [2^i].  Raises [Invalid_argument] if [length v > 62]. *)
+val to_int : t -> int
+
+(** [of_string s] parses ['0']['1'] characters; the {e rightmost} character
+    becomes bit 0.  Raises [Invalid_argument] on other characters. *)
+val of_string : string -> t
+
+(** [to_string v] renders [v] with bit 0 rightmost. *)
+val to_string : t -> string
+
+(** [append a b] is the bits of [a] followed by the bits of [b]. *)
+val append : t -> t -> t
+
+(** [sub v ~pos ~len] is bits [pos .. pos+len-1] of [v]. *)
+val sub : t -> pos:int -> len:int -> t
+
+(** [transitions v] counts positions [i] with [get v i <> get v (i+1)] —
+    the number of bus transitions caused by shifting [v] out serially. *)
+val transitions : t -> int
+
+(** [popcount v] is the number of set bits. *)
+val popcount : t -> int
+
+(** [hamming a b] is the number of positions where [a] and [b] differ.
+    Raises [Invalid_argument] on length mismatch. *)
+val hamming : t -> t -> int
+
+(** [map2 f a b] applies [f] bitwise.  Raises on length mismatch. *)
+val map2 : (bool -> bool -> bool) -> t -> t -> t
+
+(** [lnot_ v] flips every bit. *)
+val lnot_ : t -> t
+
+(** [equal a b] is structural equality (same length, same bits). *)
+val equal : t -> t -> bool
+
+(** [compare] is a total order compatible with [equal]. *)
+val compare : t -> t -> int
+
+(** [fold f init v] folds over bits in index order. *)
+val fold : ('a -> bool -> 'a) -> 'a -> t -> 'a
+
+(** [pp] prints as {!to_string}. *)
+val pp : Format.formatter -> t -> unit

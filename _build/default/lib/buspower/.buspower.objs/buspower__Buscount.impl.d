@@ -1,0 +1,1 @@
+lib/buspower/buscount.ml: Array

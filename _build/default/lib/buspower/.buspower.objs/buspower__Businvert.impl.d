@@ -1,0 +1,1 @@
+lib/buspower/businvert.ml: Array

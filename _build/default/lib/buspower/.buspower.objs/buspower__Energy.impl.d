@@ -1,0 +1,1 @@
+lib/buspower/energy.ml: Float Format

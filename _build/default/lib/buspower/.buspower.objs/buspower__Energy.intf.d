@@ -1,0 +1,1 @@
+lib/buspower/energy.mli: Format

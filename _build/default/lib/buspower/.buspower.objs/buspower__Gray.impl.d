@@ -1,0 +1,1 @@
+lib/buspower/gray.ml: Array Buscount

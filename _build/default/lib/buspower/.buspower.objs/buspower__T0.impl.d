@@ -1,0 +1,1 @@
+lib/buspower/t0.ml: Array Buscount

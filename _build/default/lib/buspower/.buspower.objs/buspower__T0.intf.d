@@ -1,0 +1,1 @@
+lib/buspower/t0.mli:

@@ -1,0 +1,54 @@
+type t = {
+  width : int;
+  line_counts : int array;
+  mutable previous : int;
+  mutable observed : int;
+  mutable total : int;
+}
+
+let create ?(width = 32) () =
+  if width < 1 || width > 62 then invalid_arg "Buscount.create: bad width";
+  {
+    width;
+    line_counts = Array.make width 0;
+    previous = 0;
+    observed = 0;
+    total = 0;
+  }
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let observe t word =
+  if word < 0 || (t.width < 62 && word lsr t.width <> 0) then
+    invalid_arg "Buscount.observe: word wider than bus";
+  if t.observed > 0 then begin
+    let diff = word lxor t.previous in
+    t.total <- t.total + popcount diff;
+    let rec mark d line =
+      if d <> 0 then begin
+        if d land 1 = 1 then
+          t.line_counts.(line) <- t.line_counts.(line) + 1;
+        mark (d lsr 1) (line + 1)
+      end
+    in
+    mark diff 0
+  end;
+  t.previous <- word;
+  t.observed <- t.observed + 1
+
+let total t = t.total
+let per_line t = Array.copy t.line_counts
+let words_observed t = t.observed
+
+let reset t =
+  Array.fill t.line_counts 0 t.width 0;
+  t.previous <- 0;
+  t.observed <- 0;
+  t.total <- 0
+
+let count_stream ?width words =
+  let t = create ?width () in
+  Array.iter (observe t) words;
+  total t

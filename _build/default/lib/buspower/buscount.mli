@@ -1,0 +1,30 @@
+(** Online per-line transition counting for a bus-word stream.
+
+    The counter observes each word placed on the bus in order and
+    accumulates, per line, the number of [0<->1] flips relative to the
+    previous word — exactly the quantity the paper's Figure 6 reports
+    (in millions) for the instruction bus. *)
+
+type t
+
+(** [create ?width ()] is a counter for a [width]-line bus (default 32). *)
+val create : ?width:int -> unit -> t
+
+(** [observe t word] clocks [word] onto the bus.  Raises [Invalid_argument]
+    if [word] has bits beyond the bus width. *)
+val observe : t -> int -> unit
+
+(** [total t] is the transitions summed over all lines. *)
+val total : t -> int
+
+(** [per_line t] is a fresh per-line transition array, index = line. *)
+val per_line : t -> int array
+
+(** [words_observed t] is how many words have been clocked. *)
+val words_observed : t -> int
+
+(** [reset t] clears counts and history. *)
+val reset : t -> unit
+
+(** [count_stream ?width words] is the total for a complete stream. *)
+val count_stream : ?width:int -> int array -> int

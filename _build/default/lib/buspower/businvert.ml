@@ -1,0 +1,49 @@
+type t = {
+  width : int;
+  mask : int;
+  mutable prev_bus : int;
+  mutable prev_invert : bool;
+  mutable started : bool;
+  mutable total : int;
+}
+
+let create ?(width = 32) () =
+  if width < 1 || width > 62 then invalid_arg "Businvert.create: bad width";
+  {
+    width;
+    mask = (1 lsl width) - 1;
+    prev_bus = 0;
+    prev_invert = false;
+    started = false;
+    total = 0;
+  }
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let encode t word =
+  if word < 0 || word land lnot t.mask <> 0 then
+    invalid_arg "Businvert.encode: word wider than bus";
+  let flips = popcount (word lxor t.prev_bus) in
+  let invert = 2 * flips > t.width in
+  let bus = if invert then lnot word land t.mask else word in
+  if t.started then begin
+    t.total <- t.total + popcount (bus lxor t.prev_bus);
+    if invert <> t.prev_invert then t.total <- t.total + 1
+  end;
+  t.prev_bus <- bus;
+  t.prev_invert <- invert;
+  t.started <- true;
+  (bus, invert)
+
+let decode ~width (bus, invert) =
+  let mask = (1 lsl width) - 1 in
+  if invert then lnot bus land mask else bus
+
+let transitions t = t.total
+
+let count_stream ?width words =
+  let t = create ?width () in
+  Array.iter (fun w -> ignore (encode t w)) words;
+  t.total

@@ -1,0 +1,26 @@
+(** Bus-invert coding (Stan & Burleson, 1995) — the general-purpose
+    low-power baseline the paper contrasts with.
+
+    Before driving a word, the encoder compares its Hamming distance to the
+    previous bus value; if more than half the lines would flip, it drives
+    the complement and asserts a dedicated invert line.  The invert line's
+    own transitions are charged to the total, as in the original paper. *)
+
+type t
+
+(** [create ?width ()] is an encoder for a [width]-line data bus (default
+    32); the invert line is extra. *)
+val create : ?width:int -> unit -> t
+
+(** [encode t word] is [(bus_word, invert)] actually driven. *)
+val encode : t -> int -> int * bool
+
+(** [decode ~width (bus_word, invert)] restores the original word. *)
+val decode : width:int -> int * bool -> int
+
+(** [transitions t] is the running total including the invert line. *)
+val transitions : t -> int
+
+(** [count_stream ?width words] encodes a whole stream and returns its
+    total transitions (data lines + invert line). *)
+val count_stream : ?width:int -> int array -> int

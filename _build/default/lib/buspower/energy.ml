@@ -1,0 +1,18 @@
+type t = { capacitance_per_line_f : float; vdd_v : float }
+
+let on_chip = { capacitance_per_line_f = 0.5e-12; vdd_v = 1.8 }
+let off_chip = { capacitance_per_line_f = 30e-12; vdd_v = 3.3 }
+
+let per_transition m = 0.5 *. m.capacitance_per_line_f *. m.vdd_v *. m.vdd_v
+let of_transitions m n = per_transition m *. float_of_int n
+
+let pp_joules fmt j =
+  let abs = Float.abs j in
+  let value, unit_ =
+    if abs < 1e-9 then (j *. 1e12, "pJ")
+    else if abs < 1e-6 then (j *. 1e9, "nJ")
+    else if abs < 1e-3 then (j *. 1e6, "uJ")
+    else if abs < 1.0 then (j *. 1e3, "mJ")
+    else (j, "J")
+  in
+  Format.fprintf fmt "%.3g %s" value unit_

@@ -1,0 +1,27 @@
+(** Dynamic switching energy, [E = 1/2 * C * Vdd^2] per transition per line.
+
+    The paper reports transition counts and argues energy follows directly
+    because every line toggles the same capacitance; this module turns the
+    counts into joules under standard on-chip and off-chip presets so the
+    examples can talk about batteries rather than toggles. *)
+
+type t = {
+  capacitance_per_line_f : float;  (** farads, all lines equal *)
+  vdd_v : float;  (** supply voltage *)
+}
+
+(** On-chip instruction bus, short metal run: 0.5 pF at 1.8 V (typical for
+    the paper's 2003-era 0.18 um process). *)
+val on_chip : t
+
+(** Off-chip flash on board traces through I/O pads: 30 pF at 3.3 V. *)
+val off_chip : t
+
+(** [per_transition m] is joules per single line transition. *)
+val per_transition : t -> float
+
+(** [of_transitions m n] is total joules for [n] transitions. *)
+val of_transitions : t -> int -> float
+
+(** [pp_joules] renders with an engineering suffix (pJ/nJ/uJ/mJ/J). *)
+val pp_joules : Format.formatter -> float -> unit

@@ -1,0 +1,14 @@
+let encode a =
+  if a < 0 then invalid_arg "Gray.encode: negative address";
+  a lxor (a lsr 1)
+
+let decode g =
+  if g < 0 then invalid_arg "Gray.decode: negative code";
+  let rec go acc shift =
+    let v = g lsr shift in
+    if v = 0 then acc else go (acc lxor v) (shift + 1)
+  in
+  go 0 0
+
+let count_stream ?width addresses =
+  Buscount.count_stream ?width (Array.map encode addresses)

@@ -1,0 +1,14 @@
+(** Gray-code address encoding — the other classic sequential-address
+    baseline: consecutive binary addresses differ in exactly one bit of
+    their Gray encoding, so a straight-line fetch run costs one transition
+    per cycle with no redundant line at all. *)
+
+(** [encode a] is the reflected-binary Gray code of [a]. *)
+val encode : int -> int
+
+(** [decode g] inverts {!encode}. *)
+val decode : int -> int
+
+(** [count_stream ?width addresses] is the address-bus transition total
+    when every address is driven Gray-encoded. *)
+val count_stream : ?width:int -> int array -> int

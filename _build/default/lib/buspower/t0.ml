@@ -1,0 +1,58 @@
+type t = {
+  width : int;
+  mask : int;
+  stride : int;
+  mutable prev_addr : int;  (* last address value (decoded) *)
+  mutable prev_bus : int;  (* last value actually driven on address lines *)
+  mutable prev_inc : bool;
+  mutable started : bool;
+  mutable total : int;
+}
+
+let create ?(width = 32) ?(stride = 1) () =
+  if width < 1 || width > 62 then invalid_arg "T0.create: bad width";
+  if stride <= 0 then invalid_arg "T0.create: bad stride";
+  {
+    width;
+    mask = (1 lsl width) - 1;
+    stride;
+    prev_addr = 0;
+    prev_bus = 0;
+    prev_inc = false;
+    started = false;
+    total = 0;
+  }
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let observe t address =
+  if address < 0 || address land lnot t.mask <> 0 then
+    invalid_arg "T0.observe: address wider than bus";
+  if not t.started then begin
+    t.prev_addr <- address;
+    t.prev_bus <- address;
+    t.prev_inc <- false;
+    t.started <- true
+  end
+  else begin
+    let sequential = address = t.prev_addr + t.stride in
+    let bus = if sequential then t.prev_bus else address in
+    let inc = sequential in
+    t.total <- t.total + popcount (bus lxor t.prev_bus);
+    if inc <> t.prev_inc then t.total <- t.total + 1;
+    t.prev_addr <- address;
+    t.prev_bus <- bus;
+    t.prev_inc <- inc
+  end
+
+let transitions t = t.total
+
+let count_stream ?width ?stride addresses =
+  let t = create ?width ?stride () in
+  Array.iter (observe t) addresses;
+  t.total
+
+let raw_count_stream ?width addresses =
+  Buscount.count_stream ?width addresses

@@ -1,0 +1,27 @@
+(** T0 address-bus encoding (Benini et al., 1997) — the sequential-address
+    baseline from the paper's related work.
+
+    Instruction addresses are mostly sequential; T0 adds a redundant INC
+    line.  When the next address is [previous + stride], the sender freezes
+    the address lines (zero transitions) and asserts INC; the receiver
+    increments locally.  Otherwise the raw address is driven with INC
+    deasserted.  INC-line transitions are charged to the total. *)
+
+type t
+
+(** [create ?width ?stride ()] models a [width]-line address bus (default
+    32) with word stride (default 1: addresses are word indices). *)
+val create : ?width:int -> ?stride:int -> unit -> t
+
+(** [observe t address] clocks the next fetch address. *)
+val observe : t -> int -> unit
+
+(** [transitions t] is the running total (address lines + INC line). *)
+val transitions : t -> int
+
+(** [count_stream ?width ?stride addresses] totals a whole trace. *)
+val count_stream : ?width:int -> ?stride:int -> int array -> int
+
+(** [raw_count_stream ?width addresses] is the unencoded binary address bus
+    total, for computing T0's savings. *)
+val raw_count_stream : ?width:int -> int array -> int

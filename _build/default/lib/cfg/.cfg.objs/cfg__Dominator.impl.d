@@ -1,0 +1,1 @@
+lib/cfg/dominator.ml: Array Block Fun Int List

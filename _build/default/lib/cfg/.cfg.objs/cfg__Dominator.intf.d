@@ -1,0 +1,1 @@
+lib/cfg/dominator.mli: Block

@@ -1,0 +1,1 @@
+lib/cfg/loop.ml: Array Block Dominator Format Hashtbl Int List Option String

@@ -1,0 +1,1 @@
+lib/cfg/profile.ml: Array Block Int Isa List Machine

@@ -1,0 +1,88 @@
+(* Dominator sets as bitsets packed in int arrays: dom.(b) is the set of
+   blocks dominating b.  The classic iterative data-flow algorithm:
+   dom(entry) = {entry}; dom(b) = {b} ∪ ⋂ dom(preds b); iterate to fixpoint. *)
+
+type bitset = int array
+
+type t = {
+  dom : bitset array;
+  reach : bool array;
+  n : int;
+}
+
+let words_for n = (n + 62) / 63
+
+let set bs i = bs.(i / 63) <- bs.(i / 63) lor (1 lsl (i mod 63))
+let mem bs i = bs.(i / 63) lsr (i mod 63) land 1 = 1
+let full n = Array.make (words_for n) (-1)
+let inter a b = Array.map2 ( land ) a b
+let equal_bs a b = Array.for_all2 Int.equal a b
+
+let compute blocks =
+  let n = Array.length blocks in
+  (* reachability first, so unreachable blocks don't poison the meet *)
+  let reach = Array.make n false in
+  let rec dfs b =
+    if not reach.(b) then begin
+      reach.(b) <- true;
+      List.iter dfs blocks.(b).Block.succs
+    end
+  in
+  dfs 0;
+  let dom = Array.init n (fun _ -> full n) in
+  let entry_only = Array.make (words_for n) 0 in
+  set entry_only 0;
+  dom.(0) <- entry_only;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun b blk ->
+        if b <> 0 && reach.(b) then begin
+          let reachable_preds =
+            List.filter (fun p -> reach.(p)) blk.Block.preds
+          in
+          let meet =
+            match reachable_preds with
+            | [] -> full n
+            | p :: ps ->
+                List.fold_left (fun acc q -> inter acc dom.(q)) dom.(p) ps
+          in
+          let updated = Array.copy meet in
+          set updated b;
+          if not (equal_bs updated dom.(b)) then begin
+            dom.(b) <- updated;
+            changed := true
+          end
+        end)
+      blocks
+  done;
+  { dom; reach; n }
+
+let check t b =
+  if b < 0 || b >= t.n then invalid_arg "Dominator: block index out of range"
+
+let dominates t ~dom ~sub =
+  check t dom;
+  check t sub;
+  mem t.dom.(sub) dom
+
+let dominators t b =
+  check t b;
+  List.filter (fun d -> mem t.dom.(b) d) (List.init t.n Fun.id)
+
+let reachable t b =
+  check t b;
+  t.reach.(b)
+
+let immediate t b =
+  check t b;
+  if b = 0 || not t.reach.(b) then None
+  else
+    (* The immediate dominator is the strict dominator dominated by every
+       other strict dominator. *)
+    let strict = List.filter (fun d -> d <> b) (dominators t b) in
+    List.find_opt
+      (fun d ->
+        List.for_all (fun d' -> d' = d || mem t.dom.(d) d') strict)
+      strict

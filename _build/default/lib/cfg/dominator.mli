@@ -1,0 +1,24 @@
+(** Dominator analysis over the block graph (iterative bitset algorithm).
+
+    Block [d] dominates block [b] when every path from the entry to [b]
+    passes through [d].  Unreachable blocks are dominated by every block by
+    convention and are reported by {!reachable}. *)
+
+type t
+
+(** [compute blocks] runs the analysis; entry is block 0. *)
+val compute : Block.t array -> t
+
+(** [dominates t ~dom ~sub] — does block [dom] dominate block [sub]? *)
+val dominates : t -> dom:int -> sub:int -> bool
+
+(** [dominators t b] lists the dominators of [b] in index order
+    (includes [b] itself). *)
+val dominators : t -> int -> int list
+
+(** [immediate t b] is the immediate dominator of [b]; [None] for the entry
+    and for unreachable blocks. *)
+val immediate : t -> int -> int option
+
+(** [reachable t b] — is [b] reachable from the entry? *)
+val reachable : t -> int -> bool

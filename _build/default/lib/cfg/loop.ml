@@ -1,0 +1,82 @@
+type t = {
+  header : int;
+  body : int list;
+  back_edges : (int * int) list;
+  depth : int;
+}
+
+let contains loop b = List.mem b loop.body
+
+(* Natural loop of back edge (latch, header): header plus everything that
+   reaches latch backwards without crossing header. *)
+let natural_body blocks ~header ~latch =
+  let in_loop = Hashtbl.create 16 in
+  Hashtbl.add in_loop header ();
+  let rec pull b =
+    if not (Hashtbl.mem in_loop b) then begin
+      Hashtbl.add in_loop b ();
+      List.iter pull blocks.(b).Block.preds
+    end
+  in
+  pull latch;
+  Hashtbl.fold (fun b () acc -> b :: acc) in_loop []
+  |> List.sort Int.compare
+
+let detect blocks doms =
+  let back_edges = ref [] in
+  Array.iter
+    (fun blk ->
+      List.iter
+        (fun succ ->
+          if
+            Dominator.reachable doms blk.Block.index
+            && Dominator.dominates doms ~dom:succ ~sub:blk.Block.index
+          then back_edges := (blk.Block.index, succ) :: !back_edges)
+        blk.Block.succs)
+    blocks;
+  (* Merge loops that share a header. *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (latch, header) ->
+      let existing =
+        Option.value (Hashtbl.find_opt by_header header) ~default:[]
+      in
+      Hashtbl.replace by_header header ((latch, header) :: existing))
+    !back_edges;
+  let loops =
+    Hashtbl.fold
+      (fun header edges acc ->
+        let body =
+          List.fold_left
+            (fun acc (latch, _) ->
+              List.sort_uniq Int.compare
+                (natural_body blocks ~header ~latch @ acc))
+            [] edges
+        in
+        { header; body; back_edges = List.sort compare edges; depth = 1 } :: acc)
+      by_header []
+  in
+  let loops = List.sort (fun a b -> Int.compare a.header b.header) loops in
+  (* Nesting depth: number of loops whose body contains this header. *)
+  List.map
+    (fun loop ->
+      let depth =
+        List.length (List.filter (fun outer -> contains outer loop.header) loops)
+      in
+      { loop with depth })
+    loops
+
+let innermost loops b =
+  loops
+  |> List.filter (fun loop -> contains loop b)
+  |> List.fold_left
+       (fun acc loop ->
+         match acc with
+         | None -> Some loop
+         | Some best -> if loop.depth > best.depth then Some loop else acc)
+       None
+
+let pp fmt loop =
+  Format.fprintf fmt "loop header=B%d depth=%d body={%s}" loop.header
+    loop.depth
+    (String.concat "," (List.map string_of_int loop.body))

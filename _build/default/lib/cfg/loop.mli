@@ -1,0 +1,24 @@
+(** Natural-loop detection.
+
+    A back edge is an edge [u -> h] where [h] dominates [u]; its natural
+    loop is [h] plus every block that can reach [u] without passing through
+    [h].  Loops sharing a header are merged, matching the usual definition
+    used when talking about "the application loop". *)
+
+type t = {
+  header : int;  (** loop header block index *)
+  body : int list;  (** all member blocks including the header, sorted *)
+  back_edges : (int * int) list;  (** [(latch, header)] pairs *)
+  depth : int;  (** nesting depth, outermost = 1 *)
+}
+
+(** [detect blocks doms] finds all natural loops, sorted by header index. *)
+val detect : Block.t array -> Dominator.t -> t list
+
+(** [innermost loops b] is the deepest loop containing block [b]. *)
+val innermost : t list -> int -> t option
+
+(** [contains loop b] — is block [b] in the loop body? *)
+val contains : t -> int -> bool
+
+val pp : Format.formatter -> t -> unit

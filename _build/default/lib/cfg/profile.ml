@@ -1,0 +1,36 @@
+type t = { counts : int array; total : int }
+
+let of_counts counts =
+  { counts = Array.copy counts; total = Array.fold_left ( + ) 0 counts }
+
+let collect ?max_instructions program =
+  let counts = Array.make (Isa.Program.length program) 0 in
+  let state = Machine.Cpu.create_state () in
+  let on_fetch ~pc = counts.(pc) <- counts.(pc) + 1 in
+  let result = Machine.Cpu.run ?max_instructions ~on_fetch program state in
+  (of_counts counts, result)
+
+let instruction_count t i = t.counts.(i)
+let block_weight t (b : Block.t) = t.counts.(b.start)
+
+let block_fetches t (b : Block.t) =
+  let sum = ref 0 in
+  for i = b.start to b.start + b.len - 1 do
+    sum := !sum + t.counts.(i)
+  done;
+  !sum
+
+let total t = t.total
+
+let hot_blocks t blocks =
+  Array.to_list blocks
+  |> List.filter (fun b -> block_fetches t b > 0)
+  |> List.stable_sort (fun a b -> Int.compare (block_fetches t b) (block_fetches t a))
+
+let coverage t subset =
+  if t.total = 0 then 0.0
+  else
+    let inside =
+      List.fold_left (fun acc b -> acc + block_fetches t b) 0 subset
+    in
+    float_of_int inside /. float_of_int t.total

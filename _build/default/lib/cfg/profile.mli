@@ -1,0 +1,37 @@
+(** Dynamic execution profiles.
+
+    The paper's flow analyses the application offline, pinpoints the major
+    loops and encodes only those; the profile supplies the block weights
+    that drive that selection. *)
+
+type t
+
+(** [collect ?max_instructions program] runs the program to completion on a
+    fresh machine state, counting fetches per instruction. *)
+val collect :
+  ?max_instructions:int -> Isa.Program.t -> t * Machine.Cpu.result
+
+(** [of_counts counts] wraps precollected per-instruction fetch counts. *)
+val of_counts : int array -> t
+
+(** [instruction_count t i] is the number of times instruction [i] was
+    fetched. *)
+val instruction_count : t -> int -> int
+
+(** [block_weight t block] is the execution count of the block (the fetch
+    count of its first instruction). *)
+val block_weight : t -> Block.t -> int
+
+(** [block_fetches t block] is the total fetches spent inside the block. *)
+val block_fetches : t -> Block.t -> int
+
+(** [total t] is the total dynamic instruction count. *)
+val total : t -> int
+
+(** [hot_blocks t blocks] sorts blocks by {!block_fetches}, hottest first;
+    never-executed blocks are dropped. *)
+val hot_blocks : t -> Block.t array -> Block.t list
+
+(** [coverage t blocks subset] is the fraction of all fetches spent in
+    [subset] — how much of the run the encoded region captures. *)
+val coverage : t -> Block.t list -> float

@@ -1,0 +1,1 @@
+lib/core/blockword.ml: Array Boolfun Fun Hashtbl List

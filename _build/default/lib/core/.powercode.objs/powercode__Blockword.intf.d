@@ -1,0 +1,1 @@
+lib/core/blockword.mli: Boolfun

@@ -1,0 +1,1 @@
+lib/core/boolfun.ml: Format Int List

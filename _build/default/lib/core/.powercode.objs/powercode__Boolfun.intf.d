@@ -1,0 +1,1 @@
+lib/core/boolfun.mli: Format

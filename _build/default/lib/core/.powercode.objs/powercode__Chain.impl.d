@@ -1,0 +1,1 @@
+lib/core/chain.ml: Array Bitutil Boolfun Codetable List

@@ -1,0 +1,1 @@
+lib/core/codetable.ml: Array Blockword Boolfun Hashtbl List Solver

@@ -1,0 +1,1 @@
+lib/core/program_encoder.ml: Array Bitutil Boolfun Chain Int List Subset

@@ -1,0 +1,1 @@
+lib/core/program_encoder.mli: Bitutil Boolfun

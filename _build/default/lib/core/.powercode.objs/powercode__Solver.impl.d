@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Blockword Boolfun Format List String

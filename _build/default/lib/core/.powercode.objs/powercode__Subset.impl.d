@@ -1,0 +1,1 @@
+lib/core/subset.ml: Array Blockword Boolfun Hashtbl List Solver

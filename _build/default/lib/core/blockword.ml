@@ -1,0 +1,64 @@
+let check_k k =
+  if k < 1 || k > 30 then invalid_arg "Blockword: block size not in 1..30"
+
+let check_word ~k w =
+  if w < 0 || w lsr k <> 0 then invalid_arg "Blockword: word wider than k"
+
+let transitions ~k w =
+  check_k k;
+  check_word ~k w;
+  let flips = (w lxor (w lsr 1)) land ((1 lsl (k - 1)) - 1) in
+  let rec pop x acc = if x = 0 then acc else pop (x lsr 1) (acc + (x land 1)) in
+  pop flips 0
+
+(* consistent.(slot).(v): mask of functions whose truth-table bit [slot]
+   equals [v], where slot = 2x + y. *)
+let consistent =
+  Array.init 4 (fun slot ->
+      Array.init 2 (fun v ->
+          List.fold_left
+            (fun m f ->
+              if f lsr slot land 1 = v then m lor (1 lsl f) else m)
+            0
+            (List.init 16 Fun.id)))
+
+let tau_mask ~k ~word ~code =
+  check_k k;
+  check_word ~k word;
+  check_word ~k code;
+  let bit w i = w lsr i land 1 in
+  let mask = ref Boolfun.full_mask in
+  for i = 1 to k - 1 do
+    let history = if i = 1 then bit code 0 else bit word (i - 1) in
+    let slot = (2 * bit code i) + history in
+    mask := !mask land consistent.(slot).(bit word i)
+  done;
+  !mask
+
+let tau_mask_standalone ~k ~word ~code =
+  if (word lxor code) land 1 <> 0 then 0 else tau_mask ~k ~word ~code
+
+let decode ~k ~tau ~code ~seed_original =
+  check_k k;
+  check_word ~k code;
+  let bit w i = w lsr i land 1 <> 0 in
+  let word = ref (if seed_original then 1 else 0) in
+  for i = 1 to k - 1 do
+    let history = if i = 1 then bit code 0 else bit !word (i - 1) in
+    let v = Boolfun.apply tau (bit code i) history in
+    if v then word := !word lor (1 lsl i)
+  done;
+  !word
+
+let by_transitions_cache : (int, int array) Hashtbl.t = Hashtbl.create 8
+
+let codewords_by_transitions k =
+  check_k k;
+  match Hashtbl.find_opt by_transitions_cache k with
+  | Some a -> a
+  | None ->
+      let words = Array.init (1 lsl k) Fun.id in
+      let key w = (transitions ~k w, w) in
+      Array.sort (fun a b -> compare (key a) (key b)) words;
+      Hashtbl.add by_transitions_cache k words;
+      words

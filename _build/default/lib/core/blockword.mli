@@ -1,0 +1,41 @@
+(** Constraint systems over k-bit block words.
+
+    Block words are integers: bit [i] is the bit at stream position [i]
+    within the block, bit 0 being the {e earliest} bit (rendered rightmost,
+    as in the paper's tables).  A candidate code word [code] decodes to the
+    original [word] under transformation [tau] when the defining equations
+    hold:
+
+    - position 1: [word.(1) = tau (code.(1), code.(0))] — the history for the
+      first link is the {e stored} value of the block's first bit (for a
+      standalone block this equals the original since the first bit passes
+      through; for a chained block it is the overlap bit fixed by the
+      previous block);
+    - position [i >= 2]: [word.(i) = tau (code.(i), word.(i-1))] — history is
+      the previously {e decoded original} bit. *)
+
+(** [transitions ~k w] is the number of adjacent bit flips in the [k]-bit
+    word [w].  Raises [Invalid_argument] if [k] is not in [1..30] or [w] has
+    bits beyond [k]. *)
+val transitions : k:int -> int -> int
+
+(** [tau_mask ~k ~word ~code] is the {!Boolfun} mask of every transformation
+    consistent with all the defining equations above (the first-bit equation
+    is {e not} included; see {!tau_mask_standalone}). *)
+val tau_mask : k:int -> word:int -> code:int -> int
+
+(** [tau_mask_standalone ~k ~word ~code] additionally requires the first-bit
+    pass-through [code.(0) = word.(0)]; the mask is [0] when violated. *)
+val tau_mask_standalone : k:int -> word:int -> code:int -> int
+
+(** [decode ~k ~tau ~code ~seed_original] runs the decoder equations over a
+    [k]-bit code block whose first bit decodes to [seed_original] (for a
+    standalone block pass [seed_original = code.(0) bit]): returns the
+    original word.  Position 0 of the result is [seed_original]; the
+    remaining bits follow the equations with history seeded from the stored
+    first bit. *)
+val decode : k:int -> tau:Boolfun.t -> code:int -> seed_original:bool -> int
+
+(** [codewords_by_transitions k] lists all [2^k] words ordered by increasing
+    transition count (ties in increasing numeric order); memoized per [k]. *)
+val codewords_by_transitions : int -> int array

@@ -1,0 +1,65 @@
+type t = int (* truth-table index 0..15; bit (2x + y) is the value at (x,y) *)
+
+let of_index i =
+  if i < 0 || i > 15 then invalid_arg "Boolfun.of_index: not in 0..15";
+  i
+
+let index f = f
+
+let apply f x y =
+  let slot = (if x then 2 else 0) + if y then 1 else 0 in
+  f lsr slot land 1 = 1
+
+let all = List.init 16 (fun i -> i)
+
+(* Truth-table indices: value at (x,y) occupies bit (2x + y), so the table
+   reads [f(1,1) f(1,0) f(0,1) f(0,0)] from bit 3 down to bit 0. *)
+let identity = 0b1100    (* x *)
+let inversion = 0b0011   (* !x *)
+let history = 0b1010     (* y *)
+let not_history = 0b0101 (* !y *)
+let xor = 0b0110
+let xnor = 0b1001
+let nor = 0b0001
+let nand = 0b0111
+let and_ = 0b1000
+let or_ = 0b1110
+
+let name f =
+  match f with
+  | 0b0000 -> "0"
+  | 0b0001 -> "!(x|y)"
+  | 0b0010 -> "!x&y"
+  | 0b0011 -> "!x"
+  | 0b0100 -> "x&!y"
+  | 0b0101 -> "!y"
+  | 0b0110 -> "x^y"
+  | 0b0111 -> "!(x&y)"
+  | 0b1000 -> "x&y"
+  | 0b1001 -> "!(x^y)"
+  | 0b1010 -> "y"
+  | 0b1011 -> "!(x&!y)"
+  | 0b1100 -> "x"
+  | 0b1101 -> "!(!x&y)"
+  | 0b1110 -> "x|y"
+  | 0b1111 -> "1"
+  | _ -> invalid_arg "Boolfun.name"
+
+(* dual f (x,y) = not (f (not x, not y)): complement the table and reverse
+   the slot order (slot (2x+y) maps to slot (2(1-x)+(1-y)) = 3-(2x+y)). *)
+let dual f =
+  let bit slot = f lsr slot land 1 in
+  let flipped slot = 1 - bit (3 - slot) in
+  flipped 0 lor (flipped 1 lsl 1) lor (flipped 2 lsl 2) lor (flipped 3 lsl 3)
+
+let equal = Int.equal
+let compare = Int.compare
+let pp fmt f = Format.pp_print_string fmt (name f)
+
+let mask_of_list fs = List.fold_left (fun m f -> m lor (1 lsl f)) 0 fs
+
+let list_of_mask m =
+  List.filter (fun f -> m lsr f land 1 = 1) all
+
+let mask_mem f m = m lsr f land 1 = 1
+let full_mask = 0xffff

@@ -1,0 +1,155 @@
+module Bitvec = Bitutil.Bitvec
+
+type encoded = { code : Bitvec.t; taus : Boolfun.t array; k : int }
+
+let check_k k =
+  if k < 2 || k > 16 then invalid_arg "Chain: block size not in 2..16"
+
+let block_count ~n ~k =
+  check_k k;
+  if n <= 0 then 0
+  else if n <= k then 1
+  else 1 + (((n - k) + (k - 2)) / (k - 1))
+
+(* Block start positions: 0, k-1, 2(k-1), ...; each block spans up to k bits
+   from its start, the first bit being shared with the previous block. *)
+let block_spans ~n ~k =
+  let rec go start acc =
+    if start >= n - 1 && start > 0 then List.rev acc
+    else
+      let len = min k (n - start) in
+      let next = start + len - 1 in
+      let acc = (start, len) :: acc in
+      if next >= n - 1 then List.rev acc else go next acc
+  in
+  if n = 0 then [] else go 0 []
+
+let subword stream ~pos ~len =
+  let w = ref 0 in
+  for i = len - 1 downto 0 do
+    w := (!w lsl 1) lor (if Bitvec.get stream (pos + i) then 1 else 0)
+  done;
+  !w
+
+let blit_code code ~pos ~len value =
+  let c = ref code in
+  for i = 0 to len - 1 do
+    c := Bitvec.set !c (pos + i) (value lsr i land 1 = 1)
+  done;
+  !c
+
+let encode_greedy ?(subset_mask = Boolfun.full_mask) ~k stream =
+  check_k k;
+  let n = Bitvec.length stream in
+  let spans = block_spans ~n ~k in
+  let code = ref (Bitvec.create n) in
+  let taus = ref [] in
+  let encode_block (start, len) =
+    let table = Codetable.get ~subset_mask ~k:len () in
+    let word = subword stream ~pos:start ~len in
+    let choice =
+      if start = 0 then Codetable.standalone table ~word
+      else
+        let b_in = Bitvec.get !code start in
+        Codetable.chained_best table ~b_in ~word
+    in
+    code := blit_code !code ~pos:start ~len choice.Codetable.code;
+    taus := choice.Codetable.tau :: !taus
+  in
+  List.iter encode_block spans;
+  { code = !code; taus = Array.of_list (List.rev !taus); k }
+
+let encode_optimal ?(subset_mask = Boolfun.full_mask) ~k stream =
+  check_k k;
+  let n = Bitvec.length stream in
+  let spans = Array.of_list (block_spans ~n ~k) in
+  let blocks = Array.length spans in
+  if blocks = 0 then { code = Bitvec.create 0; taus = [||]; k }
+  else begin
+    (* dp.(j).(b): minimal transitions of blocks 0..j-1 with boundary bit
+       (last encoded bit of block j-1) equal to b; parent choice records the
+       (code, tau) of block j-1 that achieved it. *)
+    let infinity_cost = max_int / 2 in
+    let dp = Array.make_matrix (blocks + 1) 2 infinity_cost in
+    let parent = Array.make_matrix (blocks + 1) 2 None in
+    let start0, len0 = spans.(0) in
+    let word0 = subword stream ~pos:start0 ~len:len0 in
+    let table0 = Codetable.get ~subset_mask ~k:len0 () in
+    (* Block 0: standalone — enumerate feasible codes grouped by out bit. *)
+    for b_out = 0 to 1 do
+      let first_bit = word0 land 1 in
+      (* standalone = chained with b_in equal to the original first bit *)
+      match
+        Codetable.chained_best_out table0 ~b_in:(first_bit = 1) ~word:word0
+          ~b_out:(b_out = 1)
+      with
+      | None -> ()
+      | Some c ->
+          if c.Codetable.cost < dp.(1).(b_out) then begin
+            dp.(1).(b_out) <- c.Codetable.cost;
+            parent.(1).(b_out) <- Some (c, 0)
+          end
+    done;
+    for j = 1 to blocks - 1 do
+      let start, len = spans.(j) in
+      let word = subword stream ~pos:start ~len in
+      let table = Codetable.get ~subset_mask ~k:len () in
+      for b_in = 0 to 1 do
+        if dp.(j).(b_in) < infinity_cost then
+          for b_out = 0 to 1 do
+            match
+              Codetable.chained_best_out table ~b_in:(b_in = 1) ~word
+                ~b_out:(b_out = 1)
+            with
+            | None -> ()
+            | Some c ->
+                let total = dp.(j).(b_in) + c.Codetable.cost in
+                if total < dp.(j + 1).(b_out) then begin
+                  dp.(j + 1).(b_out) <- total;
+                  parent.(j + 1).(b_out) <- Some (c, b_in)
+                end
+          done
+      done
+    done;
+    let final = if dp.(blocks).(0) <= dp.(blocks).(1) then 0 else 1 in
+    assert (dp.(blocks).(final) < infinity_cost);
+    let code = ref (Bitvec.create n) in
+    let taus = Array.make blocks Boolfun.identity in
+    let rec rebuild j b =
+      if j = 0 then ()
+      else
+        match parent.(j).(b) with
+        | None -> assert false
+        | Some (c, b_prev) ->
+            let start, len = spans.(j - 1) in
+            code := blit_code !code ~pos:start ~len c.Codetable.code;
+            taus.(j - 1) <- c.Codetable.tau;
+            rebuild (j - 1) b_prev
+    in
+    rebuild blocks final;
+    { code = !code; taus; k }
+  end
+
+let decode { code; taus; k } =
+  let n = Bitvec.length code in
+  let spans = block_spans ~n ~k in
+  let original = ref (Bitvec.create n) in
+  List.iteri
+    (fun j (start, len) ->
+      let tau = taus.(j) in
+      if start = 0 && len >= 1 then
+        original := Bitvec.set !original 0 (Bitvec.get code 0);
+      for i = 1 to len - 1 do
+        let pos = start + i in
+        let history =
+          if i = 1 then Bitvec.get code start
+          else Bitvec.get !original (pos - 1)
+        in
+        let v = Boolfun.apply tau (Bitvec.get code pos) history in
+        original := Bitvec.set !original pos v
+      done)
+    spans;
+  !original
+
+let transitions_saved ~original ~encoded =
+  Bitvec.transitions original - Bitvec.transitions encoded.code

@@ -1,0 +1,86 @@
+type totals = {
+  h : int;
+  k : int;
+  ttn : int;
+  rtn : int;
+  improvement_pct : float;
+}
+
+let check_params ~h ~k =
+  if h < 1 || h > 3 then invalid_arg "Multihistory: h not in 1..3";
+  if k < 1 || k > 16 then invalid_arg "Multihistory: k not in 1..16"
+
+let bit w i = w lsr i land 1
+
+(* History bit j in 1..h at position i: original bit (i-j), replicating bit 0
+   before the block start. *)
+let history_bits ~h ~word ~i =
+  let acc = ref 0 in
+  for j = 1 to h do
+    let src = max 0 (i - j) in
+    acc := (!acc lsl 1) lor bit word src
+  done;
+  !acc
+
+(* Slot constraints as two bitmasks over the 2^(h+1) truth-table slots:
+   slots required 0 and slots required 1; feasible iff disjoint. *)
+let constraints ~h ~k ~word ~code =
+  if bit word 0 <> bit code 0 then None
+  else begin
+    let want0 = ref 0 and want1 = ref 0 in
+    let ok = ref true in
+    for i = 1 to k - 1 do
+      let slot = (bit code i lsl h) lor history_bits ~h ~word ~i in
+      let v = bit word i in
+      if v = 1 then want1 := !want1 lor (1 lsl slot)
+      else want0 := !want0 lor (1 lsl slot)
+    done;
+    if !want0 land !want1 <> 0 then ok := false;
+    if !ok then Some (!want0, !want1) else None
+  end
+
+let solve_table ~h ~k ~word ~code =
+  check_params ~h ~k;
+  match constraints ~h ~k ~word ~code with
+  | None -> None
+  | Some (_, want1) -> Some want1
+
+let decode ~h ~k ~table ~code =
+  check_params ~h ~k;
+  let word = ref (bit code 0) in
+  for i = 1 to k - 1 do
+    let slot = (bit code i lsl h) lor history_bits ~h ~word:!word ~i in
+    let v = table lsr slot land 1 in
+    word := !word lor (v lsl i)
+  done;
+  !word
+
+let solve ~h ~k word =
+  check_params ~h ~k;
+  let candidates = Blockword.codewords_by_transitions k in
+  let rec scan i =
+    if i >= Array.length candidates then assert false
+    else
+      let code = candidates.(i) in
+      match constraints ~h ~k ~word ~code with
+      | Some _ -> code
+      | None -> scan (i + 1)
+  in
+  scan 0
+
+let totals ~h ~k =
+  check_params ~h ~k;
+  let ttn = ref 0 and rtn = ref 0 in
+  for word = 0 to (1 lsl k) - 1 do
+    ttn := !ttn + Blockword.transitions ~k word;
+    rtn := !rtn + Blockword.transitions ~k (solve ~h ~k word)
+  done;
+  let improvement_pct =
+    if !ttn = 0 then 0.0
+    else 100.0 *. (1.0 -. (float_of_int !rtn /. float_of_int !ttn))
+  in
+  { h; k; ttn = !ttn; rtn = !rtn; improvement_pct }
+
+let pp_totals fmt t =
+  Format.fprintf fmt "h=%d k=%d TTN=%d RTN=%d improvement=%.1f%%" t.h t.k
+    t.ttn t.rtn t.improvement_pct

@@ -1,0 +1,41 @@
+(** Longer-history transformations (the paper's §5.1 generalisation).
+
+    The paper formulates [x_n = tau (x~_n, x_{n-1}, ..., x_{n-h})] and then
+    restricts to [h = 1].  This module explores the rest of the design
+    space: with [h] history bits a transformation is a boolean function of
+    [h+1] inputs ([2^(2^(h+1))] candidates — 16 for h=1, 256 for h=2,
+    65536 for h=3), and the standalone-block solver generalises directly:
+    a code word is feasible for a word when the slot constraints it induces
+    on the truth table are conflict-free.
+
+    Histories reaching before the block's first bit replicate bit 0 (which
+    for a standalone block is also the stored first bit), so [h = 1] here
+    coincides exactly with {!Solver}. *)
+
+type totals = {
+  h : int;
+  k : int;
+  ttn : int;
+  rtn : int;
+  improvement_pct : float;
+}
+
+(** [solve ~h ~k word] is a minimum-transition feasible code word for
+    [word] under [h]-bit history ([h] in 1..3, [k] in 1..16).  Determinism:
+    codes are scanned by increasing transitions, ties numerically. *)
+val solve : h:int -> k:int -> int -> int
+
+(** [decode ~h ~k ~table ~code] runs the decoder equations with truth table
+    [table] (bit [x * 2^h + history] is the output); exposed for round-trip
+    tests together with {!solve_table}. *)
+val decode : h:int -> k:int -> table:int -> code:int -> int
+
+(** [solve_table ~h ~k ~word ~code] is a truth table mapping [code] to
+    [word], when one exists (unconstrained slots default to 0). *)
+val solve_table : h:int -> k:int -> word:int -> code:int -> int option
+
+(** [totals ~h ~k] sums original and optimal-code transitions over all
+    [2^k] words — the Figure 3 generalisation. *)
+val totals : h:int -> k:int -> totals
+
+val pp_totals : Format.formatter -> totals -> unit

@@ -1,0 +1,121 @@
+module Bitvec = Bitutil.Bitvec
+module Bitmat = Bitutil.Bitmat
+
+type config = {
+  k : int;
+  subset_mask : int;
+  tt_capacity : int;
+  optimal_chain : bool;
+}
+
+let default_config ?(k = 5) () =
+  {
+    k;
+    subset_mask = Subset.paper_eight_mask;
+    tt_capacity = 16;
+    optimal_chain = false;
+  }
+
+type tt_entry = { taus : Boolfun.t array; is_end : bool; count : int }
+
+type block_encoding = { encoded : Bitmat.t; entries : tt_entry array }
+
+let entries_needed ~k ~rows = Chain.block_count ~n:rows ~k
+
+let encode_block config m =
+  let width = Bitmat.width m in
+  let rows = Bitmat.rows m in
+  let encode =
+    if config.optimal_chain then Chain.encode_optimal else Chain.encode_greedy
+  in
+  let per_line =
+    Array.init width (fun b ->
+        encode ~subset_mask:config.subset_mask ~k:config.k (Bitmat.column m b))
+  in
+  let encoded =
+    Bitmat.of_columns (Array.map (fun e -> e.Chain.code) per_line)
+  in
+  let blocks = entries_needed ~k:config.k ~rows in
+  let entries =
+    Array.init blocks (fun j ->
+        let taus = Array.map (fun e -> e.Chain.taus.(j)) per_line in
+        let is_end = j = blocks - 1 in
+        let count =
+          (* Entry 0 covers the pass-through head plus k-1 more rows; later
+             entries cover the rows after their overlap instruction. *)
+          if j = 0 then min config.k rows
+          else
+            let start = j * (config.k - 1) in
+            min (config.k - 1) (rows - 1 - start)
+        in
+        { taus; is_end; count })
+  in
+  { encoded; entries }
+
+let decode_block ~k ~entries m =
+  let width = Bitmat.width m in
+  let rows = Bitmat.rows m in
+  let columns =
+    Array.init width (fun b ->
+        let taus = Array.map (fun e -> e.taus.(b)) entries in
+        Chain.decode { Chain.code = Bitmat.column m b; taus; k })
+  in
+  ignore rows;
+  Bitmat.of_columns columns
+
+type candidate = { start_index : int; body : Bitmat.t; weight : int }
+
+type placement = {
+  cand : candidate;
+  encoding : block_encoding option;
+  tt_base : int;
+}
+
+type plan = { config : config; placements : placement list; tt_used : int }
+
+let plan config candidates =
+  let hot_first =
+    List.stable_sort
+      (fun a b ->
+        match Int.compare b.weight a.weight with
+        | 0 -> Int.compare a.start_index b.start_index
+        | c -> c)
+      candidates
+  in
+  let used = ref 0 in
+  let placements =
+    List.map
+      (fun cand ->
+        let rows = Bitmat.rows cand.body in
+        let avail = config.tt_capacity - !used in
+        let need = if rows >= 2 then entries_needed ~k:config.k ~rows else 0 in
+        let entries = min need avail in
+        (* A block too long for the remaining table is covered partially:
+           the E/CT delimiters stop decoding after the encoded prefix and
+           the tail stays verbatim in memory. *)
+        let covered_rows =
+          if entries = need then rows
+          else if entries < 1 then 0
+          else config.k + ((entries - 1) * (config.k - 1))
+        in
+        if rows < 2 || cand.weight = 0 || covered_rows < 2 then
+          { cand; encoding = None; tt_base = -1 }
+        else begin
+          let base = !used in
+          used := !used + entries;
+          let body =
+            if covered_rows = rows then cand.body
+            else
+              Bitmat.of_words ~width:(Bitmat.width cand.body)
+                (Array.sub (Bitmat.words cand.body) 0 covered_rows)
+          in
+          { cand; encoding = Some (encode_block config body); tt_base = base }
+        end)
+      hot_first
+  in
+  let placements =
+    List.stable_sort
+      (fun a b -> Int.compare a.cand.start_index b.cand.start_index)
+      placements
+  in
+  { config; placements; tt_used = !used }

@@ -1,0 +1,77 @@
+type entry = {
+  word : int;
+  code : int;
+  tau : Boolfun.t;
+  tau_mask : int;
+  word_transitions : int;
+  code_transitions : int;
+}
+
+(* Deterministic transformation choice: the paper's tables consistently pick
+   the "named" functions, so prefer them in a fixed order before falling
+   back to truth-table order. *)
+let preference =
+  Boolfun.
+    [identity; inversion; not_history; xor; xnor; nor; nand; history]
+  @ Boolfun.all
+
+let choose_tau mask =
+  match List.find_opt (fun f -> Boolfun.mask_mem f mask) preference with
+  | Some f -> f
+  | None -> invalid_arg "Solver.choose_tau: empty mask"
+
+let require_identity subset_mask =
+  if not (Boolfun.mask_mem Boolfun.identity subset_mask) then
+    invalid_arg "Solver: subset must contain the identity transformation"
+
+let solve ?(subset_mask = Boolfun.full_mask) ~k word =
+  require_identity subset_mask;
+  let candidates = Blockword.codewords_by_transitions k in
+  let rec scan i =
+    if i >= Array.length candidates then
+      (* Unreachable: the identity maps every word to itself. *)
+      assert false
+    else
+      let code = candidates.(i) in
+      let mask =
+        Blockword.tau_mask_standalone ~k ~word ~code land subset_mask
+      in
+      if mask = 0 then scan (i + 1)
+      else
+        {
+          word;
+          code;
+          tau = choose_tau mask;
+          tau_mask = mask;
+          word_transitions = Blockword.transitions ~k word;
+          code_transitions = Blockword.transitions ~k code;
+        }
+  in
+  scan 0
+
+let table ?subset_mask ~k () =
+  Array.init (1 lsl k) (fun word -> solve ?subset_mask ~k word)
+
+type totals = { k : int; ttn : int; rtn : int; improvement_pct : float }
+
+let totals ?subset_mask ~k () =
+  let entries = table ?subset_mask ~k () in
+  let ttn = Array.fold_left (fun s e -> s + e.word_transitions) 0 entries in
+  let rtn = Array.fold_left (fun s e -> s + e.code_transitions) 0 entries in
+  let improvement_pct =
+    if ttn = 0 then 0.0
+    else 100.0 *. (1.0 -. (float_of_int rtn /. float_of_int ttn))
+  in
+  { k; ttn; rtn; improvement_pct }
+
+let binary ~k w =
+  String.init k (fun i -> if w lsr (k - 1 - i) land 1 = 1 then '1' else '0')
+
+let pp_entry ~k fmt e =
+  Format.fprintf fmt "%s -> %s  %-7s Tx=%d Tc=%d" (binary ~k e.word)
+    (binary ~k e.code) (Boolfun.name e.tau) e.word_transitions
+    e.code_transitions
+
+let pp_totals fmt t =
+  Format.fprintf fmt "k=%d TTN=%d RTN=%d improvement=%.1f%%" t.k t.ttn t.rtn
+    t.improvement_pct

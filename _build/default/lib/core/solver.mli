@@ -1,0 +1,47 @@
+(** Optimal standalone power codes for fixed block sizes.
+
+    For every [k]-bit block word the solver finds a code word with the
+    minimum possible number of bit transitions that maps back to the
+    original under a single transformation, subject to the first-bit
+    pass-through.  This regenerates the paper's Figure 2 ([k = 3]),
+    Figure 4 ([k = 5], restricted transformation set) and Figure 3
+    (total/reduced transition numbers for [k = 2..7]). *)
+
+type entry = {
+  word : int;  (** original block word *)
+  code : int;  (** chosen minimum-transition code word *)
+  tau : Boolfun.t;  (** chosen transformation *)
+  tau_mask : int;  (** every transformation consistent with (word, code) *)
+  word_transitions : int;  (** [T_x] in the paper's tables *)
+  code_transitions : int;  (** [T_x~] in the paper's tables *)
+}
+
+(** [solve ?subset_mask ~k word] is the optimal entry for [word].  Code
+    words are scanned in order of increasing transitions (ties numerically),
+    and the transformation is chosen by a fixed preference order (identity
+    first), making the result deterministic.  [subset_mask] restricts the
+    admissible transformations (default: all 16).  The identity always
+    yields a feasible solution, so [code_transitions <= word_transitions].
+    Raises [Invalid_argument] if [subset_mask] omits the identity. *)
+val solve : ?subset_mask:int -> k:int -> int -> entry
+
+(** [table ?subset_mask ~k ()] is [solve] applied to all [2^k] words in
+    numeric order. *)
+val table : ?subset_mask:int -> k:int -> unit -> entry array
+
+type totals = {
+  k : int;
+  ttn : int;  (** total transition number over all [2^k] originals *)
+  rtn : int;  (** reduced transition number over the chosen codes *)
+  improvement_pct : float;  (** [100 * (1 - rtn/ttn)] *)
+}
+
+(** [totals ?subset_mask ~k ()] sums a {!table} — the Figure 3 generator.
+    The closed form [ttn = (k-1) * 2^(k-1)] always holds. *)
+val totals : ?subset_mask:int -> k:int -> unit -> totals
+
+(** [pp_entry ~k] prints one table row as
+    ["XXX -> CCC  tau  Tx=.. Tc=.."] with [k]-bit binary renderings. *)
+val pp_entry : k:int -> Format.formatter -> entry -> unit
+
+val pp_totals : Format.formatter -> totals -> unit

@@ -1,0 +1,46 @@
+(** Minimal transformation subsets (paper §5.2).
+
+    The paper reports that a unique subset of eight transformations achieves
+    the globally optimal (16-function) encoding for every block size up to
+    seven, allowing 3-bit transformation indices in the hardware tables.
+    This module derives that subset from first principles rather than
+    hard-coding it. *)
+
+(** [requirements ~kmax] is, for every block size [2..kmax] and every block
+    word, the mask of transformations appearing in {e some} optimal
+    (minimum-transition) code assignment for that word.  A subset preserves
+    global optimality iff it intersects every returned mask.  Duplicate
+    masks are removed. *)
+val requirements : kmax:int -> int list
+
+(** [all_minimal ~kmax] lists every smallest-cardinality transformation
+    subset (as masks) preserving per-word optimality for all block sizes up
+    to [kmax], in increasing mask order. *)
+val all_minimal : kmax:int -> int list
+
+(** [canonical ()] is the minimal subset for [kmax = 7], preferring (in
+    order) subsets containing the identity, subsets closed under
+    {!Boolfun.dual}, and the numerically smallest mask.  Memoized.
+
+    Measured result: the minimum has {e six} members —
+    [x], [!x], [x^y], [!(x^y)], [!(x|y)], [!(x&y)] — and is unique at that
+    size; the paper's eight-function claim is sufficient but not minimal
+    (see EXPERIMENTS.md). *)
+val canonical : unit -> Boolfun.t list
+
+(** [paper_eight] is the fixed eight-transformation set named by the paper
+    (§5.2): identity, inversion, [y], [!y], XOR, XNOR, NOR, NAND.  It is a
+    superset of {!canonical}, closed under {!Boolfun.dual}, and is what the
+    hardware's 3-bit transformation indices address. *)
+val paper_eight : Boolfun.t list
+
+(** [paper_eight_mask] is {!paper_eight} as a mask. *)
+val paper_eight_mask : int
+
+(** [canonical_mask ()] is [canonical ()] as a mask. *)
+val canonical_mask : unit -> int
+
+(** [achieves_per_word_optimal ~subset_mask ~k] checks that restricting the
+    solver to [subset_mask] yields, for {e every} [k]-bit word, a code with
+    exactly as few transitions as the unrestricted optimum. *)
+val achieves_per_word_optimal : subset_mask:int -> k:int -> bool

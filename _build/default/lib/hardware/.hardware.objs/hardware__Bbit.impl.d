@@ -1,0 +1,1 @@
+lib/hardware/bbit.ml: Array Fun Hashtbl List

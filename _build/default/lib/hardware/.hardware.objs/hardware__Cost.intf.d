@@ -1,0 +1,1 @@
+lib/hardware/cost.mli: Format

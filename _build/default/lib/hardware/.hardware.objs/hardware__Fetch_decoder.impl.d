@@ -1,0 +1,1 @@
+lib/hardware/fetch_decoder.ml: Array Bbit Powercode Printf Tt

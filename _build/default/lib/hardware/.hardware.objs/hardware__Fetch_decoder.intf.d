@@ -1,0 +1,1 @@
+lib/hardware/fetch_decoder.mli: Bbit Tt

@@ -1,0 +1,1 @@
+lib/hardware/firmware.ml: Array Bbit Buffer Fetch_decoder Isa List Powercode Printf Reprogram String Tt

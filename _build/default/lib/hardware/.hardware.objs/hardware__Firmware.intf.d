@@ -1,0 +1,1 @@
+lib/hardware/firmware.mli: Isa Reprogram

@@ -1,0 +1,1 @@
+lib/hardware/peripheral.ml: Array Bbit Isa List Machine Printf Reprogram Tt

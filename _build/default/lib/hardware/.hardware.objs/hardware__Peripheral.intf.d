@@ -1,0 +1,1 @@
+lib/hardware/peripheral.mli: Bbit Isa Machine Reprogram Tt

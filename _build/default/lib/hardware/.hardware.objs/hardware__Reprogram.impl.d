@@ -1,0 +1,1 @@
+lib/hardware/reprogram.ml: Array Bbit Bitutil Fetch_decoder Isa List Powercode Printf Tt

@@ -1,0 +1,1 @@
+lib/hardware/reprogram.mli: Bbit Fetch_decoder Isa Powercode Tt

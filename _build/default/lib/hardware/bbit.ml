@@ -1,0 +1,44 @@
+type entry = { pc : int; tt_base : int }
+
+type t = {
+  capacity : int;
+  slots : entry option array;
+  (* pc -> tt_base, the associative match the hardware does in parallel *)
+  index : (int, int) Hashtbl.t;
+  mutable writes : int;
+}
+
+let create ?(capacity = 16) () =
+  if capacity < 1 then invalid_arg "Bbit.create: empty table";
+  {
+    capacity;
+    slots = Array.make capacity None;
+    index = Hashtbl.create 16;
+    writes = 0;
+  }
+
+let capacity t = t.capacity
+
+let write t ~slot entry =
+  if slot < 0 || slot >= t.capacity then
+    invalid_arg "Bbit.write: slot out of capacity";
+  if Hashtbl.mem t.index entry.pc then
+    invalid_arg "Bbit.write: duplicate block PC";
+  (match t.slots.(slot) with
+  | Some old -> Hashtbl.remove t.index old.pc
+  | None -> ());
+  t.slots.(slot) <- Some entry;
+  Hashtbl.replace t.index entry.pc entry.tt_base;
+  t.writes <- t.writes + 1
+
+let load t entries = List.iteri (fun slot e -> write t ~slot e) entries
+
+let lookup t ~pc = Hashtbl.find_opt t.index pc
+
+let entries t =
+  Array.to_list t.slots |> List.filter_map Fun.id
+
+let writes_performed t = t.writes
+
+let storage_bits t ~pc_bits ~tt_index_bits =
+  t.capacity * (pc_bits + tt_index_bits)

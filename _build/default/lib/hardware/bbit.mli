@@ -1,0 +1,35 @@
+(** The Basic Block Identification Table (paper §7.2, Figure 5b).
+
+    One entry per encoded basic block: the PC of its first instruction and
+    the index of its first Transformation Table entry.  The fetch engine
+    consults it on every fetch address (a small fully-associative match,
+    like a micro-TLB); a hit starts decoding with the named TT entry. *)
+
+type entry = { pc : int; tt_base : int }
+
+type t
+
+(** [create ?capacity ()] — the paper sizes this "in the range of 10";
+    default 16. *)
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** [write t ~slot entry] programs one entry (a peripheral write).
+    Raises [Invalid_argument] out of capacity or on duplicate [pc]. *)
+val write : t -> slot:int -> entry -> unit
+
+(** [load t entries] programs consecutive slots from 0. *)
+val load : t -> entry list -> unit
+
+(** [lookup t ~pc] is the TT base for a block starting at [pc], if any. *)
+val lookup : t -> pc:int -> int option
+
+(** [entries t] lists programmed entries by slot. *)
+val entries : t -> entry list
+
+(** [writes_performed t] counts {!write} operations. *)
+val writes_performed : t -> int
+
+(** [storage_bits t ~pc_bits ~tt_index_bits] is the SRAM cost. *)
+val storage_bits : t -> pc_bits:int -> tt_index_bits:int -> int

@@ -1,0 +1,47 @@
+type report = {
+  k : int;
+  tt_entries : int;
+  bus_width : int;
+  fn_count : int;
+  fn_index_bits : int;
+  ct_bits : int;
+  tt_bits : int;
+  bbit_entries : int;
+  bbit_bits : int;
+  decode_gate_count : int;
+  mux_inputs_per_line : int;
+  max_instructions_covered : int;
+}
+
+let bits_for n =
+  let rec go v acc = if v <= 1 then acc else go ((v + 1) / 2) (acc + 1) in
+  max 1 (go n 0)
+
+let report ?(bus_width = 32) ?(bbit_entries = 16) ?(pc_bits = 16) ~k
+    ~tt_entries ~fn_count () =
+  if k < 2 then invalid_arg "Cost.report: k < 2";
+  let fn_index_bits = bits_for fn_count in
+  let ct_bits = bits_for k in
+  let tt_index_bits = bits_for tt_entries in
+  {
+    k;
+    tt_entries;
+    bus_width;
+    fn_count;
+    fn_index_bits;
+    ct_bits;
+    tt_bits = tt_entries * ((bus_width * fn_index_bits) + 1 + ct_bits);
+    bbit_entries;
+    bbit_bits = bbit_entries * (pc_bits + tt_index_bits);
+    (* one gate of each supported kind per line, muxed by the index *)
+    decode_gate_count = bus_width * fn_count;
+    mux_inputs_per_line = fn_count;
+    max_instructions_covered = k + ((tt_entries - 1) * (k - 1));
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "k=%d TT=%d entries (%d bits) BBIT=%d entries (%d bits) gates=%d \
+     mux=%d:1 covers<=%d insns"
+    r.k r.tt_entries r.tt_bits r.bbit_entries r.bbit_bits
+    r.decode_gate_count r.mux_inputs_per_line r.max_instructions_covered

@@ -1,0 +1,37 @@
+(** Hardware overhead estimates (paper §7.2).
+
+    The paper argues the support hardware is frugal: two tiny SRAM arrays
+    plus one two-input gate per bus line selected by a small mux.  This
+    module produces the concrete numbers for a given configuration so the
+    area/block-size trade-off discussion can be reproduced quantitatively. *)
+
+type report = {
+  k : int;
+  tt_entries : int;
+  bus_width : int;
+  fn_count : int;  (** decode gates per line *)
+  fn_index_bits : int;
+  ct_bits : int;
+  tt_bits : int;  (** TT SRAM bits *)
+  bbit_entries : int;
+  bbit_bits : int;  (** BBIT SRAM bits *)
+  decode_gate_count : int;  (** two-input gates on the restore path *)
+  mux_inputs_per_line : int;
+  max_instructions_covered : int;  (** with full TT and one block *)
+}
+
+(** [report ?bus_width ?bbit_entries ?pc_bits ~k ~tt_entries ~fn_count ()]
+    computes the full overhead sheet.  [max_instructions_covered] uses the
+    true one-bit-overlap arithmetic [k + (entries-1) * (k-1)] — the paper's
+    §7.2 multiplication overstates it (documented in EXPERIMENTS.md). *)
+val report :
+  ?bus_width:int ->
+  ?bbit_entries:int ->
+  ?pc_bits:int ->
+  k:int ->
+  tt_entries:int ->
+  fn_count:int ->
+  unit ->
+  report
+
+val pp : Format.formatter -> report -> unit

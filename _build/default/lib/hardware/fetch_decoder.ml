@@ -1,0 +1,117 @@
+type t = {
+  tt : Tt.t;
+  bbit : Bbit.t;
+  k : int;
+  image : int array;
+  width : int;
+  (* sequencing state *)
+  mutable is_active : bool;
+  mutable entry_idx : int;
+  mutable decodes_left : int;
+  mutable first_of_entry : bool;
+  mutable expected_pc : int;
+  (* per-line history registers, packed as words *)
+  mutable prev_stored : int;
+  mutable prev_decoded : int;
+}
+
+exception Decode_error of string
+
+let create ~tt ~bbit ~k ~image () =
+  if k < 2 then invalid_arg "Fetch_decoder.create: k < 2";
+  {
+    tt;
+    bbit;
+    k;
+    image;
+    width = 32;
+    is_active = false;
+    entry_idx = 0;
+    decodes_left = 0;
+    first_of_entry = false;
+    expected_pc = -1;
+    prev_stored = 0;
+    prev_decoded = 0;
+  }
+
+let reset t =
+  t.is_active <- false;
+  t.entry_idx <- 0;
+  t.decodes_left <- 0;
+  t.first_of_entry <- false;
+  t.expected_pc <- -1
+
+let active t = t.is_active
+
+let deactivate t = reset t
+
+(* Apply the per-line gates of the current TT entry. *)
+let decode_word t stored =
+  let entry = Tt.read t.tt t.entry_idx in
+  let history_word = if t.first_of_entry then t.prev_stored else t.prev_decoded in
+  let out = ref 0 in
+  let fns = Tt.functions t.tt in
+  for line = 0 to t.width - 1 do
+    let s = stored lsr line land 1 = 1 in
+    let h = history_word lsr line land 1 = 1 in
+    let f = fns.(entry.Tt.tau_indices.(line)) in
+    if Powercode.Boolfun.apply f s h then out := !out lor (1 lsl line)
+  done;
+  !out
+
+let advance_entry t =
+  let entry = Tt.read t.tt t.entry_idx in
+  t.decodes_left <- t.decodes_left - 1;
+  if t.decodes_left = 0 then
+    if entry.Tt.e_bit then deactivate t
+    else begin
+      t.entry_idx <- t.entry_idx + 1;
+      let next = Tt.read t.tt t.entry_idx in
+      t.decodes_left <- next.Tt.ct;
+      t.first_of_entry <- true
+    end
+  else t.first_of_entry <- false
+
+let fetch t ~pc =
+  if pc < 0 || pc >= Array.length t.image then
+    raise (Decode_error (Printf.sprintf "fetch outside image: %d" pc));
+  let stored = t.image.(pc) in
+  match Bbit.lookup t.bbit ~pc with
+  | Some tt_base ->
+      if t.is_active then
+        raise (Decode_error "entered an encoded block while decoding another");
+      (* Head instruction: stored verbatim; prime the sequencing state. *)
+      let head_entry = Tt.read t.tt tt_base in
+      t.is_active <- true;
+      t.entry_idx <- tt_base;
+      (* The head consumes one of entry 0's CT count. *)
+      t.decodes_left <- head_entry.Tt.ct - 1;
+      t.first_of_entry <- true;
+      t.expected_pc <- pc + 1;
+      t.prev_stored <- stored;
+      t.prev_decoded <- stored;
+      if t.decodes_left = 0 then
+        if head_entry.Tt.e_bit then deactivate t
+        else begin
+          t.entry_idx <- t.entry_idx + 1;
+          let next = Tt.read t.tt t.entry_idx in
+          t.decodes_left <- next.Tt.ct;
+          t.first_of_entry <- true
+        end;
+      (stored, stored)
+  | None ->
+      if not t.is_active then (stored, stored)
+      else begin
+        if pc <> t.expected_pc then
+          raise
+            (Decode_error
+               (Printf.sprintf "non-sequential fetch %d inside encoded block (expected %d)"
+                  pc t.expected_pc));
+        let decoded = decode_word t stored in
+        t.expected_pc <- pc + 1;
+        let prev_stored = stored and prev_decoded = decoded in
+        advance_entry t;
+        t.prev_stored <- prev_stored;
+        t.prev_decoded <- prev_decoded;
+        (stored, decoded)
+      end

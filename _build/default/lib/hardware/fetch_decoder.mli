@@ -1,0 +1,32 @@
+(** The fetch-side decode path: BBIT match, TT sequencing via the E/CT
+    delimiters, one two-input decode gate per bus line, and the one-bit
+    history register per line (seeded from the {e stored} overlap bit at
+    every code-block boundary, per §6).
+
+    The decoder sits between the instruction store (holding the encoded
+    image) and the pipeline: each fetch returns both the word that toggled
+    the bus (the stored word) and the restored original instruction word.
+    Any disagreement between the restored word and the true program is a
+    hardware-model bug, surfaced by the integration harness. *)
+
+type t
+
+exception Decode_error of string
+
+(** [create ~tt ~bbit ~k ~image ()] — [image] is the stored instruction
+    memory (encoded regions patched in); [k] the code block size the TT
+    entries were generated for. *)
+val create :
+  tt:Tt.t -> bbit:Bbit.t -> k:int -> image:int array -> unit -> t
+
+(** [fetch t ~pc] is [(bus_word, decoded_word)] for the instruction at
+    [pc].  Raises {!Decode_error} if the fetch sequence violates the
+    decoder's invariants (e.g. a branch into the middle of an encoded
+    block, which the encoder guarantees cannot happen). *)
+val fetch : t -> pc:int -> int * int
+
+(** [reset t] clears the sequencing state (a new activation of the loop). *)
+val reset : t -> unit
+
+(** [active t] — is the decoder currently inside an encoded block? *)
+val active : t -> bool

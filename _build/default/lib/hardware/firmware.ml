@@ -1,0 +1,130 @@
+exception Parse_error of string
+
+let fail message = raise (Parse_error message)
+
+let to_string (system : Reprogram.system) =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "POWERCODE-FIRMWARE v1";
+  line "k %d" system.Reprogram.k;
+  let functions = Tt.functions system.Reprogram.tt in
+  line "functions %d" (Array.length functions);
+  Array.iter
+    (fun f -> line "%d" (Powercode.Boolfun.index f))
+    functions;
+  line "image %d" (Array.length system.Reprogram.image);
+  Array.iter (fun w -> line "%08x" w) system.Reprogram.image;
+  let entries = Tt.programmed system.Reprogram.tt in
+  line "tt %d" (List.length entries);
+  List.iter
+    (fun (index, (e : Tt.entry)) ->
+      let taus =
+        String.concat ""
+          (Array.to_list (Array.map (Printf.sprintf "%x") e.Tt.tau_indices))
+      in
+      line "%d %d %d %s" index (if e.Tt.e_bit then 1 else 0) e.Tt.ct taus)
+    entries;
+  let bbit_entries = Bbit.entries system.Reprogram.bbit in
+  line "bbit %d" (List.length bbit_entries);
+  List.iter
+    (fun (e : Bbit.entry) -> line "%d %d" e.Bbit.pc e.Bbit.tt_base)
+    bbit_entries;
+  line "end";
+  Buffer.contents b
+
+type cursor = { mutable lines : string list; mutable lineno : int }
+
+let next cur =
+  match cur.lines with
+  | [] -> fail "unexpected end of file"
+  | l :: rest ->
+      cur.lines <- rest;
+      cur.lineno <- cur.lineno + 1;
+      String.trim l
+
+let expect_kv cur key =
+  let l = next cur in
+  match String.split_on_char ' ' l with
+  | [ k; v ] when k = key -> (
+      match int_of_string_opt v with
+      | Some n -> n
+      | None -> fail (Printf.sprintf "line %d: bad %s count" cur.lineno key))
+  | _ -> fail (Printf.sprintf "line %d: expected '%s <n>'" cur.lineno key)
+
+let of_string text =
+  let cur =
+    { lines = String.split_on_char '\n' text; lineno = 0 }
+  in
+  if next cur <> "POWERCODE-FIRMWARE v1" then fail "bad magic";
+  let k = expect_kv cur "k" in
+  let nfn = expect_kv cur "functions" in
+  let functions =
+    Array.init nfn (fun _ ->
+        match int_of_string_opt (next cur) with
+        | Some i when i >= 0 && i <= 15 -> Powercode.Boolfun.of_index i
+        | Some _ | None ->
+            fail (Printf.sprintf "line %d: bad function index" cur.lineno))
+  in
+  let nimg = expect_kv cur "image" in
+  let image =
+    Array.init nimg (fun _ ->
+        match int_of_string_opt ("0x" ^ next cur) with
+        | Some w when w >= 0 && w <= 0xffffffff -> w
+        | Some _ | None ->
+            fail (Printf.sprintf "line %d: bad image word" cur.lineno))
+  in
+  let ntt = expect_kv cur "tt" in
+  let tt = Tt.create ~capacity:(max 16 ntt) ~functions () in
+  for _ = 1 to ntt do
+    let l = next cur in
+    match String.split_on_char ' ' l with
+    | [ index; e; ct; taus ] when String.length taus = 32 ->
+        let tau_indices =
+          Array.init 32 (fun i ->
+              match int_of_string_opt (Printf.sprintf "0x%c" taus.[i]) with
+              | Some v -> v
+              | None -> fail (Printf.sprintf "line %d: bad gate index" cur.lineno))
+        in
+        let get name v =
+          match int_of_string_opt v with
+          | Some n -> n
+          | None -> fail (Printf.sprintf "line %d: bad %s" cur.lineno name)
+        in
+        Tt.write tt ~index:(get "index" index)
+          {
+            Tt.tau_indices;
+            e_bit = get "E" e = 1;
+            ct = get "CT" ct;
+          }
+    | _ -> fail (Printf.sprintf "line %d: bad tt entry" cur.lineno)
+  done;
+  let nbb = expect_kv cur "bbit" in
+  let bbit = Bbit.create ~capacity:(max 16 nbb) () in
+  for slot = 0 to nbb - 1 do
+    let l = next cur in
+    match String.split_on_char ' ' l with
+    | [ pc; base ] -> (
+        match (int_of_string_opt pc, int_of_string_opt base) with
+        | Some pc, Some tt_base -> Bbit.write bbit ~slot { Bbit.pc; tt_base }
+        | _ -> fail (Printf.sprintf "line %d: bad bbit entry" cur.lineno))
+    | _ -> fail (Printf.sprintf "line %d: bad bbit entry" cur.lineno)
+  done;
+  if next cur <> "end" then fail "missing end marker";
+  { Reprogram.tt; bbit; image; k }
+
+let restore_program (system : Reprogram.system) =
+  let decoder = Fetch_decoder.create ~tt:system.Reprogram.tt
+      ~bbit:system.Reprogram.bbit ~k:system.Reprogram.k
+      ~image:system.Reprogram.image ()
+  in
+  (* Walk the image in address order.  Encoded regions start at BBIT PCs
+     and the decoder's E/CT sequencing ends them; everything else passes
+     through.  Sequential order is exactly what the decoder expects within
+     a region, and bypass fetches do not disturb its state. *)
+  let n = Array.length system.Reprogram.image in
+  let words =
+    Array.init n (fun pc ->
+        let _bus, decoded = Fetch_decoder.fetch decoder ~pc in
+        decoded)
+  in
+  Isa.Program.of_insns (Isa.Word.decode_program words)

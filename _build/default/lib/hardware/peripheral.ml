@@ -1,0 +1,128 @@
+type t = {
+  tt : Tt.t;
+  bbit : Bbit.t;
+  (* staged registers *)
+  mutable tt_index : int;
+  tau_words : int array;  (* 4 words x 8 lines x 4-bit indices *)
+  mutable bbit_slot : int;
+  mutable bbit_pc : int;
+}
+
+let reg_tt_index = 0x00
+let reg_tt_tau0 = 0x04
+let reg_tt_ctrl = 0x14
+let reg_bbit_slot = 0x18
+let reg_bbit_pc = 0x1c
+let reg_bbit_base = 0x20
+let window_bytes = 0x24
+
+let create ~tt ~bbit =
+  {
+    tt;
+    bbit;
+    tt_index = 0;
+    tau_words = Array.make 4 0;
+    bbit_slot = 0;
+    bbit_pc = 0;
+  }
+
+let tt t = t.tt
+let bbit t = t.bbit
+
+let unpack_taus tau_words =
+  Array.init 32 (fun line ->
+      tau_words.(line / 8) lsr (4 * (line mod 8)) land 0xf)
+
+let store t ~offset ~value =
+  if offset = reg_tt_index then t.tt_index <- value
+  else if offset >= reg_tt_tau0 && offset < reg_tt_tau0 + 16 && offset land 3 = 0
+  then t.tau_words.((offset - reg_tt_tau0) / 4) <- value
+  else if offset = reg_tt_ctrl then
+    Tt.write t.tt ~index:t.tt_index
+      {
+        Tt.tau_indices = unpack_taus t.tau_words;
+        e_bit = value land 1 = 1;
+        ct = value lsr 8;
+      }
+  else if offset = reg_bbit_slot then t.bbit_slot <- value
+  else if offset = reg_bbit_pc then t.bbit_pc <- value
+  else if offset = reg_bbit_base then
+    Bbit.write t.bbit ~slot:t.bbit_slot { Bbit.pc = t.bbit_pc; tt_base = value }
+  else invalid_arg (Printf.sprintf "Peripheral: bad register offset 0x%x" offset)
+
+let load t ~offset =
+  if offset = reg_tt_index then t.tt_index
+  else if offset >= reg_tt_tau0 && offset < reg_tt_tau0 + 16 && offset land 3 = 0
+  then t.tau_words.((offset - reg_tt_tau0) / 4)
+  else if offset = reg_bbit_slot then t.bbit_slot
+  else if offset = reg_bbit_pc then t.bbit_pc
+  else if offset = reg_tt_ctrl || offset = reg_bbit_base then 0
+  else invalid_arg (Printf.sprintf "Peripheral: bad register offset 0x%x" offset)
+
+let default_base = 0x4000_0000
+
+let mmio ?(base = default_base) t =
+  {
+    Machine.Cpu.base;
+    size = window_bytes;
+    mmio_store = (fun ~offset ~value -> store t ~offset ~value);
+    mmio_load = (fun ~offset -> load t ~offset);
+  }
+
+let pack_taus tau_indices =
+  let words = Array.make 4 0 in
+  Array.iteri
+    (fun line idx ->
+      if idx < 0 || idx > 0xf then
+        invalid_arg "Peripheral: gate index exceeds 4 bits";
+      words.(line / 8) <- words.(line / 8) lor (idx lsl (4 * (line mod 8))))
+    tau_indices;
+  words
+
+let script_of_system (system : Reprogram.system) =
+  let script = ref [] in
+  let push offset value = script := (offset, value) :: !script in
+  List.iter
+    (fun (index, (e : Tt.entry)) ->
+      if e.Tt.ct lsl 8 > 0x7fffffff then
+        invalid_arg "Peripheral: CT exceeds the CTRL field";
+      push reg_tt_index index;
+      Array.iteri
+        (fun w v -> push (reg_tt_tau0 + (4 * w)) v)
+        (pack_taus e.Tt.tau_indices);
+      push reg_tt_ctrl ((e.Tt.ct lsl 8) lor (if e.Tt.e_bit then 1 else 0)))
+    (Tt.programmed system.Reprogram.tt);
+  List.iteri
+    (fun slot (e : Bbit.entry) ->
+      push reg_bbit_slot slot;
+      push reg_bbit_pc e.Bbit.pc;
+      push reg_bbit_base e.Bbit.tt_base)
+    (Bbit.entries system.Reprogram.bbit);
+  List.rev !script
+
+let loader_program ?(base = default_base) script =
+  let li rd v =
+    if v >= -0x8000 && v <= 0x7fff then
+      [ Isa.Sym.Op (Isa.Insn.Addiu (rd, Isa.Reg.zero, v)) ]
+    else
+      let v32 = v land 0xffffffff in
+      let hi = v32 lsr 16 land 0xffff in
+      let lo = v32 land 0xffff in
+      Isa.Sym.Op (Isa.Insn.Lui (rd, hi))
+      :: (if lo = 0 then [] else [ Isa.Sym.Op (Isa.Insn.Ori (rd, rd, lo)) ])
+  in
+  let writes =
+    List.concat_map
+      (fun (offset, value) ->
+        li Isa.Reg.t0 value
+        @ li Isa.Reg.t1 (base + offset)
+        @ [ Isa.Sym.Op (Isa.Insn.Sw (Isa.Reg.t0, 0, Isa.Reg.t1)) ])
+      script
+  in
+  let exit_ =
+    [
+      Isa.Sym.Op (Isa.Insn.Addiu (Isa.Reg.v0, Isa.Reg.zero, 10));
+      Isa.Sym.Op Isa.Insn.Syscall;
+    ]
+  in
+  Isa.Program.of_items (writes @ exit_)

@@ -1,0 +1,44 @@
+(** The programming port (paper §7.1, second deployment alternative).
+
+    "The tables containing the power transformation information can be
+    accessed as a memory of a special peripheral device … written … by a
+    set of instructions inserted within the application code and executed
+    just prior to entering the loop."
+
+    Register map (word offsets from the window base):
+    {v
+      0x00  TT_INDEX    entry to program (staged)
+      0x04  TT_TAU0     4-bit gate indices for bus lines 0..7
+      0x08  TT_TAU1     lines 8..15
+      0x0C  TT_TAU2     lines 16..23
+      0x10  TT_TAU3     lines 24..31
+      0x14  TT_CTRL     bit 0 = E, bits 8.. = CT; writing commits the entry
+      0x18  BBIT_SLOT   slot to program (staged)
+      0x1C  BBIT_PC     block head PC (staged)
+      0x20  BBIT_BASE   TT base index; writing commits the entry
+    v}
+
+    Reads return the staged values ([TT_CTRL]/[BBIT_BASE] read 0). *)
+
+type t
+
+(** [create ~tt ~bbit] wraps fresh tables behind the port. *)
+val create : tt:Tt.t -> bbit:Bbit.t -> t
+
+val tt : t -> Tt.t
+val bbit : t -> Bbit.t
+
+(** [mmio ?base t] is the CPU window (default base [0x4000_0000], safely
+    above any data memory this project creates). *)
+val mmio : ?base:int -> t -> Machine.Cpu.mmio
+
+(** [script_of_system system] is the (offset, value) write sequence that
+    programs equivalent tables through the port — what the inserted
+    instructions would execute.  Raises [Invalid_argument] if an entry's
+    CT exceeds the CTRL field or a gate index exceeds 4 bits. *)
+val script_of_system : Reprogram.system -> (int * int) list
+
+(** [loader_program ?base script] is an assembly program that performs the
+    writes with [sw] instructions and exits — runnable on the simulator
+    with this peripheral mapped. *)
+val loader_program : ?base:int -> (int * int) list -> Isa.Program.t

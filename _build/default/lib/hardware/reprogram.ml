@@ -1,0 +1,53 @@
+type system = { tt : Tt.t; bbit : Bbit.t; image : int array; k : int }
+
+exception Does_not_fit of string
+
+let build ?(tt_capacity = 16) ?(bbit_capacity = 16) ?functions program plan =
+  let config = plan.Powercode.Program_encoder.config in
+  let placements = plan.Powercode.Program_encoder.placements in
+  if plan.Powercode.Program_encoder.tt_used > tt_capacity then
+    raise
+      (Does_not_fit
+         (Printf.sprintf "plan uses %d TT entries, hardware has %d"
+            plan.Powercode.Program_encoder.tt_used tt_capacity));
+  let encoded_placements =
+    List.filter
+      (fun p -> p.Powercode.Program_encoder.encoding <> None)
+      placements
+  in
+  if List.length encoded_placements > bbit_capacity then
+    raise
+      (Does_not_fit
+         (Printf.sprintf "plan encodes %d blocks, BBIT has %d entries"
+            (List.length encoded_placements)
+            bbit_capacity));
+  let tt = Tt.create ~capacity:tt_capacity ?functions () in
+  let bbit = Bbit.create ~capacity:bbit_capacity () in
+  let image = Array.copy (Isa.Program.words program) in
+  List.iter
+    (fun p ->
+      match p.Powercode.Program_encoder.encoding with
+      | None -> ()
+      | Some enc ->
+          let start = p.Powercode.Program_encoder.cand.start_index in
+          let words = Bitutil.Bitmat.words enc.Powercode.Program_encoder.encoded in
+          Array.blit words 0 image start (Array.length words);
+          Tt.load tt ~base:p.Powercode.Program_encoder.tt_base
+            enc.Powercode.Program_encoder.entries)
+    placements;
+  Bbit.load bbit
+    (List.map
+       (fun p ->
+         {
+           Bbit.pc = p.Powercode.Program_encoder.cand.start_index;
+           tt_base = p.Powercode.Program_encoder.tt_base;
+         })
+       encoded_placements);
+  { tt; bbit; image; k = config.Powercode.Program_encoder.k }
+
+let decoder system =
+  Fetch_decoder.create ~tt:system.tt ~bbit:system.bbit ~k:system.k
+    ~image:system.image ()
+
+let programming_writes system =
+  Tt.writes_performed system.tt + Bbit.writes_performed system.bbit

@@ -1,0 +1,35 @@
+(** Assembling and (re)programming a complete decode system from an
+    encoding plan — the paper's two deployment modes: tables loaded
+    together with the firmware image, or written by software through a
+    peripheral interface just before entering the hot loop. *)
+
+type system = {
+  tt : Tt.t;
+  bbit : Bbit.t;
+  image : int array;  (** stored instruction memory: encoded regions patched *)
+  k : int;
+}
+
+exception Does_not_fit of string
+
+(** [build ?tt_capacity ?bbit_capacity ?functions program plan] lays the
+    plan onto concrete hardware: patches the encoded regions into the
+    program's binary image, loads the TT entries at each placement's base
+    and fills the BBIT.  Raises {!Does_not_fit} when the plan needs more
+    table space than the hardware has, and [Invalid_argument] if a planned
+    transformation is not a supported gate. *)
+val build :
+  ?tt_capacity:int ->
+  ?bbit_capacity:int ->
+  ?functions:Powercode.Boolfun.t array ->
+  Isa.Program.t ->
+  Powercode.Program_encoder.plan ->
+  system
+
+(** [decoder system] is a fresh fetch-side decoder over the system. *)
+val decoder : system -> Fetch_decoder.t
+
+(** [programming_writes system] is the total number of peripheral writes
+    used to program both tables — the volume of the software-reprogramming
+    traffic executed before entering the loop. *)
+val programming_writes : system -> int

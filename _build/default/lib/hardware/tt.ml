@@ -1,0 +1,85 @@
+type entry = { tau_indices : int array; e_bit : bool; ct : int }
+
+type t = {
+  capacity : int;
+  functions : Powercode.Boolfun.t array;
+  slots : entry option array;
+  mutable writes : int;
+}
+
+let create ?(capacity = 16) ?functions () =
+  let functions =
+    match functions with
+    | Some fs -> fs
+    | None -> Array.of_list (Powercode.Subset.paper_eight)
+  in
+  if capacity < 1 then invalid_arg "Tt.create: empty table";
+  if
+    not
+      (Array.exists
+         (fun f -> Powercode.Boolfun.equal f Powercode.Boolfun.identity)
+         functions)
+  then invalid_arg "Tt.create: identity gate is mandatory";
+  { capacity; functions; slots = Array.make capacity None; writes = 0 }
+
+let capacity t = t.capacity
+let functions t = Array.copy t.functions
+
+let fn_index_bits t =
+  let n = Array.length t.functions in
+  let rec bits v acc = if v <= 1 then acc else bits ((v + 1) / 2) (acc + 1) in
+  max 1 (bits n 0)
+
+let write t ~index entry =
+  if index < 0 || index >= t.capacity then
+    invalid_arg "Tt.write: index out of capacity";
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= Array.length t.functions then
+        invalid_arg "Tt.write: function index out of range")
+    entry.tau_indices;
+  if entry.ct < 0 then invalid_arg "Tt.write: negative CT";
+  t.slots.(index) <- Some entry;
+  t.writes <- t.writes + 1
+
+let read t index =
+  if index < 0 || index >= t.capacity then
+    invalid_arg "Tt.read: index out of capacity";
+  match t.slots.(index) with
+  | Some e -> e
+  | None -> invalid_arg "Tt.read: entry never programmed"
+
+let index_of_function t f =
+  let found = ref (-1) in
+  Array.iteri
+    (fun i g -> if !found < 0 && Powercode.Boolfun.equal f g then found := i)
+    t.functions;
+  if !found < 0 then
+    invalid_arg
+      ("Tt.load: transformation " ^ Powercode.Boolfun.name f
+     ^ " is not a supported decode gate");
+  !found
+
+let load t ~base entries =
+  Array.iteri
+    (fun j (e : Powercode.Program_encoder.tt_entry) ->
+      let tau_indices = Array.map (index_of_function t) e.taus in
+      write t ~index:(base + j)
+        { tau_indices; e_bit = e.is_end; ct = e.count })
+    entries
+
+let tau t ~index ~line =
+  let e = read t index in
+  t.functions.(e.tau_indices.(line))
+
+let writes_performed t = t.writes
+
+let programmed t =
+  let out = ref [] in
+  Array.iteri
+    (fun i slot -> match slot with Some e -> out := (i, e) :: !out | None -> ())
+    t.slots;
+  List.rev !out
+
+let storage_bits t ~width ~ct_bits =
+  t.capacity * ((width * fn_index_bits t) + 1 + ct_bits)

@@ -1,0 +1,56 @@
+(** The Transformation Table (paper §7.2, Figure 5a).
+
+    A small SRAM array; each entry holds, per bus line, a compact index
+    selecting one of the supported decode gates, plus the end-of-block
+    delimiter [E] and the tail counter [CT].  The set of supported gates is
+    a hardware parameter (the paper uses eight, hence 3-bit indices). *)
+
+type entry = {
+  tau_indices : int array;  (** per line, an index into {!functions} *)
+  e_bit : bool;
+  ct : int;
+}
+
+type t
+
+(** [create ?capacity ?functions ()] — [capacity] defaults to the paper's
+    16 entries; [functions] to {!Powercode.Subset.paper_eight} in list
+    order.  Raises [Invalid_argument] if the identity is missing. *)
+val create : ?capacity:int -> ?functions:Powercode.Boolfun.t array -> unit -> t
+
+val capacity : t -> int
+val functions : t -> Powercode.Boolfun.t array
+
+(** [fn_index_bits t] is [ceil (log2 (Array.length functions))]. *)
+val fn_index_bits : t -> int
+
+(** [write t ~index entry] programs one entry (a peripheral write).
+    Raises [Invalid_argument] when out of capacity or when an index does
+    not address a supported function. *)
+val write : t -> index:int -> entry -> unit
+
+(** [read t index] is the programmed entry.
+    Raises [Invalid_argument] when out of range or never written. *)
+val read : t -> int -> entry
+
+(** [load t ~base entries] converts encoder output (concrete
+    transformations) to indices and writes consecutive entries from
+    [base].  Raises [Invalid_argument] if a transformation is not a
+    supported gate — the hardware physically cannot decode it. *)
+val load : t -> base:int -> Powercode.Program_encoder.tt_entry array -> unit
+
+(** [tau t ~index ~line] is the decode gate entry [index] selects for
+    [line]. *)
+val tau : t -> index:int -> line:int -> Powercode.Boolfun.t
+
+(** [writes_performed t] counts {!write} operations since creation — the
+    volume of the software reprogramming traffic. *)
+val writes_performed : t -> int
+
+(** [programmed t] lists the written entries as [(index, entry)], in index
+    order. *)
+val programmed : t -> (int * entry) list
+
+(** [storage_bits t ~width ~ct_bits] is the SRAM cost in bits:
+    [capacity * (width * fn_index_bits + 1 + ct_bits)]. *)
+val storage_bits : t -> width:int -> ct_bits:int -> int

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Insn List Program Reg String Sym

@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Array Buffer Hashtbl Insn List Printf Program Reg

@@ -1,0 +1,1 @@
+lib/isa/sym.ml: Array Hashtbl Insn Int List Reg

@@ -1,0 +1,1 @@
+lib/isa/sym.mli: Insn Reg

@@ -1,0 +1,65 @@
+let target_of insns i =
+  let insn = insns.(i) in
+  match Insn.branch_offset insn with
+  | Some off -> Some (i + 1 + off)
+  | None -> Insn.jump_target insn
+
+(* label name per target index: prefer the program's own labels *)
+let label_map p =
+  let insns = Program.insns p in
+  let names = Hashtbl.create 16 in
+  List.iter (fun (name, i) -> Hashtbl.replace names i name) (Program.labels p);
+  Array.iteri
+    (fun i _ ->
+      match target_of insns i with
+      | Some t when not (Hashtbl.mem names t) ->
+          Hashtbl.replace names t (Printf.sprintf "L%d" t)
+      | Some _ | None -> ())
+    insns;
+  names
+
+let render names insns i =
+  let insn = insns.(i) in
+  let label t =
+    match Hashtbl.find_opt names t with
+    | Some name -> name
+    | None -> Printf.sprintf "L%d" t
+  in
+  let r = Reg.name in
+  match insn with
+  | Insn.Beq (s, t, off) ->
+      Printf.sprintf "beq %s, %s, %s" (r s) (r t) (label (i + 1 + off))
+  | Insn.Bne (s, t, off) ->
+      Printf.sprintf "bne %s, %s, %s" (r s) (r t) (label (i + 1 + off))
+  | Insn.Blez (s, off) -> Printf.sprintf "blez %s, %s" (r s) (label (i + 1 + off))
+  | Insn.Bgtz (s, off) -> Printf.sprintf "bgtz %s, %s" (r s) (label (i + 1 + off))
+  | Insn.Bltz (s, off) -> Printf.sprintf "bltz %s, %s" (r s) (label (i + 1 + off))
+  | Insn.Bgez (s, off) -> Printf.sprintf "bgez %s, %s" (r s) (label (i + 1 + off))
+  | Insn.Bc1t off -> Printf.sprintf "bc1t %s" (label (i + 1 + off))
+  | Insn.Bc1f off -> Printf.sprintf "bc1f %s" (label (i + 1 + off))
+  | Insn.J t -> Printf.sprintf "j %s" (label t)
+  | Insn.Jal t -> Printf.sprintf "jal %s" (label t)
+  | other -> Insn.to_string other
+
+let line p index =
+  let insns = Program.insns p in
+  if index < 0 || index >= Array.length insns then
+    invalid_arg "Disasm.line: index out of range";
+  render (label_map p) insns index
+
+let to_source p =
+  let insns = Program.insns p in
+  let names = label_map p in
+  let buffer = Buffer.create 1024 in
+  Array.iteri
+    (fun i _ ->
+      (match Hashtbl.find_opt names i with
+      | Some name -> Buffer.add_string buffer (name ^ ":\n")
+      | None -> ());
+      Buffer.add_string buffer ("  " ^ render names insns i ^ "\n"))
+    insns;
+  (* a branch may target one past the last instruction *)
+  (match Hashtbl.find_opt names (Array.length insns) with
+  | Some name -> Buffer.add_string buffer (name ^ ":\n")
+  | None -> ());
+  Buffer.contents buffer

@@ -1,0 +1,13 @@
+(** Disassembly back to assemblable source.
+
+    Reconstructs symbolic labels at every control-flow target so that the
+    emitted text round-trips: [Asm.assemble (to_source p)] produces the same
+    binary words as [p].  Known labels from the program are preferred;
+    synthetic ones are ["L<index>"]. *)
+
+(** [to_source p] is assembler text for the whole program. *)
+val to_source : Program.t -> string
+
+(** [line p index] is the rendered instruction at [index] with its target
+    shown symbolically (no label definitions). *)
+val line : Program.t -> int -> string

@@ -1,0 +1,34 @@
+type t = {
+  insns : Insn.t array;
+  words : int array;
+  labels : (string * int) list;
+}
+
+let of_insns insns =
+  { insns; words = Word.encode_program insns; labels = [] }
+
+let of_items items =
+  let insns, labels = Sym.resolve items in
+  { insns; words = Word.encode_program insns; labels }
+
+let insns p = p.insns
+let words p = p.words
+let length p = Array.length p.insns
+let labels p = p.labels
+
+let label_at p index =
+  List.find_map (fun (n, i) -> if i = index then Some n else None) p.labels
+
+let address_of p name =
+  match List.assoc_opt name p.labels with
+  | Some i -> i
+  | None -> raise Not_found
+
+let pp fmt p =
+  Array.iteri
+    (fun i insn ->
+      (match label_at p i with
+      | Some l -> Format.fprintf fmt "%s:@." l
+      | None -> ());
+      Format.fprintf fmt "  %4d: %08x  %a@." i p.words.(i) Insn.pp insn)
+    p.insns

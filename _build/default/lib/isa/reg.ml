@@ -1,0 +1,85 @@
+type t = int
+type f = int
+
+let names =
+  [|
+    "$zero"; "$at"; "$v0"; "$v1"; "$a0"; "$a1"; "$a2"; "$a3";
+    "$t0"; "$t1"; "$t2"; "$t3"; "$t4"; "$t5"; "$t6"; "$t7";
+    "$s0"; "$s1"; "$s2"; "$s3"; "$s4"; "$s5"; "$s6"; "$s7";
+    "$t8"; "$t9"; "$k0"; "$k1"; "$gp"; "$sp"; "$fp"; "$ra";
+  |]
+
+let of_int n =
+  if n < 0 || n > 31 then invalid_arg "Reg.of_int: not in 0..31";
+  n
+
+let to_int r = r
+let name r = names.(r)
+
+let strip_dollar s =
+  if String.length s > 0 && s.[0] = '$' then String.sub s 1 (String.length s - 1)
+  else s
+
+let of_name s =
+  let bare = strip_dollar s in
+  let canonical = "$" ^ bare in
+  let found = ref (-1) in
+  Array.iteri (fun i n -> if n = canonical then found := i) names;
+  if !found >= 0 then !found
+  else
+    match int_of_string_opt bare with
+    | Some n when n >= 0 && n <= 31 -> n
+    | Some _ | None -> invalid_arg ("Reg.of_name: unknown register " ^ s)
+
+let zero = 0
+let at = 1
+let v0 = 2
+let v1 = 3
+let a0 = 4
+let a1 = 5
+let a2 = 6
+let a3 = 7
+let t0 = 8
+let t1 = 9
+let t2 = 10
+let t3 = 11
+let t4 = 12
+let t5 = 13
+let t6 = 14
+let t7 = 15
+let s0 = 16
+let s1 = 17
+let s2 = 18
+let s3 = 19
+let s4 = 20
+let s5 = 21
+let s6 = 22
+let s7 = 23
+let t8 = 24
+let t9 = 25
+let gp = 28
+let sp = 29
+let fp = 30
+let ra = 31
+
+let equal = Int.equal
+let compare = Int.compare
+let pp fmt r = Format.pp_print_string fmt (name r)
+
+let f_of_int n =
+  if n < 0 || n > 31 then invalid_arg "Reg.f_of_int: not in 0..31";
+  n
+
+let f_to_int r = r
+let f_name r = Printf.sprintf "$f%d" r
+
+let f_of_name s =
+  let bare = strip_dollar s in
+  if String.length bare >= 2 && bare.[0] = 'f' then
+    match int_of_string_opt (String.sub bare 1 (String.length bare - 1)) with
+    | Some n when n >= 0 && n <= 31 -> n
+    | Some _ | None -> invalid_arg ("Reg.f_of_name: unknown register " ^ s)
+  else invalid_arg ("Reg.f_of_name: unknown register " ^ s)
+
+let f_equal = Int.equal
+let pp_f fmt r = Format.pp_print_string fmt (f_name r)

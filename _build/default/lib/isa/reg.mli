@@ -1,0 +1,77 @@
+(** General-purpose and floating-point register names.
+
+    The integer register file follows the MIPS o32 convention; register 0 is
+    hard-wired to zero.  Floating-point registers live in a separate 32-entry
+    file accessed through coprocessor-1 instructions. *)
+
+type t
+(** An integer register, [0..31]. *)
+
+type f
+(** A floating-point register, [0..31]. *)
+
+(** [of_int n] is register [n].  Raises [Invalid_argument] outside 0..31. *)
+val of_int : int -> t
+
+(** [to_int r] is the register number. *)
+val to_int : t -> int
+
+(** [of_name s] parses ["$t0"], ["$4"], ["t0"] forms.
+    Raises [Invalid_argument] on unknown names. *)
+val of_name : string -> t
+
+(** [name r] is the conventional name, e.g. ["$t0"]. *)
+val name : t -> string
+
+(** Conventional registers. *)
+
+val zero : t
+val at : t
+val v0 : t
+val v1 : t
+val a0 : t
+val a1 : t
+val a2 : t
+val a3 : t
+val t0 : t
+val t1 : t
+val t2 : t
+val t3 : t
+val t4 : t
+val t5 : t
+val t6 : t
+val t7 : t
+val t8 : t
+val t9 : t
+val s0 : t
+val s1 : t
+val s2 : t
+val s3 : t
+val s4 : t
+val s5 : t
+val s6 : t
+val s7 : t
+val gp : t
+val sp : t
+val fp : t
+val ra : t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Floating-point registers. *)
+
+(** [f_of_int n] is FP register [n].  Raises outside 0..31. *)
+val f_of_int : int -> f
+
+val f_to_int : f -> int
+
+(** [f_of_name s] parses ["$f5"] or ["f5"]. *)
+val f_of_name : string -> f
+
+(** [f_name r] is e.g. ["$f5"]. *)
+val f_name : f -> string
+
+val f_equal : f -> f -> bool
+val pp_f : Format.formatter -> f -> unit

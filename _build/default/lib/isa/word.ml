@@ -1,0 +1,236 @@
+exception Unknown_instruction of int
+
+let check_u16 what v =
+  if v < 0 || v > 0xffff then
+    invalid_arg (Printf.sprintf "Word.encode: %s immediate out of range: %d" what v)
+
+let check_s16 what v =
+  if v < -0x8000 || v > 0x7fff then
+    invalid_arg (Printf.sprintf "Word.encode: %s immediate out of range: %d" what v)
+
+let check_shamt v =
+  if v < 0 || v > 31 then invalid_arg "Word.encode: shift amount out of range"
+
+let check_target v =
+  if v < 0 || v >= 1 lsl 26 then invalid_arg "Word.encode: jump target out of range"
+
+let s16 v = v land 0xffff
+
+let r_type ~op ~rs ~rt ~rd ~shamt ~funct =
+  (op lsl 26) lor (rs lsl 21) lor (rt lsl 16) lor (rd lsl 11)
+  lor (shamt lsl 6) lor funct
+
+let i_type ~op ~rs ~rt ~imm = (op lsl 26) lor (rs lsl 21) lor (rt lsl 16) lor imm
+
+let encode insn =
+  let g = Reg.to_int and f = Reg.f_to_int in
+  let alu funct d s t =
+    r_type ~op:0 ~rs:(g s) ~rt:(g t) ~rd:(g d) ~shamt:0 ~funct
+  in
+  let shift funct d t sa =
+    check_shamt sa;
+    r_type ~op:0 ~rs:0 ~rt:(g t) ~rd:(g d) ~shamt:sa ~funct
+  in
+  let shiftv funct d t s =
+    r_type ~op:0 ~rs:(g s) ~rt:(g t) ~rd:(g d) ~shamt:0 ~funct
+  in
+  let imm_s op t s v =
+    check_s16 "signed" v;
+    i_type ~op ~rs:(g s) ~rt:(g t) ~imm:(s16 v)
+  in
+  let imm_u op t s v =
+    check_u16 "unsigned" v;
+    i_type ~op ~rs:(g s) ~rt:(g t) ~imm:v
+  in
+  let mem op t off base =
+    check_s16 "offset" off;
+    i_type ~op ~rs:(g base) ~rt:(g t) ~imm:(s16 off)
+  in
+  let branch2 op s t off =
+    check_s16 "branch offset" off;
+    i_type ~op ~rs:(g s) ~rt:(g t) ~imm:(s16 off)
+  in
+  let branch1 op rt s off =
+    check_s16 "branch offset" off;
+    i_type ~op ~rs:(g s) ~rt ~imm:(s16 off)
+  in
+  (* COP1 arithmetic, single fmt = 0x10 in the rs field. *)
+  let fp3 funct fd fs ft =
+    r_type ~op:0x11 ~rs:0x10 ~rt:(f ft) ~rd:(f fs) ~shamt:(f fd) ~funct
+  in
+  let fp2 funct fd fs = fp3 funct fd fs (Reg.f_of_int 0) in
+  let fpcmp funct fs ft =
+    r_type ~op:0x11 ~rs:0x10 ~rt:(f ft) ~rd:(f fs) ~shamt:0 ~funct
+  in
+  match insn with
+  | Insn.Add (d, s, t) -> alu 0x20 d s t
+  | Insn.Addu (d, s, t) -> alu 0x21 d s t
+  | Insn.Sub (d, s, t) -> alu 0x22 d s t
+  | Insn.Subu (d, s, t) -> alu 0x23 d s t
+  | Insn.And (d, s, t) -> alu 0x24 d s t
+  | Insn.Or (d, s, t) -> alu 0x25 d s t
+  | Insn.Xor (d, s, t) -> alu 0x26 d s t
+  | Insn.Nor (d, s, t) -> alu 0x27 d s t
+  | Insn.Slt (d, s, t) -> alu 0x2a d s t
+  | Insn.Sltu (d, s, t) -> alu 0x2b d s t
+  | Insn.Sll (d, t, sa) -> shift 0x00 d t sa
+  | Insn.Srl (d, t, sa) -> shift 0x02 d t sa
+  | Insn.Sra (d, t, sa) -> shift 0x03 d t sa
+  | Insn.Sllv (d, t, s) -> shiftv 0x04 d t s
+  | Insn.Srlv (d, t, s) -> shiftv 0x06 d t s
+  | Insn.Srav (d, t, s) -> shiftv 0x07 d t s
+  | Insn.Mult (s, t) -> r_type ~op:0 ~rs:(g s) ~rt:(g t) ~rd:0 ~shamt:0 ~funct:0x18
+  | Insn.Div (s, t) -> r_type ~op:0 ~rs:(g s) ~rt:(g t) ~rd:0 ~shamt:0 ~funct:0x1a
+  | Insn.Mfhi d -> r_type ~op:0 ~rs:0 ~rt:0 ~rd:(g d) ~shamt:0 ~funct:0x10
+  | Insn.Mflo d -> r_type ~op:0 ~rs:0 ~rt:0 ~rd:(g d) ~shamt:0 ~funct:0x12
+  | Insn.Addi (t, s, v) -> imm_s 0x08 t s v
+  | Insn.Addiu (t, s, v) -> imm_s 0x09 t s v
+  | Insn.Slti (t, s, v) -> imm_s 0x0a t s v
+  | Insn.Andi (t, s, v) -> imm_u 0x0c t s v
+  | Insn.Ori (t, s, v) -> imm_u 0x0d t s v
+  | Insn.Xori (t, s, v) -> imm_u 0x0e t s v
+  | Insn.Lui (t, v) ->
+      check_u16 "lui" v;
+      i_type ~op:0x0f ~rs:0 ~rt:(g t) ~imm:v
+  | Insn.Lw (t, off, base) -> mem 0x23 t off base
+  | Insn.Sw (t, off, base) -> mem 0x2b t off base
+  | Insn.Lb (t, off, base) -> mem 0x20 t off base
+  | Insn.Sb (t, off, base) -> mem 0x28 t off base
+  | Insn.Beq (s, t, off) -> branch2 0x04 s t off
+  | Insn.Bne (s, t, off) -> branch2 0x05 s t off
+  | Insn.Blez (s, off) -> branch1 0x06 0 s off
+  | Insn.Bgtz (s, off) -> branch1 0x07 0 s off
+  | Insn.Bltz (s, off) -> branch1 0x01 0 s off
+  | Insn.Bgez (s, off) -> branch1 0x01 1 s off
+  | Insn.J target ->
+      check_target target;
+      (0x02 lsl 26) lor target
+  | Insn.Jal target ->
+      check_target target;
+      (0x03 lsl 26) lor target
+  | Insn.Jr s -> r_type ~op:0 ~rs:(g s) ~rt:0 ~rd:0 ~shamt:0 ~funct:0x08
+  | Insn.Jalr (d, s) -> r_type ~op:0 ~rs:(g s) ~rt:0 ~rd:(g d) ~shamt:0 ~funct:0x09
+  | Insn.Lwc1 (t, off, base) ->
+      check_s16 "offset" off;
+      i_type ~op:0x31 ~rs:(Reg.to_int base) ~rt:(f t) ~imm:(s16 off)
+  | Insn.Swc1 (t, off, base) ->
+      check_s16 "offset" off;
+      i_type ~op:0x39 ~rs:(Reg.to_int base) ~rt:(f t) ~imm:(s16 off)
+  | Insn.Mfc1 (t, fs) -> r_type ~op:0x11 ~rs:0x00 ~rt:(g t) ~rd:(f fs) ~shamt:0 ~funct:0
+  | Insn.Mtc1 (t, fs) -> r_type ~op:0x11 ~rs:0x04 ~rt:(g t) ~rd:(f fs) ~shamt:0 ~funct:0
+  | Insn.Add_s (d, s, t) -> fp3 0x00 d s t
+  | Insn.Sub_s (d, s, t) -> fp3 0x01 d s t
+  | Insn.Mul_s (d, s, t) -> fp3 0x02 d s t
+  | Insn.Div_s (d, s, t) -> fp3 0x03 d s t
+  | Insn.Sqrt_s (d, s) -> fp2 0x04 d s
+  | Insn.Abs_s (d, s) -> fp2 0x05 d s
+  | Insn.Mov_s (d, s) -> fp2 0x06 d s
+  | Insn.Neg_s (d, s) -> fp2 0x07 d s
+  | Insn.Cvt_w_s (d, s) -> fp2 0x24 d s
+  | Insn.Cvt_s_w (d, s) ->
+      (* word fmt = 0x14 in the rs field *)
+      r_type ~op:0x11 ~rs:0x14 ~rt:0 ~rd:(f s) ~shamt:(f d) ~funct:0x20
+  | Insn.C_eq_s (s, t) -> fpcmp 0x32 s t
+  | Insn.C_lt_s (s, t) -> fpcmp 0x3c s t
+  | Insn.C_le_s (s, t) -> fpcmp 0x3e s t
+  | Insn.Bc1t off ->
+      check_s16 "branch offset" off;
+      i_type ~op:0x11 ~rs:0x08 ~rt:1 ~imm:(s16 off)
+  | Insn.Bc1f off ->
+      check_s16 "branch offset" off;
+      i_type ~op:0x11 ~rs:0x08 ~rt:0 ~imm:(s16 off)
+  | Insn.Syscall -> 0x0000000c
+  | Insn.Nop -> 0
+
+let decode w =
+  if w < 0 || w > 0xffffffff then invalid_arg "Word.decode: not a 32-bit word";
+  if w = 0 then Insn.Nop
+  else
+    let op = w lsr 26 land 0x3f in
+    let rs = w lsr 21 land 0x1f in
+    let rt = w lsr 16 land 0x1f in
+    let rd = w lsr 11 land 0x1f in
+    let shamt = w lsr 6 land 0x1f in
+    let funct = w land 0x3f in
+    let imm_u = w land 0xffff in
+    let imm_s = if imm_u >= 0x8000 then imm_u - 0x10000 else imm_u in
+    let g = Reg.of_int and f = Reg.f_of_int in
+    match op with
+    | 0x00 -> (
+        match funct with
+        | 0x00 -> Insn.Sll (g rd, g rt, shamt)
+        | 0x02 -> Insn.Srl (g rd, g rt, shamt)
+        | 0x03 -> Insn.Sra (g rd, g rt, shamt)
+        | 0x04 -> Insn.Sllv (g rd, g rt, g rs)
+        | 0x06 -> Insn.Srlv (g rd, g rt, g rs)
+        | 0x07 -> Insn.Srav (g rd, g rt, g rs)
+        | 0x08 -> Insn.Jr (g rs)
+        | 0x09 -> Insn.Jalr (g rd, g rs)
+        | 0x0c -> Insn.Syscall
+        | 0x10 -> Insn.Mfhi (g rd)
+        | 0x12 -> Insn.Mflo (g rd)
+        | 0x18 -> Insn.Mult (g rs, g rt)
+        | 0x1a -> Insn.Div (g rs, g rt)
+        | 0x20 -> Insn.Add (g rd, g rs, g rt)
+        | 0x21 -> Insn.Addu (g rd, g rs, g rt)
+        | 0x22 -> Insn.Sub (g rd, g rs, g rt)
+        | 0x23 -> Insn.Subu (g rd, g rs, g rt)
+        | 0x24 -> Insn.And (g rd, g rs, g rt)
+        | 0x25 -> Insn.Or (g rd, g rs, g rt)
+        | 0x26 -> Insn.Xor (g rd, g rs, g rt)
+        | 0x27 -> Insn.Nor (g rd, g rs, g rt)
+        | 0x2a -> Insn.Slt (g rd, g rs, g rt)
+        | 0x2b -> Insn.Sltu (g rd, g rs, g rt)
+        | _ -> raise (Unknown_instruction w))
+    | 0x01 -> (
+        match rt with
+        | 0 -> Insn.Bltz (g rs, imm_s)
+        | 1 -> Insn.Bgez (g rs, imm_s)
+        | _ -> raise (Unknown_instruction w))
+    | 0x02 -> Insn.J (w land 0x3ffffff)
+    | 0x03 -> Insn.Jal (w land 0x3ffffff)
+    | 0x04 -> Insn.Beq (g rs, g rt, imm_s)
+    | 0x05 -> Insn.Bne (g rs, g rt, imm_s)
+    | 0x06 -> Insn.Blez (g rs, imm_s)
+    | 0x07 -> Insn.Bgtz (g rs, imm_s)
+    | 0x08 -> Insn.Addi (g rt, g rs, imm_s)
+    | 0x09 -> Insn.Addiu (g rt, g rs, imm_s)
+    | 0x0a -> Insn.Slti (g rt, g rs, imm_s)
+    | 0x0c -> Insn.Andi (g rt, g rs, imm_u)
+    | 0x0d -> Insn.Ori (g rt, g rs, imm_u)
+    | 0x0e -> Insn.Xori (g rt, g rs, imm_u)
+    | 0x0f -> Insn.Lui (g rt, imm_u)
+    | 0x20 -> Insn.Lb (g rt, imm_s, g rs)
+    | 0x23 -> Insn.Lw (g rt, imm_s, g rs)
+    | 0x28 -> Insn.Sb (g rt, imm_s, g rs)
+    | 0x2b -> Insn.Sw (g rt, imm_s, g rs)
+    | 0x31 -> Insn.Lwc1 (f rt, imm_s, g rs)
+    | 0x39 -> Insn.Swc1 (f rt, imm_s, g rs)
+    | 0x11 -> (
+        match rs with
+        | 0x00 -> Insn.Mfc1 (g rt, f rd)
+        | 0x04 -> Insn.Mtc1 (g rt, f rd)
+        | 0x08 -> if rt = 1 then Insn.Bc1t imm_s else Insn.Bc1f imm_s
+        | 0x10 -> (
+            match funct with
+            | 0x00 -> Insn.Add_s (f shamt, f rd, f rt)
+            | 0x01 -> Insn.Sub_s (f shamt, f rd, f rt)
+            | 0x02 -> Insn.Mul_s (f shamt, f rd, f rt)
+            | 0x03 -> Insn.Div_s (f shamt, f rd, f rt)
+            | 0x04 -> Insn.Sqrt_s (f shamt, f rd)
+            | 0x05 -> Insn.Abs_s (f shamt, f rd)
+            | 0x06 -> Insn.Mov_s (f shamt, f rd)
+            | 0x07 -> Insn.Neg_s (f shamt, f rd)
+            | 0x24 -> Insn.Cvt_w_s (f shamt, f rd)
+            | 0x32 -> Insn.C_eq_s (f rd, f rt)
+            | 0x3c -> Insn.C_lt_s (f rd, f rt)
+            | 0x3e -> Insn.C_le_s (f rd, f rt)
+            | _ -> raise (Unknown_instruction w))
+        | 0x14 ->
+            if funct = 0x20 then Insn.Cvt_s_w (f shamt, f rd)
+            else raise (Unknown_instruction w)
+        | _ -> raise (Unknown_instruction w))
+    | _ -> raise (Unknown_instruction w)
+
+let encode_program insns = Array.map encode insns
+let decode_program words = Array.map decode words

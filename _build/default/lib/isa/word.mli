@@ -1,0 +1,26 @@
+(** Binary instruction encoding.
+
+    Instructions encode to genuine MIPS-I machine words (32 bits, stored in
+    an OCaml [int]); the encoding is what travels over the instruction bus,
+    so bit-level fidelity matters for every transition count in the paper's
+    experiments.
+
+    Branch offsets must fit in a signed 16-bit field and jump targets in a
+    26-bit field; [encode] raises [Invalid_argument] otherwise, as it does
+    for out-of-range immediates and shift amounts. *)
+
+exception Unknown_instruction of int
+
+(** [encode i] is the 32-bit machine word, in [0 .. 2^32-1]. *)
+val encode : Insn.t -> int
+
+(** [decode w] inverts {!encode}.  The all-zero word decodes to [Nop]
+    (canonical MIPS idiom: [sll $0,$0,0]).  Raises {!Unknown_instruction}
+    on invalid opcodes and [Invalid_argument] if [w] is outside 32 bits. *)
+val decode : int -> Insn.t
+
+(** [encode_program insns] encodes each instruction. *)
+val encode_program : Insn.t array -> int array
+
+(** [decode_program words] decodes each word. *)
+val decode_program : int array -> Insn.t array

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Buffer Char Float Int32 Isa Memory Printf

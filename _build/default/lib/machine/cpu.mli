@@ -1,0 +1,69 @@
+(** In-order, one-instruction-per-cycle functional simulator — the
+    SimpleScalar stand-in.
+
+    The CPU executes the program's decoded instructions directly; what the
+    instruction {e bus} carries for each fetch is reported through the
+    [on_fetch] hook with the fetching PC, so observers can count transitions
+    for the baseline image, any number of encoded images, or a full
+    fetch-side decoder model, all in a single run (the dynamic PC sequence
+    is the same for every faithful image). *)
+
+type state
+
+exception Trap of string
+
+(** [create_state ?mem_bytes ()] is a fresh machine state: registers zero,
+    [$sp] at the top of a [mem_bytes] (default 4 MiB) data memory. *)
+val create_state : ?mem_bytes:int -> unit -> state
+
+val memory : state -> Memory.t
+
+(** [reg s r] reads an integer register (always 0 for [$zero]). *)
+val reg : state -> Isa.Reg.t -> int
+
+(** [set_reg s r v] writes an integer register; writes to [$zero] are
+    ignored.  [v] is truncated to signed 32 bits. *)
+val set_reg : state -> Isa.Reg.t -> int -> unit
+
+(** [freg s r] reads a floating-point register. *)
+val freg : state -> Isa.Reg.f -> float
+
+(** [set_freg s r v] writes a floating-point register (value is rounded to
+    single precision). *)
+val set_freg : state -> Isa.Reg.f -> float -> unit
+
+(** [output s] is everything the program printed via syscalls so far. *)
+val output : state -> string
+
+type result = {
+  instructions : int;  (** dynamic instruction (= fetch = cycle) count *)
+  exit_code : int;  (** [$a0] at the exit syscall, or 0 *)
+  pc_final : int;
+}
+
+(** A memory-mapped peripheral window: word loads and stores whose byte
+    address falls in [base, base+size) are routed to the handlers instead
+    of data memory ([offset] is relative to [base]).  Byte accesses to the
+    window trap. *)
+type mmio = {
+  base : int;
+  size : int;
+  mmio_store : offset:int -> value:int -> unit;
+  mmio_load : offset:int -> int;
+}
+
+(** [run ?max_instructions ?on_fetch program state] executes from
+    instruction 0 until the exit syscall ([$v0] = 10).
+
+    Syscalls: 1 print [$a0] as integer, 2 print [$f12], 4 print the
+    NUL-terminated string at [$a0], 10 exit, 11 print [$a0] as a character.
+
+    Raises {!Trap} on unknown syscalls, PC escaping the program, or
+    exceeding [max_instructions] (default 2^62). *)
+val run :
+  ?max_instructions:int ->
+  ?on_fetch:(pc:int -> unit) ->
+  ?mmio:mmio ->
+  Isa.Program.t ->
+  state ->
+  result

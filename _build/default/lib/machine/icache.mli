@@ -1,0 +1,40 @@
+(** A direct-mapped instruction cache in front of the instruction store.
+
+    The paper asserts that "the type of storage bears no impact on the bit
+    transition reductions": the processor-side bus carries one instruction
+    word per cycle whether it comes from a cache or a memory.  This model
+    makes the claim testable: it tracks the processor-side words (identical
+    with or without the cache) {e and} the memory-side refill traffic, which
+    the cache changes — refills stream whole lines in address order, so the
+    encoded image also reduces memory-side transitions, through its static
+    layout rather than the dynamic fetch sequence. *)
+
+type config = {
+  lines : int;  (** number of cache lines, power of two *)
+  words_per_line : int;  (** line size in instruction words, power of two *)
+}
+
+type t
+
+type stats = {
+  accesses : int;
+  misses : int;
+  memory_words : int;  (** words streamed over the memory-side bus *)
+  memory_transitions : int;  (** transitions on the memory-side bus *)
+}
+
+(** [create config ~image] — [image] is the stored instruction memory
+    (encoded or baseline).  Raises [Invalid_argument] on non-power-of-two
+    geometry. *)
+val create : config -> image:int array -> t
+
+(** [access t ~pc] simulates one fetch: returns the word delivered to the
+    core (always [image.(pc)]) and whether it hit.  A miss streams the
+    containing line from memory, charging the memory-side bus. *)
+val access : t -> pc:int -> int * bool
+
+(** [stats t] is the running statistics. *)
+val stats : t -> stats
+
+(** [reset t] empties the cache and clears statistics. *)
+val reset : t -> unit

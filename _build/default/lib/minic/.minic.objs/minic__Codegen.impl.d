@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Array Ast Hashtbl Int Int32 Isa List Option Printf

@@ -1,0 +1,1 @@
+lib/minic/compile.ml: Ast Codegen Fold Isa Lexer Parser Printf Typecheck

@@ -1,0 +1,1 @@
+lib/minic/fold.ml: Ast Float Int32 List Option

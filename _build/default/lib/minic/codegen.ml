@@ -1,0 +1,1062 @@
+exception Codegen_error of { line : int; message : string }
+
+let fail line message = raise (Codegen_error { line; message })
+
+type layout = {
+  data_base : int;
+  data_size : int;
+  global_offsets : (string * int) list;
+}
+
+(* ---- register conventions ------------------------------------------------
+
+   Expression stacks: $t0..$t7 (ints), $f4..$f11 (floats).
+   Promoted scalars (-O1): $s0..$s5 (ints), $f20..$f26 (floats), saved and
+   restored by the function that uses them, so they survive calls.
+   Arguments: $a0..$a3 / $f12..$f15 by position; results $v0 / $f0. *)
+
+let int_stack = Array.map Isa.Reg.of_int [| 8; 9; 10; 11; 12; 13; 14; 15 |]
+let float_stack = Array.map Isa.Reg.f_of_int [| 4; 5; 6; 7; 8; 9; 10; 11 |]
+let max_depth = Array.length int_stack
+let saved_int = Array.map Isa.Reg.of_int [| 16; 17; 18; 19; 20; 21 |]
+let saved_float = Array.map Isa.Reg.f_of_int [| 20; 21; 22; 23; 24; 25; 26 |]
+
+(* ---- global layout ------------------------------------------------------ *)
+
+let data_base = 0x100
+
+let build_layout (globals : Ast.global list) =
+  let offset = ref data_base in
+  let table =
+    List.map
+      (fun (g : Ast.global) ->
+        let words = List.fold_left ( * ) 1 g.Ast.g_dims in
+        let here = !offset in
+        offset := !offset + (4 * words);
+        (g.Ast.g_name, here))
+      globals
+  in
+  { data_base; data_size = !offset - data_base; global_offsets = table }
+
+type var_slot =
+  | Global of { address : int; dims : int list; ty : Ast.scalar }
+  | Local of { offset : int; ty : Ast.scalar }  (* sp-relative bytes *)
+  | Reg_int of Isa.Reg.t  (* promoted int scalar *)
+  | Reg_float of Isa.Reg.f  (* promoted float scalar *)
+
+type fn_env = {
+  program : Ast.program;
+  layout : layout;
+  vars : (string, var_slot) Hashtbl.t;
+  mutable frame_size : int;
+  mutable next_local : int;
+  mutable label_counter : int;
+  fn_name : string;
+  out : Isa.Sym.item list ref;  (* reversed *)
+  mutable int_depth : int;
+  mutable float_depth : int;
+}
+
+let emit env item = env.out := item :: !(env.out)
+let op env insn = emit env (Isa.Sym.Op insn)
+
+let fresh_label env hint =
+  env.label_counter <- env.label_counter + 1;
+  Printf.sprintf "L%s_%s_%d" env.fn_name hint env.label_counter
+
+(* Spill area: 8 int + 8 float word slots at the frame bottom. *)
+let spill_bytes = 4 * (2 * max_depth)
+let int_spill_offset i = 4 * i
+let float_spill_offset i = (4 * max_depth) + (4 * i)
+
+let push_int env line =
+  if env.int_depth >= max_depth then
+    fail line "expression too deep for the integer register stack";
+  let r = int_stack.(env.int_depth) in
+  env.int_depth <- env.int_depth + 1;
+  r
+
+let push_float env line =
+  if env.float_depth >= max_depth then
+    fail line "expression too deep for the float register stack";
+  let r = float_stack.(env.float_depth) in
+  env.float_depth <- env.float_depth + 1;
+  r
+
+let pop_int env = env.int_depth <- env.int_depth - 1
+let pop_float env = env.float_depth <- env.float_depth - 1
+
+(* ---- small emission helpers --------------------------------------------- *)
+
+let emit_li env rd v =
+  if v >= -0x8000 && v <= 0x7fff then op env (Isa.Insn.Addiu (rd, Isa.Reg.zero, v))
+  else begin
+    let v32 = v land 0xffffffff in
+    let hi = v32 lsr 16 land 0xffff in
+    let lo = v32 land 0xffff in
+    op env (Isa.Insn.Lui (rd, hi));
+    if lo <> 0 then op env (Isa.Insn.Ori (rd, rd, lo))
+  end
+
+let is_pow2 v = v > 0 && v land (v - 1) = 0
+
+let log2 v =
+  let rec go v acc = if v = 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+(* rd <- rs * constant, clobbering only rd and hi/lo (rs preserved). *)
+let emit_mul_const env rd rs c line =
+  if c = 0 then op env (Isa.Insn.Addu (rd, Isa.Reg.zero, Isa.Reg.zero))
+  else if c = 1 then begin
+    if not (Isa.Reg.equal rd rs) then op env (Isa.Insn.Addu (rd, rs, Isa.Reg.zero))
+  end
+  else if is_pow2 c then op env (Isa.Insn.Sll (rd, rs, log2 c))
+  else begin
+    if Isa.Reg.equal rd rs then fail line "internal: mul_const aliasing";
+    emit_li env rd c;
+    op env (Isa.Insn.Mult (rs, rd));
+    op env (Isa.Insn.Mflo rd)
+  end
+
+(* ---- variables ----------------------------------------------------------- *)
+
+let find_var env name line =
+  match Hashtbl.find_opt env.vars name with
+  | Some slot -> slot
+  | None -> fail line ("internal: unknown variable " ^ name)
+
+(* ---- expressions --------------------------------------------------------- *)
+
+type value = Vint of Isa.Reg.t | Vfloat of Isa.Reg.f
+
+let promote env line v =
+  match v with
+  | Vfloat _ -> v
+  | Vint r ->
+      let fd = push_float env line in
+      op env (Isa.Insn.Mtc1 (r, fd));
+      op env (Isa.Insn.Cvt_s_w (fd, fd));
+      pop_int env;
+      Vfloat fd
+
+(* A scalar variable readable directly from a register, without copying? *)
+let direct_reg env (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Lval { Ast.base; indices = []; lv_line } -> (
+      match find_var env base lv_line with
+      | Reg_int r -> Some (Vint r)
+      | Reg_float r -> Some (Vfloat r)
+      | Global _ | Local _ -> None)
+  | _ -> None
+
+(* Small literal usable as an addiu/sll immediate? *)
+let small_int_lit (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int_lit v when v >= -0x7fff && v <= 0x7fff -> Some v
+  | _ -> None
+
+let rec lvalue_address env (lv : Ast.lvalue) =
+  let slot = find_var env lv.Ast.base lv.Ast.lv_line in
+  match slot with
+  | Local _ | Reg_int _ | Reg_float _ ->
+      fail lv.Ast.lv_line "internal: address of scalar"
+  | Global { address; dims; _ } -> (
+      match (dims, lv.Ast.indices) with
+      | [ _n ], [ i ] ->
+          let ri =
+            match eval_expr env i with
+            | Vint r -> r
+            | Vfloat _ -> fail i.Ast.line "internal: float index"
+          in
+          op env (Isa.Insn.Sll (ri, ri, 2));
+          let rbase = push_int env lv.Ast.lv_line in
+          emit_li env rbase address;
+          op env (Isa.Insn.Addu (ri, ri, rbase));
+          pop_int env;
+          ri
+      | [ _n; m ], [ i; j ] ->
+          let ri =
+            match eval_expr env i with
+            | Vint r -> r
+            | Vfloat _ -> fail i.Ast.line "internal: float index"
+          in
+          let rj =
+            match eval_expr env j with
+            | Vint r -> r
+            | Vfloat _ -> fail j.Ast.line "internal: float index"
+          in
+          let rtmp = push_int env lv.Ast.lv_line in
+          emit_mul_const env rtmp ri m lv.Ast.lv_line;
+          op env (Isa.Insn.Addu (rtmp, rtmp, rj));
+          op env (Isa.Insn.Sll (rtmp, rtmp, 2));
+          emit_li env ri address;
+          op env (Isa.Insn.Addu (ri, ri, rtmp));
+          pop_int env;
+          pop_int env;
+          ri
+      | _ ->
+          fail lv.Ast.lv_line "internal: dimension mismatch survived checking")
+
+and load_lvalue env (lv : Ast.lvalue) =
+  let slot = find_var env lv.Ast.base lv.Ast.lv_line in
+  match (slot, lv.Ast.indices) with
+  | Reg_int src, [] ->
+      let r = push_int env lv.Ast.lv_line in
+      op env (Isa.Insn.Addu (r, src, Isa.Reg.zero));
+      Vint r
+  | Reg_float src, [] ->
+      let r = push_float env lv.Ast.lv_line in
+      op env (Isa.Insn.Mov_s (r, src));
+      Vfloat r
+  | Local { offset; ty = Ast.Tint }, [] ->
+      let r = push_int env lv.Ast.lv_line in
+      op env (Isa.Insn.Lw (r, offset, Isa.Reg.sp));
+      Vint r
+  | Local { offset; ty = Ast.Tfloat }, [] ->
+      let r = push_float env lv.Ast.lv_line in
+      op env (Isa.Insn.Lwc1 (r, offset, Isa.Reg.sp));
+      Vfloat r
+  | Global { address; dims = []; ty = Ast.Tint }, [] ->
+      let r = push_int env lv.Ast.lv_line in
+      emit_li env r address;
+      op env (Isa.Insn.Lw (r, 0, r));
+      Vint r
+  | Global { address; dims = []; ty = Ast.Tfloat }, [] ->
+      let ra = push_int env lv.Ast.lv_line in
+      emit_li env ra address;
+      let rf = push_float env lv.Ast.lv_line in
+      op env (Isa.Insn.Lwc1 (rf, 0, ra));
+      pop_int env;
+      Vfloat rf
+  | Global { ty; _ }, _ :: _ -> (
+      let raddr = lvalue_address env lv in
+      match ty with
+      | Ast.Tint ->
+          op env (Isa.Insn.Lw (raddr, 0, raddr));
+          Vint raddr
+      | Ast.Tfloat ->
+          let rf = push_float env lv.Ast.lv_line in
+          op env (Isa.Insn.Lwc1 (rf, 0, raddr));
+          pop_int env;
+          Vfloat rf)
+  | (Local _ | Reg_int _ | Reg_float _), _ :: _ ->
+      fail lv.Ast.lv_line "cannot index a scalar"
+  | Global { dims = _ :: _; _ }, [] ->
+      fail lv.Ast.lv_line "array used without indices"
+
+(* Evaluate an operand, avoiding a copy when it already lives in a promoted
+   register.  Returns the value and whether it occupies an expression-stack
+   slot (owned = must be popped by the consumer). *)
+and eval_operand env (e : Ast.expr) : value * bool =
+  match direct_reg env e with
+  | Some v -> (v, false)
+  | None -> (eval_expr env e, true)
+
+and eval_expr env (e : Ast.expr) : value =
+  match e.Ast.desc with
+  | Ast.Int_lit v ->
+      let r = push_int env e.Ast.line in
+      emit_li env r v;
+      Vint r
+  | Ast.Float_lit v ->
+      let bits = Int32.to_int (Int32.bits_of_float v) land 0xffffffff in
+      let ri = push_int env e.Ast.line in
+      emit_li env ri bits;
+      let rf = push_float env e.Ast.line in
+      op env (Isa.Insn.Mtc1 (ri, rf));
+      pop_int env;
+      Vfloat rf
+  | Ast.Lval lv -> load_lvalue env lv
+  | Ast.Cast_float inner ->
+      let v = eval_expr env inner in
+      promote env e.Ast.line v
+  | Ast.Cast_int inner -> (
+      match eval_expr env inner with
+      | Vint _ -> fail e.Ast.line "internal: ftoi of int"
+      | Vfloat rf ->
+          let ri = push_int env e.Ast.line in
+          op env (Isa.Insn.Cvt_w_s (rf, rf));
+          op env (Isa.Insn.Mfc1 (ri, rf));
+          pop_float env;
+          Vint ri)
+  | Ast.Unop (Ast.Neg, inner) -> (
+      match eval_expr env inner with
+      | Vint r ->
+          op env (Isa.Insn.Subu (r, Isa.Reg.zero, r));
+          Vint r
+      | Vfloat r ->
+          op env (Isa.Insn.Neg_s (r, r));
+          Vfloat r)
+  | Ast.Unop (Ast.Lnot, inner) -> (
+      match eval_expr env inner with
+      | Vint r ->
+          op env (Isa.Insn.Sltu (r, Isa.Reg.zero, r));
+          op env (Isa.Insn.Xori (r, r, 1));
+          Vint r
+      | Vfloat _ -> fail e.Ast.line "internal: ! of float")
+  | Ast.Binop (Ast.Land, a, b) ->
+      let skip = fresh_label env "and" in
+      let ra =
+        match eval_expr env a with
+        | Vint r -> r
+        | Vfloat _ -> fail a.Ast.line "internal: && of float"
+      in
+      op env (Isa.Insn.Sltu (ra, Isa.Reg.zero, ra));
+      emit env (Isa.Sym.Beq_l (ra, Isa.Reg.zero, skip));
+      pop_int env;
+      let rb =
+        match eval_expr env b with
+        | Vint r -> r
+        | Vfloat _ -> fail b.Ast.line "internal: && of float"
+      in
+      assert (Isa.Reg.equal ra rb);
+      op env (Isa.Insn.Sltu (rb, Isa.Reg.zero, rb));
+      emit env (Isa.Sym.Label skip);
+      Vint rb
+  | Ast.Binop (Ast.Lor, a, b) ->
+      let skip = fresh_label env "or" in
+      let ra =
+        match eval_expr env a with
+        | Vint r -> r
+        | Vfloat _ -> fail a.Ast.line "internal: || of float"
+      in
+      op env (Isa.Insn.Sltu (ra, Isa.Reg.zero, ra));
+      emit env (Isa.Sym.Bne_l (ra, Isa.Reg.zero, skip));
+      pop_int env;
+      let rb =
+        match eval_expr env b with
+        | Vint r -> r
+        | Vfloat _ -> fail b.Ast.line "internal: || of float"
+      in
+      assert (Isa.Reg.equal ra rb);
+      op env (Isa.Insn.Sltu (rb, Isa.Reg.zero, rb));
+      emit env (Isa.Sym.Label skip);
+      Vint rb
+  | Ast.Binop (op_, a, b) -> eval_binop env e.Ast.line op_ a b
+  | Ast.Call (name, args) -> eval_call env e.Ast.line name args
+
+(* Pick the destination for a two-operand integer result: reuse an owned
+   operand slot, else take a fresh one.  Returns the register plus the pops
+   the caller must perform afterwards. *)
+and eval_binop env line op_ a b =
+  (* literal fast paths first: x + c, x - c, x * 2^n on integers *)
+  let int_literal_fast =
+    match (op_, small_int_lit b) with
+    | Ast.Add, Some v -> Some (v, `Addiu)
+    | Ast.Sub, Some v when -v >= -0x7fff -> Some (-v, `Addiu)
+    | Ast.Mul, Some v when is_pow2 v -> Some (log2 v, `Sll)
+    | Ast.Lt, Some v -> Some (v, `Slti)
+    | Ast.Le, Some v when v + 1 <= 0x7fff -> Some (v + 1, `Slti)
+    | Ast.Ge, Some v -> Some (v, `Slti_not)
+    | Ast.Gt, Some v when v + 1 <= 0x7fff -> Some (v + 1, `Slti_not)
+    | (Ast.Add | Ast.Sub | Ast.Mul | Ast.Dvd | Ast.Mod | Ast.Eq | Ast.Ne
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Land | Ast.Lor), _ ->
+        None
+  in
+  let lhs_int =
+    (* only valid when the whole expression is integer-typed *)
+    match (e_type a, e_type b) with
+    | Some Ast.Eint, Some Ast.Eint -> true
+    | _ -> false
+  in
+  match (int_literal_fast, lhs_int) with
+  | Some (imm, kind), true ->
+      let va, a_owned = eval_operand env a in
+      let ra = match va with Vint r -> r | Vfloat _ -> assert false in
+      let dest = if a_owned then ra else push_int env line in
+      (match kind with
+      | `Addiu -> op env (Isa.Insn.Addiu (dest, ra, imm))
+      | `Sll -> op env (Isa.Insn.Sll (dest, ra, imm))
+      | `Slti -> op env (Isa.Insn.Slti (dest, ra, imm))
+      | `Slti_not ->
+          (* x >= v  <=>  not (x < v);  x > v  <=>  not (x < v+1) *)
+          op env (Isa.Insn.Slti (dest, ra, imm));
+          op env (Isa.Insn.Xori (dest, dest, 1)));
+      Vint dest
+  | _ ->
+      let va, a_owned = eval_operand env a in
+      let vb, b_owned = eval_operand env b in
+      let is_float =
+        match (va, vb) with
+        | Vfloat _, _ | _, Vfloat _ -> true
+        | Vint _, Vint _ -> false
+      in
+      if is_float then eval_float_binop env line op_ (va, a_owned) (vb, b_owned)
+      else eval_int_binop env line op_ (va, a_owned) (vb, b_owned)
+
+and e_type (e : Ast.expr) = e.Ast.ety
+
+and eval_int_binop env line op_ (va, a_owned) (vb, b_owned) =
+  let ra = match va with Vint r -> r | Vfloat _ -> assert false in
+  let rb = match vb with Vint r -> r | Vfloat _ -> assert false in
+  (* destination: an owned operand slot, else a fresh push; then release the
+     other owned slot if any *)
+  let dest, extra_pops =
+    if a_owned && b_owned then (ra, 1)
+    else if a_owned then (ra, 0)
+    else if b_owned then (rb, 0)
+    else (push_int env line, 0)
+  in
+  (match op_ with
+  | Ast.Add -> op env (Isa.Insn.Addu (dest, ra, rb))
+  | Ast.Sub -> op env (Isa.Insn.Subu (dest, ra, rb))
+  | Ast.Mul ->
+      op env (Isa.Insn.Mult (ra, rb));
+      op env (Isa.Insn.Mflo dest)
+  | Ast.Dvd ->
+      op env (Isa.Insn.Div (ra, rb));
+      op env (Isa.Insn.Mflo dest)
+  | Ast.Mod ->
+      op env (Isa.Insn.Div (ra, rb));
+      op env (Isa.Insn.Mfhi dest)
+  | Ast.Lt -> op env (Isa.Insn.Slt (dest, ra, rb))
+  | Ast.Gt -> op env (Isa.Insn.Slt (dest, rb, ra))
+  | Ast.Ge ->
+      op env (Isa.Insn.Slt (dest, ra, rb));
+      op env (Isa.Insn.Xori (dest, dest, 1))
+  | Ast.Le ->
+      op env (Isa.Insn.Slt (dest, rb, ra));
+      op env (Isa.Insn.Xori (dest, dest, 1))
+  | Ast.Eq ->
+      op env (Isa.Insn.Xor (dest, ra, rb));
+      op env (Isa.Insn.Sltu (dest, Isa.Reg.zero, dest));
+      op env (Isa.Insn.Xori (dest, dest, 1))
+  | Ast.Ne ->
+      op env (Isa.Insn.Xor (dest, ra, rb));
+      op env (Isa.Insn.Sltu (dest, Isa.Reg.zero, dest))
+  | Ast.Land | Ast.Lor -> fail line "internal: short-circuit op in int_binop");
+  for _ = 1 to extra_pops do
+    pop_int env
+  done;
+  Vint dest
+
+and eval_float_binop env line op_ (va, a_owned) (vb, b_owned) =
+  (* Promote ints (promotion allocates a float slot, making the value owned).
+     Order: b first when it is the int, so stack slots unwind correctly. *)
+  let vb, b_owned =
+    match vb with
+    | Vint _ ->
+        if b_owned then (promote env line vb, true)
+        else
+          (* direct int register: copy via promote without popping *)
+          let fd = push_float env line in
+          let r = (match vb with Vint r -> r | _ -> assert false) in
+          op env (Isa.Insn.Mtc1 (r, fd));
+          op env (Isa.Insn.Cvt_s_w (fd, fd));
+          (Vfloat fd, true)
+    | Vfloat _ -> (vb, b_owned)
+  in
+  let va, a_owned =
+    match va with
+    | Vint _ ->
+        if a_owned then (promote env line va, true)
+        else
+          let fd = push_float env line in
+          let r = (match va with Vint r -> r | _ -> assert false) in
+          op env (Isa.Insn.Mtc1 (r, fd));
+          op env (Isa.Insn.Cvt_s_w (fd, fd));
+          (Vfloat fd, true)
+    | Vfloat _ -> (va, a_owned)
+  in
+  let fa = match va with Vfloat r -> r | Vint _ -> assert false in
+  let fb = match vb with Vfloat r -> r | Vint _ -> assert false in
+  match op_ with
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Dvd ->
+      let dest, extra_pops =
+        if a_owned && b_owned then (fa, 1)
+        else if a_owned then (fa, 0)
+        else if b_owned then (fb, 0)
+        else (push_float env line, 0)
+      in
+      (match op_ with
+      | Ast.Add -> op env (Isa.Insn.Add_s (dest, fa, fb))
+      | Ast.Sub -> op env (Isa.Insn.Sub_s (dest, fa, fb))
+      | Ast.Mul -> op env (Isa.Insn.Mul_s (dest, fa, fb))
+      | Ast.Dvd -> op env (Isa.Insn.Div_s (dest, fa, fb))
+      | _ -> assert false);
+      for _ = 1 to extra_pops do
+        pop_float env
+      done;
+      Vfloat dest
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      let skip = fresh_label env "fcmp" in
+      (match op_ with
+      | Ast.Eq | Ast.Ne -> op env (Isa.Insn.C_eq_s (fa, fb))
+      | Ast.Lt -> op env (Isa.Insn.C_lt_s (fa, fb))
+      | Ast.Le -> op env (Isa.Insn.C_le_s (fa, fb))
+      | Ast.Gt -> op env (Isa.Insn.C_lt_s (fb, fa))
+      | Ast.Ge -> op env (Isa.Insn.C_le_s (fb, fa))
+      | _ -> assert false);
+      if a_owned then pop_float env;
+      if b_owned then pop_float env;
+      let r = push_int env line in
+      let true_val, false_val =
+        match op_ with Ast.Ne -> (0, 1) | _ -> (1, 0)
+      in
+      emit_li env r true_val;
+      emit env (Isa.Sym.Bc1t_l skip);
+      emit_li env r false_val;
+      emit env (Isa.Sym.Label skip);
+      Vint r
+  | Ast.Mod | Ast.Land | Ast.Lor -> fail line "internal: int-only op on floats"
+
+and eval_call env line name args =
+  match (name, args) with
+  | "print_int", [ a ] ->
+      let v, owned = eval_operand env a in
+      let r = match v with
+        | Vint r -> r
+        | Vfloat _ -> fail line "print_int expects int"
+      in
+      op env (Isa.Insn.Addu (Isa.Reg.a0, r, Isa.Reg.zero));
+      if owned then pop_int env;
+      emit_li env Isa.Reg.v0 1;
+      op env Isa.Insn.Syscall;
+      Vint (push_int env line)
+  | "print_char", [ a ] ->
+      let v, owned = eval_operand env a in
+      let r = match v with
+        | Vint r -> r
+        | Vfloat _ -> fail line "print_char expects int"
+      in
+      op env (Isa.Insn.Addu (Isa.Reg.a0, r, Isa.Reg.zero));
+      if owned then pop_int env;
+      emit_li env Isa.Reg.v0 11;
+      op env Isa.Insn.Syscall;
+      Vint (push_int env line)
+  | "print_float", [ a ] ->
+      let v, owned = eval_operand env a in
+      let r = match v with
+        | Vfloat r -> r
+        | Vint _ -> fail line "print_float expects float"
+      in
+      op env (Isa.Insn.Mov_s (Isa.Reg.f_of_int 12, r));
+      if owned then pop_float env;
+      emit_li env Isa.Reg.v0 2;
+      op env Isa.Insn.Syscall;
+      Vint (push_int env line)
+  | "fabs", [ a ] ->
+      let r = match eval_expr env a with
+        | Vfloat r -> r
+        | Vint _ -> fail line "fabs expects float"
+      in
+      op env (Isa.Insn.Abs_s (r, r));
+      Vfloat r
+  | "sqrtf", [ a ] ->
+      let r = match eval_expr env a with
+        | Vfloat r -> r
+        | Vint _ -> fail line "sqrtf expects float"
+      in
+      op env (Isa.Insn.Sqrt_s (r, r));
+      Vfloat r
+  | _ ->
+      let func =
+        match
+          List.find_opt (fun f -> f.Ast.f_name = name) env.program.Ast.funcs
+        with
+        | Some f -> f
+        | None -> fail line ("internal: unknown function " ^ name)
+      in
+      let live_int = env.int_depth and live_float = env.float_depth in
+      for i = 0 to live_int - 1 do
+        op env (Isa.Insn.Sw (int_stack.(i), int_spill_offset i, Isa.Reg.sp))
+      done;
+      for i = 0 to live_float - 1 do
+        op env (Isa.Insn.Swc1 (float_stack.(i), float_spill_offset i, Isa.Reg.sp))
+      done;
+      let values = List.map (fun a -> eval_expr env a) args in
+      let values =
+        List.map2
+          (fun v (pty, _) ->
+            match (v, pty) with
+            | Vint _, Ast.Tfloat -> promote env line v
+            | (Vint _ | Vfloat _), (Ast.Tint | Ast.Tfloat) -> v)
+          values func.Ast.f_params
+      in
+      List.iteri
+        (fun i v ->
+          match v with
+          | Vint r ->
+              op env (Isa.Insn.Addu (Isa.Reg.of_int (4 + i), r, Isa.Reg.zero))
+          | Vfloat r ->
+              op env (Isa.Insn.Mov_s (Isa.Reg.f_of_int (12 + i), r)))
+        values;
+      List.iter
+        (fun v -> match v with Vint _ -> pop_int env | Vfloat _ -> pop_float env)
+        (List.rev values);
+      emit env (Isa.Sym.Jal_l ("fn_" ^ name));
+      for i = 0 to live_int - 1 do
+        op env (Isa.Insn.Lw (int_stack.(i), int_spill_offset i, Isa.Reg.sp))
+      done;
+      for i = 0 to live_float - 1 do
+        op env (Isa.Insn.Lwc1 (float_stack.(i), float_spill_offset i, Isa.Reg.sp))
+      done;
+      (match func.Ast.f_ret with
+      | Ast.Void ->
+          let r = push_int env line in
+          op env (Isa.Insn.Addu (r, Isa.Reg.zero, Isa.Reg.zero));
+          Vint r
+      | Ast.Scalar Ast.Tint ->
+          let r = push_int env line in
+          op env (Isa.Insn.Addu (r, Isa.Reg.v0, Isa.Reg.zero));
+          Vint r
+      | Ast.Scalar Ast.Tfloat ->
+          let r = push_float env line in
+          op env (Isa.Insn.Mov_s (r, Isa.Reg.f_of_int 0));
+          Vfloat r)
+
+(* ---- statements ---------------------------------------------------------- *)
+
+let rec gen_stmt ?loop env epilogue ret_type stmt =
+  match stmt with
+  | Ast.Assign (lv, e) -> gen_assign env lv e
+  | Ast.Expr_stmt e -> (
+      match eval_expr env e with
+      | Vint _ -> pop_int env
+      | Vfloat _ -> pop_float env)
+  | Ast.Block b -> gen_block ?loop env epilogue ret_type b
+  | Ast.Break line -> (
+      match loop with
+      | Some (break_label, _) -> emit env (Isa.Sym.J_l break_label)
+      | None -> fail line "internal: break survived checking outside a loop")
+  | Ast.Continue line -> (
+      match loop with
+      | Some (_, continue_label) -> emit env (Isa.Sym.J_l continue_label)
+      | None -> fail line "internal: continue survived checking outside a loop")
+  | Ast.If (cond, then_, else_) -> (
+      let r =
+        match eval_expr env cond with
+        | Vint r -> r
+        | Vfloat _ -> fail cond.Ast.line "internal: float condition"
+      in
+      let lbl_else = fresh_label env "else" in
+      emit env (Isa.Sym.Beq_l (r, Isa.Reg.zero, lbl_else));
+      pop_int env;
+      gen_block ?loop env epilogue ret_type then_;
+      match else_ with
+      | None -> emit env (Isa.Sym.Label lbl_else)
+      | Some eb ->
+          let lbl_end = fresh_label env "endif" in
+          emit env (Isa.Sym.J_l lbl_end);
+          emit env (Isa.Sym.Label lbl_else);
+          gen_block ?loop env epilogue ret_type eb;
+          emit env (Isa.Sym.Label lbl_end))
+  | Ast.While (cond, body) ->
+      let lbl_head = fresh_label env "while" in
+      let lbl_end = fresh_label env "wend" in
+      emit env (Isa.Sym.Label lbl_head);
+      let r =
+        match eval_expr env cond with
+        | Vint r -> r
+        | Vfloat _ -> fail cond.Ast.line "internal: float condition"
+      in
+      emit env (Isa.Sym.Beq_l (r, Isa.Reg.zero, lbl_end));
+      pop_int env;
+      gen_block ~loop:(lbl_end, lbl_head) env epilogue ret_type body;
+      emit env (Isa.Sym.J_l lbl_head);
+      emit env (Isa.Sym.Label lbl_end)
+  | Ast.For (init, cond, step, body) ->
+      Option.iter (gen_stmt ?loop env epilogue ret_type) init;
+      let lbl_head = fresh_label env "for" in
+      let lbl_cont = fresh_label env "fstep" in
+      let lbl_end = fresh_label env "fend" in
+      emit env (Isa.Sym.Label lbl_head);
+      (match cond with
+      | None -> ()
+      | Some c ->
+          let r =
+            match eval_expr env c with
+            | Vint r -> r
+            | Vfloat _ -> fail c.Ast.line "internal: float condition"
+          in
+          emit env (Isa.Sym.Beq_l (r, Isa.Reg.zero, lbl_end));
+          pop_int env);
+      gen_block ~loop:(lbl_end, lbl_cont) env epilogue ret_type body;
+      emit env (Isa.Sym.Label lbl_cont);
+      Option.iter (gen_stmt ~loop:(lbl_end, lbl_cont) env epilogue ret_type) step;
+      emit env (Isa.Sym.J_l lbl_head);
+      emit env (Isa.Sym.Label lbl_end)
+  | Ast.Return (value, line) ->
+      (match (value, ret_type) with
+      | None, _ -> ()
+      | Some e, Ast.Scalar Ast.Tint -> (
+          let v, owned = eval_operand env e in
+          match v with
+          | Vint r ->
+              op env (Isa.Insn.Addu (Isa.Reg.v0, r, Isa.Reg.zero));
+              if owned then pop_int env
+          | Vfloat _ -> fail line "internal: float return from int fn")
+      | Some e, Ast.Scalar Ast.Tfloat -> (
+          let v = eval_expr env e in
+          match promote env line v with
+          | Vfloat r ->
+              op env (Isa.Insn.Mov_s (Isa.Reg.f_of_int 0, r));
+              pop_float env
+          | Vint _ -> assert false)
+      | Some _, Ast.Void -> fail line "internal: value return from void fn");
+      emit env (Isa.Sym.J_l epilogue)
+
+and store_scalar env line slot v =
+  (* store an evaluated value into a scalar slot; pops owned value regs *)
+  match (slot, v) with
+  | Reg_int dest, (Vint r, owned) ->
+      op env (Isa.Insn.Addu (dest, r, Isa.Reg.zero));
+      if owned then pop_int env
+  | Reg_float dest, (value, owned) -> (
+      match value with
+      | Vfloat r ->
+          op env (Isa.Insn.Mov_s (dest, r));
+          if owned then pop_float env
+      | Vint _ -> (
+          (* promotion of a direct register pushes an owned float *)
+          let promoted =
+            if owned then promote env line value
+            else begin
+              let fd = push_float env line in
+              let r = (match value with Vint r -> r | _ -> assert false) in
+              op env (Isa.Insn.Mtc1 (r, fd));
+              op env (Isa.Insn.Cvt_s_w (fd, fd));
+              Vfloat fd
+            end
+          in
+          match promoted with
+          | Vfloat r ->
+              op env (Isa.Insn.Mov_s (dest, r));
+              pop_float env
+          | Vint _ -> assert false))
+  | Local { offset; ty = Ast.Tint }, (Vint r, owned) ->
+      op env (Isa.Insn.Sw (r, offset, Isa.Reg.sp));
+      if owned then pop_int env
+  | Local { offset; ty = Ast.Tfloat }, (value, owned) -> (
+      let promoted =
+        match (value, owned) with
+        | Vfloat _, _ -> Some (value, owned)
+        | Vint _, true -> Some (promote env line value, true)
+        | Vint _, false ->
+            let fd = push_float env line in
+            let r = (match value with Vint r -> r | _ -> assert false) in
+            op env (Isa.Insn.Mtc1 (r, fd));
+            op env (Isa.Insn.Cvt_s_w (fd, fd));
+            Some (Vfloat fd, true)
+      in
+      match promoted with
+      | Some (Vfloat r, owned') ->
+          op env (Isa.Insn.Swc1 (r, offset, Isa.Reg.sp));
+          if owned' then pop_float env
+      | _ -> assert false)
+  | Global { address; dims = []; ty = Ast.Tint }, (Vint r, owned) ->
+      let ra = push_int env line in
+      emit_li env ra address;
+      op env (Isa.Insn.Sw (r, 0, ra));
+      pop_int env;
+      if owned then pop_int env
+  | Global { address; dims = []; ty = Ast.Tfloat }, (value, owned) -> (
+      let promoted =
+        match (value, owned) with
+        | Vfloat _, _ -> (value, owned)
+        | Vint _, true -> (promote env line value, true)
+        | Vint _, false ->
+            let fd = push_float env line in
+            let r = (match value with Vint r -> r | _ -> assert false) in
+            op env (Isa.Insn.Mtc1 (r, fd));
+            op env (Isa.Insn.Cvt_s_w (fd, fd));
+            (Vfloat fd, true)
+      in
+      match promoted with
+      | Vfloat rf, owned' ->
+          let ra = push_int env line in
+          emit_li env ra address;
+          op env (Isa.Insn.Swc1 (rf, 0, ra));
+          pop_int env;
+          if owned' then pop_float env
+      | Vint _, _ -> assert false)
+  | (Reg_int _ | Local { ty = Ast.Tint; _ } | Global { ty = Ast.Tint; _ }),
+    (Vfloat _, _) ->
+      fail line "internal: float into int"
+  | Global { dims = _ :: _; _ }, _ ->
+      fail line "internal: store_scalar on array"
+
+and gen_assign env lv e =
+  let slot = find_var env lv.Ast.base lv.Ast.lv_line in
+  let line = lv.Ast.lv_line in
+  match (slot, lv.Ast.indices) with
+  | (Reg_int _ | Reg_float _ | Local _ | Global { dims = []; _ }), [] ->
+      let v = eval_operand env e in
+      store_scalar env line slot v
+  | Global { ty; _ }, _ :: _ -> (
+      let raddr = lvalue_address env lv in
+      let value, owned = eval_operand env e in
+      match (ty, value) with
+      | Ast.Tint, Vint rv ->
+          op env (Isa.Insn.Sw (rv, 0, raddr));
+          if owned then pop_int env;
+          pop_int env
+      | Ast.Tfloat, _ -> (
+          let promoted =
+            match (value, owned) with
+            | Vfloat _, _ -> (value, owned)
+            | Vint _, true -> (promote env line value, true)
+            | Vint _, false ->
+                let fd = push_float env line in
+                let r = (match value with Vint r -> r | _ -> assert false) in
+                op env (Isa.Insn.Mtc1 (r, fd));
+                op env (Isa.Insn.Cvt_s_w (fd, fd));
+                (Vfloat fd, true)
+          in
+          match promoted with
+          | Vfloat rf, owned' ->
+              op env (Isa.Insn.Swc1 (rf, 0, raddr));
+              if owned' then pop_float env;
+              pop_int env
+          | Vint _, _ -> assert false)
+      | Ast.Tint, Vfloat _ -> fail line "internal: float into int")
+  | (Reg_int _ | Reg_float _ | Local _), _ :: _ ->
+      fail line "cannot index a scalar"
+  | Global { dims = _ :: _; _ }, [] ->
+      fail line "array assigned without indices"
+
+and gen_block ?loop env epilogue ret_type (b : Ast.block) =
+  let added = ref [] in
+  List.iter
+    (fun (ty, name, _line) ->
+      (* promoted names were pre-assigned registers in gen_function *)
+      if not (Hashtbl.mem env.vars name) then begin
+        Hashtbl.add env.vars name (Local { offset = env.next_local; ty });
+        added := name :: !added;
+        env.next_local <- env.next_local + 4
+      end)
+    b.Ast.decls;
+  List.iter (gen_stmt ?loop env epilogue ret_type) b.Ast.stmts;
+  List.iter (Hashtbl.remove env.vars) !added
+
+(* ---- promotion analysis ---------------------------------------------------- *)
+
+(* Count uses of scalar names, weighted by loop depth, to pick the hottest
+   for register promotion. *)
+let use_counts (f : Ast.func) =
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let bump depth name =
+    let w = int_of_float (10.0 ** float_of_int (min depth 6)) in
+    Hashtbl.replace counts name
+      (w + Option.value (Hashtbl.find_opt counts name) ~default:0)
+  in
+  let rec expr depth (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.Int_lit _ | Ast.Float_lit _ -> ()
+    | Ast.Lval lv -> lvalue depth lv
+    | Ast.Binop (_, a, b) ->
+        expr depth a;
+        expr depth b
+    | Ast.Unop (_, a) | Ast.Cast_float a | Ast.Cast_int a -> expr depth a
+    | Ast.Call (_, args) -> List.iter (expr depth) args
+  and lvalue depth (lv : Ast.lvalue) =
+    if lv.Ast.indices = [] then bump depth lv.Ast.base;
+    List.iter (expr depth) lv.Ast.indices
+  and stmt depth = function
+    | Ast.Assign (lv, e) ->
+        lvalue depth lv;
+        expr depth e
+    | Ast.If (c, t, e) ->
+        expr depth c;
+        block depth t;
+        Option.iter (block depth) e
+    | Ast.While (c, b) ->
+        expr (depth + 1) c;
+        block (depth + 1) b
+    | Ast.For (i, c, s, b) ->
+        Option.iter (stmt depth) i;
+        Option.iter (expr (depth + 1)) c;
+        Option.iter (stmt (depth + 1)) s;
+        block (depth + 1) b
+    | Ast.Return (v, _) -> Option.iter (expr depth) v
+    | Ast.Break _ | Ast.Continue _ -> ()
+    | Ast.Expr_stmt e -> expr depth e
+    | Ast.Block b -> block depth b
+  and block depth (b : Ast.block) = List.iter (stmt depth) b.Ast.stmts in
+  block 0 f.Ast.f_body;
+  counts
+
+(* Scalar locals/params with their types, first occurrence wins on name
+   collisions between sibling blocks (they share a register safely: their
+   live ranges cannot overlap). *)
+let scalar_decls (f : Ast.func) =
+  let out = ref [] in
+  let seen = Hashtbl.create 16 in
+  let add ty name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      out := (name, ty) :: !out
+    end
+  in
+  List.iter (fun (ty, name) -> add ty name) f.Ast.f_params;
+  let rec block (b : Ast.block) =
+    List.iter (fun (ty, name, _) -> add ty name) b.Ast.decls;
+    List.iter stmt b.Ast.stmts
+  and stmt = function
+    | Ast.Assign _ | Ast.Return _ | Ast.Expr_stmt _ | Ast.Break _
+    | Ast.Continue _ ->
+        ()
+    | Ast.Block b -> block b
+    | Ast.If (_, t, e) ->
+        block t;
+        Option.iter block e
+    | Ast.While (_, b) -> block b
+    | Ast.For (i, _, s, b) ->
+        Option.iter stmt i;
+        Option.iter stmt s;
+        block b
+  in
+  block f.Ast.f_body;
+  List.rev !out
+
+let choose_promotions (f : Ast.func) =
+  let counts = use_counts f in
+  let weight name = Option.value (Hashtbl.find_opt counts name) ~default:0 in
+  let scalars = scalar_decls f in
+  let ranked =
+    List.stable_sort
+      (fun (a, _) (b, _) -> Int.compare (weight b) (weight a))
+      scalars
+  in
+  let ints = ref [] and floats = ref [] in
+  List.iter
+    (fun (name, ty) ->
+      if weight name > 0 then
+        match ty with
+        | Ast.Tint ->
+            if List.length !ints < Array.length saved_int then
+              ints := name :: !ints
+        | Ast.Tfloat ->
+            if List.length !floats < Array.length saved_float then
+              floats := name :: !floats)
+    ranked;
+  (List.rev !ints, List.rev !floats)
+
+(* ---- functions ----------------------------------------------------------- *)
+
+let rec count_block_locals (b : Ast.block) =
+  List.length b.Ast.decls
+  + List.fold_left (fun acc s -> acc + count_stmt_locals s) 0 b.Ast.stmts
+
+and count_stmt_locals = function
+  | Ast.Assign _ | Ast.Return _ | Ast.Expr_stmt _ | Ast.Break _
+  | Ast.Continue _ ->
+      0
+  | Ast.Block b -> count_block_locals b
+  | Ast.If (_, t, e) -> (
+      count_block_locals t
+      + match e with None -> 0 | Some b -> count_block_locals b)
+  | Ast.While (_, b) -> count_block_locals b
+  | Ast.For (i, _, s, b) ->
+      count_block_locals b
+      + (match i with Some st -> count_stmt_locals st | None -> 0)
+      + (match s with Some st -> count_stmt_locals st | None -> 0)
+
+let gen_function ~promote_registers program layout vars_template (f : Ast.func) =
+  let promoted_ints, promoted_floats =
+    if promote_registers then choose_promotions f else ([], [])
+  in
+  let n_saves = List.length promoted_ints + List.length promoted_floats in
+  let locals = count_block_locals f.Ast.f_body + List.length f.Ast.f_params in
+  let frame_size =
+    let raw = spill_bytes + (4 * locals) + (4 * n_saves) + 4 (* ra *) in
+    (raw + 7) land lnot 7
+  in
+  let env =
+    {
+      program;
+      layout;
+      vars = Hashtbl.copy vars_template;
+      frame_size;
+      next_local = spill_bytes;
+      label_counter = 0;
+      fn_name = f.Ast.f_name;
+      out = ref [];
+      int_depth = 0;
+      float_depth = 0;
+    }
+  in
+  let epilogue = fresh_label env "ret" in
+  emit env (Isa.Sym.Label ("fn_" ^ f.Ast.f_name));
+  op env (Isa.Insn.Addiu (Isa.Reg.sp, Isa.Reg.sp, -frame_size));
+  op env (Isa.Insn.Sw (Isa.Reg.ra, frame_size - 4, Isa.Reg.sp));
+  (* save callee-saved registers this function will use, and bind names *)
+  let save_slots = ref [] in
+  List.iteri
+    (fun i name ->
+      let reg = saved_int.(i) in
+      let offset = env.next_local in
+      env.next_local <- env.next_local + 4;
+      op env (Isa.Insn.Sw (reg, offset, Isa.Reg.sp));
+      save_slots := `Int (reg, offset) :: !save_slots;
+      Hashtbl.add env.vars name (Reg_int reg))
+    promoted_ints;
+  List.iteri
+    (fun i name ->
+      let reg = saved_float.(i) in
+      let offset = env.next_local in
+      env.next_local <- env.next_local + 4;
+      op env (Isa.Insn.Swc1 (reg, offset, Isa.Reg.sp));
+      save_slots := `Float (reg, offset) :: !save_slots;
+      Hashtbl.add env.vars name (Reg_float reg))
+    promoted_floats;
+  (* bind parameters: promoted ones move into their register, the rest go to
+     frame slots *)
+  List.iteri
+    (fun i (ty, name) ->
+      match Hashtbl.find_opt env.vars name with
+      | Some (Reg_int reg) ->
+          op env (Isa.Insn.Addu (reg, Isa.Reg.of_int (4 + i), Isa.Reg.zero))
+      | Some (Reg_float reg) ->
+          op env (Isa.Insn.Mov_s (reg, Isa.Reg.f_of_int (12 + i)))
+      | Some (Global _ | Local _) | None -> (
+          let offset = env.next_local in
+          env.next_local <- env.next_local + 4;
+          Hashtbl.add env.vars name (Local { offset; ty });
+          match ty with
+          | Ast.Tint ->
+              op env (Isa.Insn.Sw (Isa.Reg.of_int (4 + i), offset, Isa.Reg.sp))
+          | Ast.Tfloat ->
+              op env
+                (Isa.Insn.Swc1 (Isa.Reg.f_of_int (12 + i), offset, Isa.Reg.sp))))
+    f.Ast.f_params;
+  gen_block env epilogue f.Ast.f_ret f.Ast.f_body;
+  emit env (Isa.Sym.Label epilogue);
+  List.iter
+    (fun slot ->
+      match slot with
+      | `Int (reg, offset) -> op env (Isa.Insn.Lw (reg, offset, Isa.Reg.sp))
+      | `Float (reg, offset) -> op env (Isa.Insn.Lwc1 (reg, offset, Isa.Reg.sp)))
+    (List.rev !save_slots);
+  op env (Isa.Insn.Lw (Isa.Reg.ra, frame_size - 4, Isa.Reg.sp));
+  op env (Isa.Insn.Addiu (Isa.Reg.sp, Isa.Reg.sp, frame_size));
+  op env (Isa.Insn.Jr Isa.Reg.ra);
+  List.rev !(env.out)
+
+let generate ?(promote_registers = true) (program : Ast.program) =
+  let layout = build_layout program.Ast.globals in
+  let vars = Hashtbl.create 32 in
+  List.iter
+    (fun (g : Ast.global) ->
+      Hashtbl.add vars g.Ast.g_name
+        (Global
+           {
+             address = List.assoc g.Ast.g_name layout.global_offsets;
+             dims = g.Ast.g_dims;
+             ty = g.Ast.g_type;
+           }))
+    program.Ast.globals;
+  let prologue =
+    [
+      Isa.Sym.Jal_l "fn_main";
+      Isa.Sym.Op (Isa.Insn.Addu (Isa.Reg.a0, Isa.Reg.v0, Isa.Reg.zero));
+      Isa.Sym.Op (Isa.Insn.Addiu (Isa.Reg.v0, Isa.Reg.zero, 10));
+      Isa.Sym.Op Isa.Insn.Syscall;
+    ]
+  in
+  let bodies =
+    List.concat_map
+      (gen_function ~promote_registers program layout vars)
+      program.Ast.funcs
+  in
+  (prologue @ bodies, layout)

@@ -1,0 +1,25 @@
+(** Code generation to the ISA.
+
+    A straightforward one-pass generator in the style of a non-optimising C
+    compiler: expressions evaluate on a register stack ([$t0..$t7] for ints,
+    [$f4..$f11] for floats), locals live in the stack frame, globals at
+    fixed data addresses.  Calls spill the live temporaries to a reserved
+    frame area; arguments pass in [$a0..$a3] / [$f12..$f15] by position.
+
+    The program image starts with a tiny runtime: [jal main] followed by
+    the exit syscall, so instruction 0 is always the entry point. *)
+
+exception Codegen_error of { line : int; message : string }
+
+type layout = {
+  data_base : int;  (** byte address of the first global *)
+  data_size : int;  (** bytes of global data *)
+  global_offsets : (string * int) list;  (** byte offsets from zero *)
+}
+
+(** [generate program] compiles a {e checked} program (see
+    {!Typecheck.check}) to a symbolic instruction stream plus the data
+    layout.  Raises {!Codegen_error} on expressions too deep for the
+    register stacks or unsupported constructs. *)
+val generate :
+  ?promote_registers:bool -> Ast.program -> Isa.Sym.item list * layout

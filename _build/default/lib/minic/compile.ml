@@ -1,0 +1,26 @@
+type level = O0 | O1
+
+type compiled = {
+  program : Isa.Program.t;
+  layout : Codegen.layout;
+  ast : Ast.program;
+}
+
+let compile ?(opt = O1) source =
+  let ast = Parser.parse source in
+  let ast = match opt with O0 -> ast | O1 -> Fold.program ast in
+  Typecheck.check ast;
+  let promote_registers = opt <> O0 in
+  let items, layout = Codegen.generate ~promote_registers ast in
+  { program = Isa.Program.of_items items; layout; ast }
+
+let describe_error = function
+  | Lexer.Lex_error { line; message } ->
+      Some (Printf.sprintf "lex error, line %d: %s" line message)
+  | Parser.Parse_error { line; message } ->
+      Some (Printf.sprintf "parse error, line %d: %s" line message)
+  | Typecheck.Type_error { line; message } ->
+      Some (Printf.sprintf "type error, line %d: %s" line message)
+  | Codegen.Codegen_error { line; message } ->
+      Some (Printf.sprintf "codegen error, line %d: %s" line message)
+  | _ -> None

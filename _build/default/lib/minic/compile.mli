@@ -1,0 +1,23 @@
+(** One-call compilation driver. *)
+
+(** Optimisation levels.  [O0] is the naive translation (every scalar on the
+    stack, no folding) — the shape of an unoptimising compiler.  [O1] runs
+    constant folding and promotes the hottest scalars to callee-saved
+    registers, producing loop bodies much closer to what the paper's gcc
+    toolchain emitted. *)
+type level = O0 | O1
+
+type compiled = {
+  program : Isa.Program.t;
+  layout : Codegen.layout;
+  ast : Ast.program;
+}
+
+(** [compile ?opt source] parses, checks and generates code ([opt] defaults
+    to [O1]).  Raises {!Lexer.Lex_error}, {!Parser.Parse_error},
+    {!Typecheck.Type_error} or {!Codegen.Codegen_error} on bad input. *)
+val compile : ?opt:level -> string -> compiled
+
+(** [describe_error exn] renders this library's exceptions, [None] for
+    foreign ones. *)
+val describe_error : exn -> string option

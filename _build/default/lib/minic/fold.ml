@@ -1,0 +1,107 @@
+let single v = Int32.float_of_bits (Int32.bits_of_float v)
+
+let sign32 v =
+  let m = v land 0xffffffff in
+  if m >= 0x80000000 then m - 0x100000000 else m
+
+let mk line desc = { Ast.desc; line; ety = None }
+
+let rec expr (e : Ast.expr) : Ast.expr =
+  let line = e.Ast.line in
+  match e.Ast.desc with
+  | Ast.Int_lit _ | Ast.Float_lit _ -> e
+  | Ast.Lval lv -> mk line (Ast.Lval (lvalue lv))
+  | Ast.Cast_float inner -> (
+      match expr inner with
+      | { Ast.desc = Ast.Int_lit v; _ } ->
+          mk line (Ast.Float_lit (single (float_of_int v)))
+      | folded -> mk line (Ast.Cast_float folded))
+  | Ast.Cast_int inner -> (
+      match expr inner with
+      | { Ast.desc = Ast.Float_lit v; _ } when Float.is_finite v ->
+          mk line (Ast.Int_lit (sign32 (int_of_float (Float.trunc v))))
+      | folded -> mk line (Ast.Cast_int folded))
+  | Ast.Unop (op, inner) -> (
+      let folded = expr inner in
+      match (op, folded.Ast.desc) with
+      | Ast.Neg, Ast.Int_lit v -> mk line (Ast.Int_lit (sign32 (-v)))
+      | Ast.Neg, Ast.Float_lit v -> mk line (Ast.Float_lit (single (-.v)))
+      | Ast.Lnot, Ast.Int_lit v -> mk line (Ast.Int_lit (if v = 0 then 1 else 0))
+      | (Ast.Neg | Ast.Lnot), _ -> mk line (Ast.Unop (op, folded)))
+  | Ast.Call (name, args) -> mk line (Ast.Call (name, List.map expr args))
+  | Ast.Binop (op, a, b) -> (
+      let a = expr a and b = expr b in
+      let remade = mk line (Ast.Binop (op, a, b)) in
+      match (op, a.Ast.desc, b.Ast.desc) with
+      | _, Ast.Int_lit x, Ast.Int_lit y -> fold_int line op x y remade
+      | _, Ast.Float_lit x, Ast.Float_lit y -> fold_float line op x y remade
+      (* mixed literals promote, matching the typechecker *)
+      | _, Ast.Int_lit x, Ast.Float_lit y when arith op ->
+          fold_float line op (float_of_int x) y remade
+      | _, Ast.Float_lit x, Ast.Int_lit y when arith op ->
+          fold_float line op x (float_of_int y) remade
+      (* short-circuit decided by the left literal *)
+      | Ast.Land, Ast.Int_lit 0, _ -> mk line (Ast.Int_lit 0)
+      | Ast.Lor, Ast.Int_lit v, _ when v <> 0 -> mk line (Ast.Int_lit 1)
+      | _, _, _ -> remade)
+
+and arith = function
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Dvd
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      true
+  | Ast.Mod | Ast.Land | Ast.Lor -> false
+
+and fold_int line op x y unfolded =
+  let b v = Ast.Int_lit (if v then 1 else 0) in
+  let i v = Ast.Int_lit (sign32 v) in
+  match op with
+  | Ast.Add -> mk line (i (x + y))
+  | Ast.Sub -> mk line (i (x - y))
+  | Ast.Mul -> mk line (i (x * y))
+  | Ast.Dvd -> if y = 0 then unfolded else mk line (i (x / y))
+  | Ast.Mod -> if y = 0 then unfolded else mk line (i (x mod y))
+  | Ast.Eq -> mk line (b (x = y))
+  | Ast.Ne -> mk line (b (x <> y))
+  | Ast.Lt -> mk line (b (x < y))
+  | Ast.Le -> mk line (b (x <= y))
+  | Ast.Gt -> mk line (b (x > y))
+  | Ast.Ge -> mk line (b (x >= y))
+  | Ast.Land -> mk line (b (x <> 0 && y <> 0))
+  | Ast.Lor -> mk line (b (x <> 0 || y <> 0))
+
+and fold_float line op x y unfolded =
+  let b v = Ast.Int_lit (if v then 1 else 0) in
+  let f v = Ast.Float_lit (single v) in
+  let x = single x and y = single y in
+  match op with
+  | Ast.Add -> mk line (f (x +. y))
+  | Ast.Sub -> mk line (f (x -. y))
+  | Ast.Mul -> mk line (f (x *. y))
+  | Ast.Dvd -> if y = 0.0 then unfolded else mk line (f (x /. y))
+  | Ast.Eq -> mk line (b (x = y))
+  | Ast.Ne -> mk line (b (x <> y))
+  | Ast.Lt -> mk line (b (x < y))
+  | Ast.Le -> mk line (b (x <= y))
+  | Ast.Gt -> mk line (b (x > y))
+  | Ast.Ge -> mk line (b (x >= y))
+  | Ast.Mod | Ast.Land | Ast.Lor -> unfolded
+
+and lvalue (lv : Ast.lvalue) =
+  { lv with Ast.indices = List.map expr lv.Ast.indices }
+
+let rec stmt = function
+  | Ast.Assign (lv, e) -> Ast.Assign (lvalue lv, expr e)
+  | Ast.If (c, t, e) -> Ast.If (expr c, block t, Option.map block e)
+  | Ast.While (c, b) -> Ast.While (expr c, block b)
+  | Ast.For (i, c, s, b) ->
+      Ast.For (Option.map stmt i, Option.map expr c, Option.map stmt s, block b)
+  | Ast.Return (v, line) -> Ast.Return (Option.map expr v, line)
+  | (Ast.Break _ | Ast.Continue _) as s -> s
+  | Ast.Expr_stmt e -> Ast.Expr_stmt (expr e)
+  | Ast.Block b -> Ast.Block (block b)
+
+and block (b : Ast.block) = { b with Ast.stmts = List.map stmt b.Ast.stmts }
+
+let func (f : Ast.func) = { f with Ast.f_body = block f.Ast.f_body }
+
+let program (p : Ast.program) = { p with Ast.funcs = List.map func p.Ast.funcs }

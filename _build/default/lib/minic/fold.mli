@@ -1,0 +1,14 @@
+(** Constant folding over the AST.
+
+    Evaluates literal subexpressions ([256 - 1], [2.0 * 3.0], unary minus on
+    literals, branches of [&&]/[||] decided by a literal) before type
+    checking.  Folding float arithmetic rounds through single precision, so
+    a folded expression produces bit-identical results to the unfolded one
+    executing on the FP unit.  Division or modulus by a literal zero is left
+    unfolded so the fault still occurs at run time. *)
+
+(** [program p] folds every expression in [p]. *)
+val program : Ast.program -> Ast.program
+
+(** [expr e] folds one expression (exposed for tests). *)
+val expr : Ast.expr -> Ast.expr

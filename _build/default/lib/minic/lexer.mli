@@ -1,0 +1,24 @@
+(** Hand-written lexer for Minic. *)
+
+type token =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW_INT | KW_FLOAT | KW_VOID
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN
+  | KW_BREAK | KW_CONTINUE
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | ASSIGN  (** [=] *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | NE | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | EOF
+
+exception Lex_error of { line : int; message : string }
+
+(** [tokenize source] is the token stream with 1-based line numbers.
+    Comments are [// ...] and [/* ... */]. *)
+val tokenize : string -> (token * int) list
+
+val token_to_string : token -> string

@@ -1,0 +1,342 @@
+exception Parse_error of { line : int; message : string }
+
+type cursor = { mutable toks : (Lexer.token * int) list }
+
+let fail line message = raise (Parse_error { line; message })
+
+let peek cur =
+  match cur.toks with
+  | (t, line) :: _ -> (t, line)
+  | [] -> (Lexer.EOF, 0)
+
+let advance cur =
+  match cur.toks with
+  | _ :: rest -> cur.toks <- rest
+  | [] -> ()
+
+let next cur =
+  let t = peek cur in
+  advance cur;
+  t
+
+let expect cur want what =
+  let t, line = next cur in
+  if t <> want then
+    fail line
+      (Printf.sprintf "expected %s, found %s" what (Lexer.token_to_string t))
+
+let expect_ident cur =
+  match next cur with
+  | Lexer.IDENT s, _ -> s
+  | t, line ->
+      fail line ("expected identifier, found " ^ Lexer.token_to_string t)
+
+let mk line desc = { Ast.desc; line; ety = None }
+
+(* --- expressions, precedence climbing ----------------------------------- *)
+
+let rec parse_primary cur =
+  match next cur with
+  | Lexer.INT_LIT v, line -> mk line (Ast.Int_lit v)
+  | Lexer.FLOAT_LIT v, line -> mk line (Ast.Float_lit v)
+  | Lexer.LPAREN, _ ->
+      let e = parse_expression cur in
+      expect cur Lexer.RPAREN ")";
+      e
+  | Lexer.MINUS, line ->
+      let e = parse_primary cur in
+      mk line (Ast.Unop (Ast.Neg, e))
+  | Lexer.BANG, line ->
+      let e = parse_primary cur in
+      mk line (Ast.Unop (Ast.Lnot, e))
+  | Lexer.IDENT name, line -> (
+      match peek cur with
+      | Lexer.LPAREN, _ ->
+          advance cur;
+          let args = parse_args cur in
+          let call = mk line (Ast.Call (name, args)) in
+          (* intrinsic casts get their own AST nodes *)
+          (match (name, args) with
+          | "itof", [ a ] -> mk line (Ast.Cast_float a)
+          | "ftoi", [ a ] -> mk line (Ast.Cast_int a)
+          | _ -> call)
+      | _ ->
+          let indices = parse_indices cur in
+          mk line (Ast.Lval { Ast.base = name; indices; lv_line = line }))
+  | t, line ->
+      fail line ("expected expression, found " ^ Lexer.token_to_string t)
+
+and parse_indices cur =
+  match peek cur with
+  | Lexer.LBRACKET, _ ->
+      advance cur;
+      let e = parse_expression cur in
+      expect cur Lexer.RBRACKET "]";
+      e :: parse_indices cur
+  | _ -> []
+
+and parse_args cur =
+  match peek cur with
+  | Lexer.RPAREN, _ ->
+      advance cur;
+      []
+  | _ ->
+      let rec more acc =
+        let e = parse_expression cur in
+        match next cur with
+        | Lexer.COMMA, _ -> more (e :: acc)
+        | Lexer.RPAREN, _ -> List.rev (e :: acc)
+        | t, line -> fail line ("expected , or ), found " ^ Lexer.token_to_string t)
+      in
+      more []
+
+and binop_of_token = function
+  | Lexer.STAR -> Some (Ast.Mul, 7)
+  | Lexer.SLASH -> Some (Ast.Dvd, 7)
+  | Lexer.PERCENT -> Some (Ast.Mod, 7)
+  | Lexer.PLUS -> Some (Ast.Add, 6)
+  | Lexer.MINUS -> Some (Ast.Sub, 6)
+  | Lexer.LT -> Some (Ast.Lt, 5)
+  | Lexer.LE -> Some (Ast.Le, 5)
+  | Lexer.GT -> Some (Ast.Gt, 5)
+  | Lexer.GE -> Some (Ast.Ge, 5)
+  | Lexer.EQ -> Some (Ast.Eq, 4)
+  | Lexer.NE -> Some (Ast.Ne, 4)
+  | Lexer.ANDAND -> Some (Ast.Land, 3)
+  | Lexer.OROR -> Some (Ast.Lor, 2)
+  | _ -> None
+
+and parse_binary cur min_prec =
+  let lhs = ref (parse_primary cur) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (fst (peek cur)) with
+    | Some (op, prec) when prec >= min_prec ->
+        let _, line = next cur in
+        let rhs = parse_binary cur (prec + 1) in
+        lhs := mk line (Ast.Binop (op, !lhs, rhs))
+    | Some _ | None -> continue_ := false
+  done;
+  !lhs
+
+and parse_expression cur = parse_binary cur 0
+
+(* --- statements ---------------------------------------------------------- *)
+
+let parse_scalar_type cur =
+  match next cur with
+  | Lexer.KW_INT, _ -> Ast.Tint
+  | Lexer.KW_FLOAT, _ -> Ast.Tfloat
+  | t, line -> fail line ("expected type, found " ^ Lexer.token_to_string t)
+
+let rec parse_block cur =
+  expect cur Lexer.LBRACE "{";
+  let decls = ref [] in
+  let rec take_decls () =
+    match peek cur with
+    | (Lexer.KW_INT | Lexer.KW_FLOAT), line ->
+        let ty = parse_scalar_type cur in
+        let name = expect_ident cur in
+        expect cur Lexer.SEMI ";";
+        decls := (ty, name, line) :: !decls;
+        take_decls ()
+    | _ -> ()
+  in
+  take_decls ();
+  let stmts = ref [] in
+  let rec take_stmts () =
+    match peek cur with
+    | Lexer.RBRACE, _ -> advance cur
+    | Lexer.EOF, line -> fail line "unterminated block"
+    | _ ->
+        stmts := parse_statement cur :: !stmts;
+        take_stmts ()
+  in
+  take_stmts ();
+  { Ast.decls = List.rev !decls; stmts = List.rev !stmts }
+
+and parse_simple cur =
+  (* assignment or call, no trailing ';' *)
+  let name, line =
+    match next cur with
+    | Lexer.IDENT s, line -> (s, line)
+    | t, line -> fail line ("expected statement, found " ^ Lexer.token_to_string t)
+  in
+  match peek cur with
+  | Lexer.LPAREN, _ ->
+      advance cur;
+      let args = parse_args cur in
+      Ast.Expr_stmt (mk line (Ast.Call (name, args)))
+  | _ ->
+      let indices = parse_indices cur in
+      expect cur Lexer.ASSIGN "=";
+      let e = parse_expression cur in
+      Ast.Assign ({ Ast.base = name; indices; lv_line = line }, e)
+
+and parse_statement cur =
+  match peek cur with
+  | Lexer.LBRACE, _ -> Ast.Block (parse_block cur)
+  | Lexer.KW_IF, _ ->
+      advance cur;
+      expect cur Lexer.LPAREN "(";
+      let cond = parse_expression cur in
+      expect cur Lexer.RPAREN ")";
+      let then_ = parse_block cur in
+      let else_ =
+        match peek cur with
+        | Lexer.KW_ELSE, _ -> (
+            advance cur;
+            match peek cur with
+            | Lexer.KW_IF, _ ->
+                Some { Ast.decls = []; stmts = [ parse_statement cur ] }
+            | _ -> Some (parse_block cur))
+        | _ -> None
+      in
+      Ast.If (cond, then_, else_)
+  | Lexer.KW_WHILE, _ ->
+      advance cur;
+      expect cur Lexer.LPAREN "(";
+      let cond = parse_expression cur in
+      expect cur Lexer.RPAREN ")";
+      Ast.While (cond, parse_block cur)
+  | Lexer.KW_FOR, _ ->
+      advance cur;
+      expect cur Lexer.LPAREN "(";
+      let init =
+        match peek cur with
+        | Lexer.SEMI, _ -> None
+        | _ -> Some (parse_simple cur)
+      in
+      expect cur Lexer.SEMI ";";
+      let cond =
+        match peek cur with
+        | Lexer.SEMI, _ -> None
+        | _ -> Some (parse_expression cur)
+      in
+      expect cur Lexer.SEMI ";";
+      let step =
+        match peek cur with
+        | Lexer.RPAREN, _ -> None
+        | _ -> Some (parse_simple cur)
+      in
+      expect cur Lexer.RPAREN ")";
+      Ast.For (init, cond, step, parse_block cur)
+  | Lexer.KW_BREAK, line ->
+      advance cur;
+      expect cur Lexer.SEMI ";";
+      Ast.Break line
+  | Lexer.KW_CONTINUE, line ->
+      advance cur;
+      expect cur Lexer.SEMI ";";
+      Ast.Continue line
+  | Lexer.KW_RETURN, line ->
+      advance cur;
+      let value =
+        match peek cur with
+        | Lexer.SEMI, _ -> None
+        | _ -> Some (parse_expression cur)
+      in
+      expect cur Lexer.SEMI ";";
+      Ast.Return (value, line)
+  | _ ->
+      let s = parse_simple cur in
+      expect cur Lexer.SEMI ";";
+      s
+
+(* --- top level ----------------------------------------------------------- *)
+
+let parse_dims cur =
+  let rec go acc =
+    match peek cur with
+    | Lexer.LBRACKET, line -> (
+        advance cur;
+        match next cur with
+        | Lexer.INT_LIT n, _ ->
+            expect cur Lexer.RBRACKET "]";
+            go (n :: acc)
+        | t, _ ->
+            fail line
+              ("array dimension must be an integer literal, found "
+             ^ Lexer.token_to_string t))
+    | _ -> List.rev acc
+  in
+  go []
+
+let parse_params cur =
+  expect cur Lexer.LPAREN "(";
+  match peek cur with
+  | Lexer.RPAREN, _ ->
+      advance cur;
+      []
+  | Lexer.KW_VOID, _ ->
+      advance cur;
+      expect cur Lexer.RPAREN ")";
+      []
+  | _ ->
+      let rec more acc =
+        let ty = parse_scalar_type cur in
+        let name = expect_ident cur in
+        match next cur with
+        | Lexer.COMMA, _ -> more ((ty, name) :: acc)
+        | Lexer.RPAREN, _ -> List.rev ((ty, name) :: acc)
+        | t, line ->
+            fail line ("expected , or ), found " ^ Lexer.token_to_string t)
+      in
+      more []
+
+let parse program_source =
+  let cur = { toks = Lexer.tokenize program_source } in
+  let globals = ref [] and funcs = ref [] in
+  let rec top () =
+    match peek cur with
+    | Lexer.EOF, _ -> ()
+    | Lexer.KW_VOID, line ->
+        advance cur;
+        let name = expect_ident cur in
+        let params = parse_params cur in
+        let body = parse_block cur in
+        funcs :=
+          {
+            Ast.f_ret = Ast.Void;
+            f_name = name;
+            f_params = params;
+            f_body = body;
+            f_line = line;
+          }
+          :: !funcs;
+        top ()
+    | (Lexer.KW_INT | Lexer.KW_FLOAT), line -> (
+        let ty = parse_scalar_type cur in
+        let name = expect_ident cur in
+        match peek cur with
+        | Lexer.LPAREN, _ ->
+            let params = parse_params cur in
+            let body = parse_block cur in
+            funcs :=
+              {
+                Ast.f_ret = Ast.Scalar ty;
+                f_name = name;
+                f_params = params;
+                f_body = body;
+                f_line = line;
+              }
+              :: !funcs;
+            top ()
+        | _ ->
+            let dims = parse_dims cur in
+            expect cur Lexer.SEMI ";";
+            globals :=
+              { Ast.g_type = ty; g_name = name; g_dims = dims; g_line = line }
+              :: !globals;
+            top ())
+    | t, line ->
+        fail line ("expected declaration, found " ^ Lexer.token_to_string t)
+  in
+  top ();
+  { Ast.globals = List.rev !globals; funcs = List.rev !funcs }
+
+let parse_expr source =
+  let cur = { toks = Lexer.tokenize source } in
+  let e = parse_expression cur in
+  expect cur Lexer.EOF "end of input";
+  e

@@ -1,0 +1,9 @@
+(** Recursive-descent parser for Minic. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** [parse source] lexes and parses a full translation unit. *)
+val parse : string -> Ast.program
+
+(** [parse_expr source] parses a single expression (testing aid). *)
+val parse_expr : string -> Ast.expr

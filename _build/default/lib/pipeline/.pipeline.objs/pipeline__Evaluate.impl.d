@@ -1,0 +1,1 @@
+lib/pipeline/evaluate.ml: Array Bitutil Buspower Bytes Cfg Char Format Hardware Isa List Machine Minic Powercode Workloads

@@ -1,0 +1,1 @@
+lib/pipeline/evaluate.mli: Format Isa Workloads

@@ -1,0 +1,210 @@
+type encoded_run = {
+  k : int;
+  transitions : int;
+  reduction_pct : float;
+  tt_used : int;
+  blocks_encoded : int;
+  verified_fetches : int;
+}
+
+type report = {
+  name : string;
+  instructions : int;
+  baseline_transitions : int;
+  businvert_transitions : int;
+  runs : encoded_run list;
+  coverage_pct : float;
+  output : string;
+}
+
+exception Verification_failed of { pc : int; expected : int; got : int }
+
+(* 16-bit table popcount: the counting run touches every fetch for every
+   image, so this is the hot path of the whole harness. *)
+let pop16 =
+  let t = Bytes.create 65536 in
+  for i = 0 to 65535 do
+    let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+    Bytes.set t i (Char.chr (go i 0))
+  done;
+  t
+
+let popcount32 x =
+  Char.code (Bytes.unsafe_get pop16 (x land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((x lsr 16) land 0xffff))
+
+let candidate_of_block words profile (b : Cfg.Block.t) =
+  let body = Array.sub words b.Cfg.Block.start b.Cfg.Block.len in
+  {
+    Powercode.Program_encoder.start_index = b.Cfg.Block.start;
+    body = Bitutil.Bitmat.of_words ~width:32 body;
+    weight = Cfg.Profile.block_weight profile b;
+  }
+
+type selection = [ `Hot_blocks | `Hot_loops ]
+
+let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
+    ?(optimal_chain = false) ?(selection = `Hot_blocks) ?(verify = false)
+    ~name program =
+  let subset_mask =
+    match subset_mask with
+    | Some m -> m
+    | None -> Powercode.Subset.paper_eight_mask
+  in
+  let words = Isa.Program.words program in
+  let blocks = Cfg.Block.partition (Isa.Program.insns program) in
+  (* pass 1: profile *)
+  let profile, _ = Cfg.Profile.collect program in
+  let hot_blocks =
+    Array.to_list blocks
+    |> List.filter (fun b -> Cfg.Profile.block_weight profile b > 0)
+  in
+  let selected_blocks =
+    match selection with
+    | `Hot_blocks -> hot_blocks
+    | `Hot_loops ->
+        let doms = Cfg.Dominator.compute blocks in
+        let loops = Cfg.Loop.detect blocks doms in
+        List.filter
+          (fun (b : Cfg.Block.t) ->
+            List.exists (fun l -> Cfg.Loop.contains l b.Cfg.Block.index) loops)
+          hot_blocks
+  in
+  let candidates = List.map (candidate_of_block words profile) selected_blocks in
+  (* plans and decode systems, one per block size; the hardware's gate set
+     must match the subset the encoder drew from *)
+  let functions =
+    Array.of_list (Powercode.Boolfun.list_of_mask subset_mask)
+  in
+  let bbit_capacity = max 16 (List.length candidates) in
+  let systems =
+    List.map
+      (fun k ->
+        let config =
+          { Powercode.Program_encoder.k; subset_mask; tt_capacity; optimal_chain }
+        in
+        let plan = Powercode.Program_encoder.plan config candidates in
+        ( k,
+          plan,
+          Hardware.Reprogram.build ~tt_capacity ~bbit_capacity ~functions
+            program plan ))
+      ks
+  in
+  let coverage_pct =
+    match systems with
+    | [] -> 0.0
+    | (_, plan, _) :: _ ->
+        let encoded_starts =
+          List.filter_map
+            (fun p ->
+              if p.Powercode.Program_encoder.encoding <> None then
+                Some p.Powercode.Program_encoder.cand.start_index
+              else None)
+            plan.Powercode.Program_encoder.placements
+        in
+        let subset =
+          List.filter
+            (fun (b : Cfg.Block.t) -> List.mem b.start encoded_starts)
+            hot_blocks
+        in
+        100.0 *. Cfg.Profile.coverage profile subset
+  in
+  (* pass 2: one counting run over all images at once *)
+  let images =
+    Array.of_list
+      (List.map (fun (_, _, s) -> s.Hardware.Reprogram.image) systems)
+  in
+  let nimg = Array.length images in
+  let totals = Array.make nimg 0 in
+  let prevs = Array.make nimg 0 in
+  let baseline_total = ref 0 in
+  let baseline_prev = ref 0 in
+  let businvert = Buspower.Businvert.create ~width:32 () in
+  let decoders =
+    if verify then
+      Array.of_list
+        (List.map (fun (_, _, s) -> Hardware.Reprogram.decoder s) systems)
+    else [||]
+  in
+  let verified = Array.make nimg 0 in
+  let first = ref true in
+  let on_fetch ~pc =
+    let w = Array.unsafe_get words pc in
+    if !first then begin
+      first := false;
+      baseline_prev := w;
+      for v = 0 to nimg - 1 do
+        prevs.(v) <- (Array.unsafe_get images v).(pc)
+      done
+    end
+    else begin
+      baseline_total := !baseline_total + popcount32 (w lxor !baseline_prev);
+      baseline_prev := w;
+      for v = 0 to nimg - 1 do
+        let e = Array.unsafe_get (Array.unsafe_get images v) pc in
+        Array.unsafe_set totals v
+          (Array.unsafe_get totals v
+          + popcount32 (e lxor Array.unsafe_get prevs v));
+        Array.unsafe_set prevs v e
+      done
+    end;
+    ignore (Buspower.Businvert.encode businvert w);
+    if verify then
+      Array.iteri
+        (fun v dec ->
+          let _bus, decoded = Hardware.Fetch_decoder.fetch dec ~pc in
+          if decoded <> w then
+            raise (Verification_failed { pc; expected = w; got = decoded });
+          verified.(v) <- verified.(v) + 1)
+        decoders
+  in
+  let state = Machine.Cpu.create_state () in
+  let result = Machine.Cpu.run ~on_fetch program state in
+  let runs =
+    List.mapi
+      (fun v (k, plan, _system) ->
+        let encoded_blocks =
+          List.length
+            (List.filter
+               (fun p -> p.Powercode.Program_encoder.encoding <> None)
+               plan.Powercode.Program_encoder.placements)
+        in
+        {
+          k;
+          transitions = totals.(v);
+          reduction_pct =
+            (if !baseline_total = 0 then 0.0
+             else
+               100.0
+               *. (1.0
+                  -. (float_of_int totals.(v) /. float_of_int !baseline_total)));
+          tt_used = plan.Powercode.Program_encoder.tt_used;
+          blocks_encoded = encoded_blocks;
+          verified_fetches = (if verify then verified.(v) else 0);
+        })
+      systems
+  in
+  {
+    name;
+    instructions = result.Machine.Cpu.instructions;
+    baseline_transitions = !baseline_total;
+    businvert_transitions = Buspower.Businvert.transitions businvert;
+    runs;
+    coverage_pct;
+    output = Machine.Cpu.output state;
+  }
+
+let evaluate_workload ?ks ?verify w =
+  let compiled = Workloads.compile w in
+  evaluate ?ks ?verify ~name:w.Workloads.name compiled.Minic.Compile.program
+
+let pp_report fmt r =
+  Format.fprintf fmt "%-5s insns=%d coverage=%.1f%% TR=%d businvert=%d@."
+    r.name r.instructions r.coverage_pct r.baseline_transitions
+    r.businvert_transitions;
+  List.iter
+    (fun run ->
+      Format.fprintf fmt
+        "  k=%d: transitions=%d reduction=%.1f%% tt=%d blocks=%d@." run.k
+        run.transitions run.reduction_pct run.tt_used run.blocks_encoded)
+    r.runs

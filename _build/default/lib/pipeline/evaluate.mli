@@ -1,0 +1,63 @@
+(** End-to-end evaluation of the power encoding on a program — the engine
+    behind the Figure 6 / Figure 7 reproduction.
+
+    Flow: run once to profile; plan the encoding for each block size
+    (hottest basic blocks first, within the Transformation Table budget);
+    build the stored image for each plan; then run once more, counting bus
+    transitions simultaneously for the baseline image, every encoded image,
+    and the bus-invert baseline.  The dynamic PC sequence is identical for
+    every image, so a single counting run suffices.
+
+    With [verify = true] every fetch is additionally pushed through the
+    {!Hardware.Fetch_decoder} model for each block size and the restored
+    word is compared against the true program — the full hardware
+    equivalence check (slower; used by tests and small runs). *)
+
+type encoded_run = {
+  k : int;
+  transitions : int;
+  reduction_pct : float;  (** versus the baseline image *)
+  tt_used : int;
+  blocks_encoded : int;
+  verified_fetches : int;  (** 0 when [verify] was off *)
+}
+
+type report = {
+  name : string;
+  instructions : int;  (** dynamic instruction count *)
+  baseline_transitions : int;
+  businvert_transitions : int;  (** bus-invert on the same fetch stream *)
+  runs : encoded_run list;
+  coverage_pct : float;  (** share of fetches inside encoded blocks *)
+  output : string;  (** program output, for determinism checks *)
+}
+
+exception Verification_failed of { pc : int; expected : int; got : int }
+
+(** Which basic blocks compete for the Transformation Table:
+    [`Hot_blocks] (default) ranks every executed block by dynamic fetches;
+    [`Hot_loops] implements the paper's stated policy — only blocks
+    belonging to natural loops are candidates (ranked the same way). *)
+type selection = [ `Hot_blocks | `Hot_loops ]
+
+(** [evaluate ?ks ?tt_capacity ?subset_mask ?optimal_chain ?selection
+    ?verify ~name program] — defaults: [ks = [4;5;6;7]],
+    [tt_capacity = 16], the paper's eight transformations, greedy chaining,
+    [`Hot_blocks], no per-fetch verification. *)
+val evaluate :
+  ?ks:int list ->
+  ?tt_capacity:int ->
+  ?subset_mask:int ->
+  ?optimal_chain:bool ->
+  ?selection:selection ->
+  ?verify:bool ->
+  name:string ->
+  Isa.Program.t ->
+  report
+
+(** [evaluate_workload ?ks ?verify w] compiles and evaluates a benchmark. *)
+val evaluate_workload :
+  ?ks:int list -> ?verify:bool -> Workloads.t -> report
+
+(** [pp_report] prints one Figure 6 style column group. *)
+val pp_report : Format.formatter -> report -> unit

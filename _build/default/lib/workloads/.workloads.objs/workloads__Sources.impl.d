@@ -1,0 +1,1 @@
+lib/workloads/sources.ml: Printf

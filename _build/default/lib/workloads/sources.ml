@@ -1,0 +1,424 @@
+(* The kernels follow the classic textbook formulations cited by the paper
+   (Wolf & Lam for sor; Nakamura for the extrapolated Jacobi method).  All
+   print a checksum so runs are comparable and misbehaviour is visible. *)
+
+let mmul ~n =
+  Printf.sprintf
+    {|
+// Matrix multiplication, %d x %d (paper: mmul)
+float a[%d][%d];
+float b[%d][%d];
+float c[%d][%d];
+
+int main() {
+  int i; int j; int k; float s;
+  for (i = 0; i < %d; i = i + 1) {
+    for (j = 0; j < %d; j = j + 1) {
+      a[i][j] = itof((i - j) %% 5);
+      b[i][j] = itof((i + 2 * j) %% 7);
+    }
+  }
+  for (i = 0; i < %d; i = i + 1) {
+    for (j = 0; j < %d; j = j + 1) {
+      s = 0.0;
+      for (k = 0; k < %d; k = k + 1) {
+        s = s + a[i][k] * b[k][j];
+      }
+      c[i][j] = s;
+    }
+  }
+  s = 0.0;
+  for (i = 0; i < %d; i = i + 1) {
+    s = s + c[i][i];
+  }
+  print_float(s);
+  print_char(10);
+  return 0;
+}
+|}
+    n n n n n n n n n n n n n n
+
+let sor ~n ~iters =
+  Printf.sprintf
+    {|
+// Successive over-relaxation, %d x %d grid, %d sweeps (paper: sor)
+float u[%d][%d];
+
+int main() {
+  int it; int i; int j; float s;
+  for (i = 0; i < %d; i = i + 1) {
+    for (j = 0; j < %d; j = j + 1) {
+      u[i][j] = itof((i * j) %% 11);
+    }
+  }
+  for (it = 0; it < %d; it = it + 1) {
+    for (i = 1; i < %d - 1; i = i + 1) {
+      for (j = 1; j < %d - 1; j = j + 1) {
+        u[i][j] = u[i][j]
+          + 0.375 * (u[i - 1][j] + u[i + 1][j] + u[i][j - 1] + u[i][j + 1]
+                     - 4.0 * u[i][j]);
+      }
+    }
+  }
+  s = 0.0;
+  for (i = 0; i < %d; i = i + 1) {
+    s = s + u[i][i];
+  }
+  print_float(s);
+  print_char(10);
+  return 0;
+}
+|}
+    n n iters n n n n iters n n n
+
+let ej ~n ~iters =
+  Printf.sprintf
+    {|
+// Extrapolated Jacobi iteration, %d x %d grid, %d sweeps (paper: ej)
+float u[%d][%d];
+float v[%d][%d];
+
+int main() {
+  int it; int i; int j; float s;
+  for (i = 0; i < %d; i = i + 1) {
+    for (j = 0; j < %d; j = j + 1) {
+      u[i][j] = itof((3 * i + j) %% 13);
+      v[i][j] = u[i][j];
+    }
+  }
+  for (it = 0; it < %d; it = it + 1) {
+    for (i = 1; i < %d - 1; i = i + 1) {
+      for (j = 1; j < %d - 1; j = j + 1) {
+        v[i][j] = u[i][j]
+          + 1.2 * (0.25 * (u[i - 1][j] + u[i + 1][j] + u[i][j - 1] + u[i][j + 1])
+                   - u[i][j]);
+      }
+    }
+    for (i = 1; i < %d - 1; i = i + 1) {
+      for (j = 1; j < %d - 1; j = j + 1) {
+        u[i][j] = v[i][j];
+      }
+    }
+  }
+  s = 0.0;
+  for (i = 0; i < %d; i = i + 1) {
+    s = s + u[i][i];
+  }
+  print_float(s);
+  print_char(10);
+  return 0;
+}
+|}
+    n n iters n n n n n n iters n n n n n
+
+let fft ~n =
+  if n < 4 || n land (n - 1) <> 0 then
+    invalid_arg "Sources.fft: size must be a power of two >= 4";
+  let logn =
+    let rec go v acc = if v = 1 then acc else go (v / 2) (acc + 1) in
+    go n 0
+  in
+  Printf.sprintf
+    {|
+// Iterative radix-2 FFT, %d samples (paper: fft)
+float re[%d];
+float im[%d];
+
+float sin_poly(float x) {
+  float x2; float t;
+  x2 = x * x;
+  t = 1.0 - x2 / 72.0;
+  t = 1.0 - x2 / 42.0 * t;
+  t = 1.0 - x2 / 20.0 * t;
+  return x * (1.0 - x2 / 6.0 * t);
+}
+
+float cos_poly(float x) {
+  float x2; float t;
+  x2 = x * x;
+  t = 1.0 - x2 / 56.0;
+  t = 1.0 - x2 / 30.0 * t;
+  t = 1.0 - x2 / 12.0 * t;
+  return 1.0 - x2 / 2.0 * t;
+}
+
+int main() {
+  int i; int j; int b; int t; int r;
+  int len; int half; int base;
+  float ang; float wr; float wi; float tr; float ti; float s;
+  for (i = 0; i < %d; i = i + 1) {
+    re[i] = sin_poly(itof(i %% 7) - 3.0);
+    im[i] = 0.0;
+  }
+  // bit-reversal permutation (arithmetic formulation, no bit ops in Minic)
+  for (i = 0; i < %d; i = i + 1) {
+    r = 0;
+    t = i;
+    for (b = 0; b < %d; b = b + 1) {
+      r = r * 2 + t %% 2;
+      t = t / 2;
+    }
+    if (r > i) {
+      tr = re[i]; re[i] = re[r]; re[r] = tr;
+      ti = im[i]; im[i] = im[r]; im[r] = ti;
+    }
+  }
+  // butterflies
+  for (len = 2; len <= %d; len = len * 2) {
+    half = len / 2;
+    for (base = 0; base < %d; base = base + len) {
+      for (j = 0; j < half; j = j + 1) {
+        ang = 0.0 - 3.14159265 * itof(j) / itof(half);
+        wr = cos_poly(ang);
+        wi = sin_poly(ang);
+        tr = wr * re[base + j + half] - wi * im[base + j + half];
+        ti = wr * im[base + j + half] + wi * re[base + j + half];
+        re[base + j + half] = re[base + j] - tr;
+        im[base + j + half] = im[base + j] - ti;
+        re[base + j] = re[base + j] + tr;
+        im[base + j] = im[base + j] + ti;
+      }
+    }
+  }
+  s = 0.0;
+  for (i = 0; i < %d; i = i + 1) {
+    s = s + fabs(re[i]) + fabs(im[i]);
+  }
+  print_float(s);
+  print_char(10);
+  return 0;
+}
+|}
+    n n n n n logn n n n
+
+let tri ~n ~systems =
+  Printf.sprintf
+    {|
+// Tridiagonal (Thomas) solver, size %d, %d right-hand sides (paper: tri)
+float lo[%d];
+float di[%d];
+float up[%d];
+float rhs[%d];
+float cp[%d];
+float dp[%d];
+float x[%d];
+
+int main() {
+  int s; int i; float m; float sum;
+  for (i = 0; i < %d; i = i + 1) {
+    lo[i] = 0.0 - 1.0;
+    di[i] = 4.0;
+    up[i] = 0.0 - 1.0;
+  }
+  sum = 0.0;
+  for (s = 0; s < %d; s = s + 1) {
+    for (i = 0; i < %d; i = i + 1) {
+      rhs[i] = itof((i + s) %% 9) + 1.0;
+    }
+    // forward sweep
+    cp[0] = up[0] / di[0];
+    dp[0] = rhs[0] / di[0];
+    for (i = 1; i < %d; i = i + 1) {
+      m = di[i] - lo[i] * cp[i - 1];
+      cp[i] = up[i] / m;
+      dp[i] = (rhs[i] - lo[i] * dp[i - 1]) / m;
+    }
+    // back substitution
+    x[%d - 1] = dp[%d - 1];
+    for (i = %d - 2; i >= 0; i = i - 1) {
+      x[i] = dp[i] - cp[i] * x[i + 1];
+    }
+    sum = sum + x[s %% %d];
+  }
+  print_float(sum);
+  print_char(10);
+  return 0;
+}
+|}
+    n systems n n n n n n n n systems n n n n n n
+
+let lu ~n =
+  Printf.sprintf
+    {|
+// Doolittle LU decomposition in place, %d x %d (paper: lu)
+float a[%d][%d];
+
+int main() {
+  int i; int j; int k; float s;
+  for (i = 0; i < %d; i = i + 1) {
+    for (j = 0; j < %d; j = j + 1) {
+      a[i][j] = itof((i * 7 + j * 3) %% 10) + 1.0;
+      if (i == j) {
+        a[i][j] = a[i][j] + 64.0;
+      }
+    }
+  }
+  for (k = 0; k < %d; k = k + 1) {
+    for (i = k + 1; i < %d; i = i + 1) {
+      a[i][k] = a[i][k] / a[k][k];
+      for (j = k + 1; j < %d; j = j + 1) {
+        a[i][j] = a[i][j] - a[i][k] * a[k][j];
+      }
+    }
+  }
+  s = 0.0;
+  for (i = 0; i < %d; i = i + 1) {
+    s = s + a[i][i];
+  }
+  print_float(s);
+  print_char(10);
+  return 0;
+}
+|}
+    n n n n n n n n n n
+
+let fir ~taps ~samples =
+  Printf.sprintf
+    {|
+// Direct-form FIR filter, %d taps over %d samples (extension workload)
+float x[%d];
+float h[%d];
+float y[%d];
+
+int main() {
+  int i; int j; float acc;
+  for (i = 0; i < %d; i = i + 1) {
+    x[i] = itof(i %% 17) / 8.0 - 1.0;
+  }
+  for (i = 0; i < %d; i = i + 1) {
+    h[i] = 1.0 / itof(i + 2);
+  }
+  for (i = %d - 1; i < %d; i = i + 1) {
+    acc = 0.0;
+    for (j = 0; j < %d; j = j + 1) {
+      acc = acc + h[j] * x[i - j];
+    }
+    y[i] = acc;
+  }
+  acc = 0.0;
+  for (i = 0; i < %d; i = i + 1) {
+    acc = acc + fabs(y[i]);
+  }
+  print_float(acc);
+  print_char(10);
+  return 0;
+}
+|}
+    taps samples samples taps samples samples taps taps samples taps samples
+
+let iir ~sections ~samples =
+  Printf.sprintf
+    {|
+// Cascade of %d biquad IIR sections over %d samples (extension workload)
+float x[%d];
+float y[%d];
+float state1[%d];
+float state2[%d];
+
+int main() {
+  int n; int s; float in; float out;
+  for (n = 0; n < %d; n = n + 1) {
+    x[n] = itof(n %% 13) / 6.0 - 1.0;
+  }
+  for (s = 0; s < %d; s = s + 1) {
+    state1[s] = 0.0;
+    state2[s] = 0.0;
+  }
+  for (n = 0; n < %d; n = n + 1) {
+    in = x[n];
+    for (s = 0; s < %d; s = s + 1) {
+      // transposed direct form II biquad, fixed mild low-pass coefficients
+      out = 0.2929 * in + state1[s];
+      state1[s] = 0.5858 * in - 0.0 * out + state2[s];
+      state2[s] = 0.2929 * in - 0.1716 * out;
+      in = out;
+    }
+    y[n] = in;
+  }
+  out = 0.0;
+  for (n = 0; n < %d; n = n + 1) {
+    out = out + fabs(y[n]);
+  }
+  print_float(out);
+  print_char(10);
+  return 0;
+}
+|}
+    sections samples samples samples sections sections samples sections
+    samples sections samples
+
+let dct ~blocks =
+  Printf.sprintf
+    {|
+// 8x8 two-pass DCT over %d image blocks (extension workload, JPEG style)
+float coeff[8][8];
+float input[8][8];
+float tmp[8][8];
+float output[8][8];
+
+float cos_poly(float v) {
+  float v2; float t;
+  v2 = v * v;
+  t = 1.0 - v2 / 56.0;
+  t = 1.0 - v2 / 30.0 * t;
+  t = 1.0 - v2 / 12.0 * t;
+  return 1.0 - v2 / 2.0 * t;
+}
+
+// range-reduce to [-pi, pi] before the polynomial
+float cosr(float v) {
+  float two_pi;
+  two_pi = 6.2831853;
+  while (v > 3.14159265) { v = v - two_pi; }
+  while (v < 0.0 - 3.14159265) { v = v + two_pi; }
+  return cos_poly(v);
+}
+
+int main() {
+  int b; int u; int x; int i; int j; float s; float total;
+  // DCT basis: coeff[u][x] = a(u) * cos((2x+1) u pi / 16)
+  for (u = 0; u < 8; u = u + 1) {
+    for (x = 0; x < 8; x = x + 1) {
+      s = cosr(itof((2 * x + 1) * u) * 3.14159265 / 16.0);
+      if (u == 0) {
+        coeff[u][x] = s * 0.35355339;
+      } else {
+        coeff[u][x] = s * 0.5;
+      }
+    }
+  }
+  total = 0.0;
+  for (b = 0; b < %d; b = b + 1) {
+    for (i = 0; i < 8; i = i + 1) {
+      for (j = 0; j < 8; j = j + 1) {
+        input[i][j] = itof((b + i * 3 + j * 7) %% 32) - 16.0;
+      }
+    }
+    // tmp = coeff * input
+    for (i = 0; i < 8; i = i + 1) {
+      for (j = 0; j < 8; j = j + 1) {
+        s = 0.0;
+        for (x = 0; x < 8; x = x + 1) {
+          s = s + coeff[i][x] * input[x][j];
+        }
+        tmp[i][j] = s;
+      }
+    }
+    // output = tmp * coeff^T
+    for (i = 0; i < 8; i = i + 1) {
+      for (j = 0; j < 8; j = j + 1) {
+        s = 0.0;
+        for (x = 0; x < 8; x = x + 1) {
+          s = s + tmp[i][x] * coeff[j][x];
+        }
+        output[i][j] = s;
+      }
+    }
+    total = total + fabs(output[0][0]);
+  }
+  print_float(total);
+  print_char(10);
+  return 0;
+}
+|}
+    blocks blocks

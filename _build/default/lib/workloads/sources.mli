@@ -1,0 +1,40 @@
+(** Minic sources for the paper's six benchmark kernels, parameterised by
+    problem size so the test suite can run scaled-down instances while the
+    benchmark harness uses the paper's sizes. *)
+
+(** [mmul ~n] — dense matrix multiplication of two [n x n] float matrices
+    (paper: 100 x 100). *)
+val mmul : n:int -> string
+
+(** [sor ~n ~iters] — successive over-relaxation sweeps on an [n x n] grid
+    (paper: 256 x 256). *)
+val sor : n:int -> iters:int -> string
+
+(** [ej ~n ~iters] — extrapolated Jacobi iteration on an [n x n] grid
+    (paper: 128 x 128). *)
+val ej : n:int -> iters:int -> string
+
+(** [fft ~n] — iterative radix-2 FFT over [n] complex samples, twiddles from
+    polynomial sin/cos (paper: 256 samples).  [n] must be a power of two. *)
+val fft : n:int -> string
+
+(** [tri ~n ~systems] — Thomas-algorithm tridiagonal solver of size [n],
+    applied to [systems] right-hand sides (paper: size 128 x 128). *)
+val tri : n:int -> systems:int -> string
+
+(** [lu ~n] — in-place Doolittle LU decomposition of an [n x n] matrix
+    (paper: 128 x 128). *)
+val lu : n:int -> string
+
+(** Extension workloads beyond the paper's six, from the same embedded-DSP
+    domain its introduction motivates. *)
+
+(** [fir ~taps ~samples] — direct-form FIR filter. *)
+val fir : taps:int -> samples:int -> string
+
+(** [iir ~sections ~samples] — cascade of biquad IIR sections. *)
+val iir : sections:int -> samples:int -> string
+
+(** [dct ~blocks] — 8x8 two-pass DCT (JPEG style) over [blocks] image
+    blocks, cosine table built with a polynomial approximation. *)
+val dct : blocks:int -> string

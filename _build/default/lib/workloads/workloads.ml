@@ -1,0 +1,43 @@
+type t = { name : string; description : string; source : string }
+
+let make name description source = { name; description; source }
+
+let paper_sized =
+  [
+    make "mmul" "matrix multiplication, 100x100 floats"
+      (Sources.mmul ~n:100);
+    make "sor" "successive over-relaxation, 256x256 grid, 4 sweeps"
+      (Sources.sor ~n:256 ~iters:4);
+    make "ej" "extrapolated Jacobi, 128x128 grid, 40 sweeps"
+      (Sources.ej ~n:128 ~iters:40);
+    make "fft" "radix-2 FFT, 256 samples" (Sources.fft ~n:256);
+    make "tri" "tridiagonal solver, size 128, 256 right-hand sides"
+      (Sources.tri ~n:128 ~systems:256);
+    make "lu" "LU decomposition, 128x128" (Sources.lu ~n:128);
+  ]
+
+let scaled =
+  [
+    make "mmul" "matrix multiplication, 12x12 floats" (Sources.mmul ~n:12);
+    make "sor" "successive over-relaxation, 16x16 grid, 2 sweeps"
+      (Sources.sor ~n:16 ~iters:2);
+    make "ej" "extrapolated Jacobi, 12x12 grid, 3 sweeps"
+      (Sources.ej ~n:12 ~iters:3);
+    make "fft" "radix-2 FFT, 32 samples" (Sources.fft ~n:32);
+    make "tri" "tridiagonal solver, size 16, 4 right-hand sides"
+      (Sources.tri ~n:16 ~systems:4);
+    make "lu" "LU decomposition, 12x12" (Sources.lu ~n:12);
+  ]
+
+let extended =
+  [
+    make "fir" "direct-form FIR filter, 16 taps, 512 samples"
+      (Sources.fir ~taps:16 ~samples:512);
+    make "iir" "biquad IIR cascade, 4 sections, 1024 samples"
+      (Sources.iir ~sections:4 ~samples:1024);
+    make "dct" "8x8 two-pass DCT over 64 image blocks" (Sources.dct ~blocks:64);
+  ]
+
+let by_name list name = List.find (fun w -> w.name = name) list
+
+let compile w = Minic.Compile.compile w.source

@@ -1,0 +1,29 @@
+(** Registry of the paper's six benchmarks at paper sizes, plus scaled-down
+    variants for fast tests. *)
+
+type t = {
+  name : string;  (** the paper's short name: mmul, sor, ej, fft, tri, lu *)
+  description : string;
+  source : string;  (** Minic source text *)
+}
+
+(** [paper_sized] — the six kernels at the sizes of the paper's §8:
+    mmul 100x100, sor 256x256, ej 128x128, fft 256, tri 128, lu 128x128.
+    Iteration counts (where the paper does not state them) are chosen so the
+    relative run magnitudes track Figure 6 and are documented in
+    EXPERIMENTS.md. *)
+val paper_sized : t list
+
+(** [scaled] — the same kernels at small sizes (seconds of CPU total). *)
+val scaled : t list
+
+(** [extended] — additional embedded-DSP kernels beyond the paper's six
+    (FIR, IIR biquad cascade, 8x8 DCT), used by the extension benches. *)
+val extended : t list
+
+(** [by_name list name] — lookup. Raises [Not_found]. *)
+val by_name : t list -> string -> t
+
+(** [compile w] compiles the kernel.  Raises on compiler errors, which would
+    be a bug in this library. *)
+val compile : t -> Minic.Compile.compiled

@@ -1,0 +1,5 @@
+  $ ../bin/powercode_cli.exe tables -k 3
+  $ ../bin/powercode_cli.exe cost -k 7 --entries 16
+  $ ../bin/powercode_cli.exe subset
+  $ ../bin/powercode_cli.exe encode ../examples/programs/countdown.s -k 4 --firmware out.fw > /dev/null
+  $ ../bin/powercode_cli.exe restore out.fw --run

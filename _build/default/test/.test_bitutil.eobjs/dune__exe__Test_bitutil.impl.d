@@ -1,0 +1,1 @@
+test/test_bitutil.ml: Alcotest Array Bitutil Fun Gen List QCheck QCheck_alcotest

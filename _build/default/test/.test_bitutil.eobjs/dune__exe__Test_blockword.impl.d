@@ -1,0 +1,1 @@
+test/test_blockword.ml: Alcotest Array Bitutil List Powercode Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_boolfun.ml: Alcotest Int List Powercode QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_buspower.ml: Alcotest Array Bitutil Buspower Format Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Array Bitutil Gen List Powercode Printf QCheck QCheck_alcotest

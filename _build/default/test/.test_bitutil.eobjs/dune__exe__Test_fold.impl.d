@@ -1,0 +1,1 @@
+test/test_fold.ml: Alcotest Int32 Isa List Machine Minic Printf QCheck QCheck_alcotest String Workloads

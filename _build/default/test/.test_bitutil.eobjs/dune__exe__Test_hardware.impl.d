@@ -1,0 +1,1 @@
+test/test_hardware.ml: Alcotest Array Bitutil Cfg Gen Hardware Isa List Machine Powercode QCheck QCheck_alcotest String

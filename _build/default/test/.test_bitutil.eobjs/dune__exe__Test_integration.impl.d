@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bitutil Buspower Cfg Hardware Isa List Machine Minic Powercode

@@ -1,0 +1,1 @@
+test/test_multihistory.ml: Alcotest List Powercode Printf

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Float List Machine Minic Pipeline Powercode Printf Workloads

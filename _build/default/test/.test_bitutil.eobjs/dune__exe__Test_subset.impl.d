@@ -1,0 +1,1 @@
+test/test_subset.ml: Alcotest List Powercode Printf String

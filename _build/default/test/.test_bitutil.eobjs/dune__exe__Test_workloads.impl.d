@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cfg Float Int32 Isa List Machine Minic Option Printexc String Workloads

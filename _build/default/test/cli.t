@@ -1,0 +1,49 @@
+The paper's Figure 2 table through the CLI:
+
+  $ ../bin/powercode_cli.exe tables -k 3
+  Optimal power code, k = 3:
+    000 -> 000  x       Tx=0 Tc=0
+    001 -> 111  !x      Tx=1 Tc=0
+    010 -> 000  !y      Tx=2 Tc=0
+    011 -> 011  x       Tx=1 Tc=1
+    100 -> 100  x       Tx=1 Tc=1
+    101 -> 111  !y      Tx=2 Tc=0
+    110 -> 000  !x      Tx=1 Tc=0
+    111 -> 111  x       Tx=0 Tc=0
+  k=3 TTN=8 RTN=2 improvement=75.0%
+
+Hardware cost sheet:
+
+  $ ../bin/powercode_cli.exe cost -k 7 --entries 16
+  k=7 TT=16 entries (1600 bits) BBIT=16 entries (320 bits) gates=256 mux=8:1 covers<=97 insns
+
+Minimal subset analysis:
+
+  $ ../bin/powercode_cli.exe subset
+  Minimal transformation subsets preserving optimality, k <= 7:
+    { !(x|y) !x x^y !(x&y) !(x^y) x }
+  The paper's eight:
+    { x !x y !y x^y !(x^y) !(x|y) !(x&y) }
+    k=2: paper eight optimal: true, minimal six optimal: true
+    k=3: paper eight optimal: true, minimal six optimal: true
+    k=4: paper eight optimal: true, minimal six optimal: true
+    k=5: paper eight optimal: true, minimal six optimal: true
+    k=6: paper eight optimal: true, minimal six optimal: true
+    k=7: paper eight optimal: true, minimal six optimal: true
+
+Firmware bundle round trip: encode a loop, flash it, decode and run it:
+
+  $ ../bin/powercode_cli.exe encode ../examples/programs/countdown.s -k 4 --firmware out.fw > /dev/null
+  $ ../bin/powercode_cli.exe restore out.fw --run
+  10
+  9
+  8
+  7
+  6
+  5
+  4
+  3
+  2
+  1
+  
+  [84 instructions, exit 0]

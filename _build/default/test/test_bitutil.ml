@@ -1,0 +1,179 @@
+module Bitvec = Bitutil.Bitvec
+module Bitmat = Bitutil.Bitmat
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ---- Bitvec ------------------------------------------------------------- *)
+
+let test_create_empty () =
+  let v = Bitvec.create 0 in
+  check_int "length" 0 (Bitvec.length v);
+  check_int "transitions" 0 (Bitvec.transitions v)
+
+let test_create_zeroed () =
+  let v = Bitvec.create 10 in
+  for i = 0 to 9 do
+    check_bool "bit is zero" false (Bitvec.get v i)
+  done
+
+let test_set_get () =
+  let v = Bitvec.create 8 in
+  let v = Bitvec.set v 3 true in
+  check_bool "set bit" true (Bitvec.get v 3);
+  check_bool "neighbour untouched" false (Bitvec.get v 2);
+  let v2 = Bitvec.set v 3 false in
+  check_bool "cleared" false (Bitvec.get v2 3);
+  check_bool "original immutable" true (Bitvec.get v 3)
+
+let test_out_of_range () =
+  let v = Bitvec.create 4 in
+  Alcotest.check_raises "get -1" (Invalid_argument "Bitvec: index out of range")
+    (fun () -> ignore (Bitvec.get v (-1)));
+  Alcotest.check_raises "get 4" (Invalid_argument "Bitvec: index out of range")
+    (fun () -> ignore (Bitvec.get v 4))
+
+let test_string_roundtrip () =
+  let s = "1011001" in
+  check_string "roundtrip" s (Bitvec.to_string (Bitvec.of_string s))
+
+let test_string_orientation () =
+  (* rightmost char is bit 0 *)
+  let v = Bitvec.of_string "100" in
+  check_bool "bit 0" false (Bitvec.get v 0);
+  check_bool "bit 2" true (Bitvec.get v 2)
+
+let test_of_int () =
+  let v = Bitvec.of_int ~width:5 0b01010 in
+  check_string "render" "01010" (Bitvec.to_string v);
+  check_int "back" 0b01010 (Bitvec.to_int v)
+
+let test_of_int_too_wide () =
+  Alcotest.check_raises "value does not fit"
+    (Invalid_argument "Bitvec.of_int: value does not fit") (fun () ->
+      ignore (Bitvec.of_int ~width:3 8))
+
+let test_transitions_examples () =
+  check_int "0101" 3 (Bitvec.transitions (Bitvec.of_string "0101"));
+  check_int "0000" 0 (Bitvec.transitions (Bitvec.of_string "0000"));
+  check_int "1000" 1 (Bitvec.transitions (Bitvec.of_string "1000"));
+  check_int "single" 0 (Bitvec.transitions (Bitvec.of_string "1"))
+
+let test_popcount_hamming () =
+  let a = Bitvec.of_string "1101" and b = Bitvec.of_string "1011" in
+  check_int "popcount" 3 (Bitvec.popcount a);
+  check_int "hamming" 2 (Bitvec.hamming a b)
+
+let test_append_sub () =
+  let a = Bitvec.of_string "11" and b = Bitvec.of_string "00" in
+  (* append: bits of a first (low indices), then b *)
+  let c = Bitvec.append a b in
+  check_string "append" "0011" (Bitvec.to_string c);
+  check_string "sub" "1" (Bitvec.to_string (Bitvec.sub c ~pos:1 ~len:1))
+
+let test_map2_lnot () =
+  let a = Bitvec.of_string "1100" and b = Bitvec.of_string "1010" in
+  check_string "xor" "0110" (Bitvec.to_string (Bitvec.map2 ( <> ) a b));
+  check_string "lnot" "0011" (Bitvec.to_string (Bitvec.lnot_ a))
+
+(* ---- Bitmat ------------------------------------------------------------- *)
+
+let test_bitmat_columns () =
+  let m = Bitmat.of_words ~width:4 [| 0b0001; 0b0011; 0b0010 |] in
+  check_string "column 0" "011" (Bitvec.to_string (Bitmat.column m 0));
+  check_string "column 1" "110" (Bitvec.to_string (Bitmat.column m 1));
+  check_string "column 3" "000" (Bitvec.to_string (Bitmat.column m 3))
+
+let test_bitmat_roundtrip () =
+  let words = [| 0xdead; 0xbeef; 0x1234; 0x0 |] in
+  let m = Bitmat.of_words ~width:16 words in
+  let cols = Array.init 16 (Bitmat.column m) in
+  let m2 = Bitmat.of_columns cols in
+  Alcotest.(check (array int)) "roundtrip" words (Bitmat.words m2)
+
+let test_bitmat_transitions () =
+  let m = Bitmat.of_words ~width:4 [| 0b0000; 0b1111; 0b0000 |] in
+  check_int "total" 8 (Bitmat.transitions m);
+  Alcotest.(check (array int)) "per line" [| 2; 2; 2; 2 |]
+    (Bitmat.column_transitions m)
+
+let test_bitmat_width_check () =
+  Alcotest.check_raises "word too wide"
+    (Invalid_argument "Bitmat.of_words: word does not fit width") (fun () ->
+      ignore (Bitmat.of_words ~width:4 [| 16 |]))
+
+(* ---- properties ---------------------------------------------------------- *)
+
+let bits_gen n = QCheck.(list_of_size (Gen.return n) bool)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"bitvec string roundtrip" ~count:200
+    (bits_gen 17) (fun bits ->
+      let v = Bitvec.of_list bits in
+      Bitvec.equal v (Bitvec.of_string (Bitvec.to_string v)))
+
+let prop_transitions_bound =
+  QCheck.Test.make ~name:"transitions < length" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 64) bool)
+    (fun bits ->
+      let v = Bitvec.of_list bits in
+      Bitvec.transitions v <= Bitvec.length v - 1)
+
+let prop_hamming_triangle =
+  QCheck.Test.make ~name:"hamming triangle inequality" ~count:200
+    QCheck.(triple (bits_gen 12) (bits_gen 12) (bits_gen 12))
+    (fun (a, b, c) ->
+      let va = Bitvec.of_list a
+      and vb = Bitvec.of_list b
+      and vc = Bitvec.of_list c in
+      Bitvec.hamming va vc <= Bitvec.hamming va vb + Bitvec.hamming vb vc)
+
+let prop_matrix_transitions_consistent =
+  QCheck.Test.make ~name:"matrix transitions = sum of column transitions"
+    ~count:100
+    QCheck.(list_of_size Gen.(2 -- 20) (int_bound 0xffff))
+    (fun words ->
+      let m = Bitmat.of_words ~width:16 (Array.of_list words) in
+      Bitmat.transitions m
+      = Array.fold_left ( + ) 0 (Bitmat.column_transitions m)
+      && Bitmat.transitions m
+         = Array.fold_left
+             (fun acc b -> acc + Bitvec.transitions (Bitmat.column m b))
+             0
+             (Array.init 16 Fun.id))
+
+let () =
+  Alcotest.run "bitutil"
+    [
+      ( "bitvec",
+        [
+          Alcotest.test_case "empty" `Quick test_create_empty;
+          Alcotest.test_case "zeroed" `Quick test_create_zeroed;
+          Alcotest.test_case "set/get" `Quick test_set_get;
+          Alcotest.test_case "bounds" `Quick test_out_of_range;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "string orientation" `Quick test_string_orientation;
+          Alcotest.test_case "of_int" `Quick test_of_int;
+          Alcotest.test_case "of_int too wide" `Quick test_of_int_too_wide;
+          Alcotest.test_case "transitions" `Quick test_transitions_examples;
+          Alcotest.test_case "popcount/hamming" `Quick test_popcount_hamming;
+          Alcotest.test_case "append/sub" `Quick test_append_sub;
+          Alcotest.test_case "map2/lnot" `Quick test_map2_lnot;
+        ] );
+      ( "bitmat",
+        [
+          Alcotest.test_case "columns" `Quick test_bitmat_columns;
+          Alcotest.test_case "roundtrip" `Quick test_bitmat_roundtrip;
+          Alcotest.test_case "transitions" `Quick test_bitmat_transitions;
+          Alcotest.test_case "width check" `Quick test_bitmat_width_check;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_string_roundtrip;
+            prop_transitions_bound;
+            prop_hamming_triangle;
+            prop_matrix_transitions_consistent;
+          ] );
+    ]

@@ -1,0 +1,152 @@
+module Blockword = Powercode.Blockword
+module Boolfun = Powercode.Boolfun
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let word s = Bitutil.Bitvec.to_int (Bitutil.Bitvec.of_string s)
+
+let test_transitions_examples () =
+  check_int "010" 2 (Blockword.transitions ~k:3 (word "010"));
+  check_int "011" 1 (Blockword.transitions ~k:3 (word "011"));
+  check_int "000" 0 (Blockword.transitions ~k:3 (word "000"));
+  check_int "10101" 4 (Blockword.transitions ~k:5 (word "10101"))
+
+let test_transitions_closed_form () =
+  (* sum over all k-bit words = (k-1) * 2^(k-1) *)
+  List.iter
+    (fun k ->
+      let sum = ref 0 in
+      for w = 0 to (1 lsl k) - 1 do
+        sum := !sum + Blockword.transitions ~k w
+      done;
+      check_int (Printf.sprintf "k=%d" k) ((k - 1) * (1 lsl (k - 1))) !sum)
+    [ 2; 3; 4; 5; 6; 7; 8 ]
+
+(* The paper's worked example (§5.1): 010 maps to 000 via !y. *)
+let test_paper_example_010 () =
+  let mask = Blockword.tau_mask_standalone ~k:3 ~word:(word "010") ~code:(word "000") in
+  check_bool "!y consistent" true (Boolfun.mask_mem Boolfun.not_history mask);
+  check_bool "identity not consistent" false
+    (Boolfun.mask_mem Boolfun.identity mask)
+
+(* The paper's contradiction example: 011 cannot map to 111. *)
+let test_paper_example_011 () =
+  check_int "111 infeasible for 011" 0
+    (Blockword.tau_mask_standalone ~k:3 ~word:(word "011") ~code:(word "111"));
+  (* but identity maps it to itself *)
+  let self = Blockword.tau_mask_standalone ~k:3 ~word:(word "011") ~code:(word "011") in
+  check_bool "identity works" true (Boolfun.mask_mem Boolfun.identity self)
+
+(* Figure 4 row: 01001 -> 00111 via NOR, and only NOR. *)
+let test_paper_fig4_nor_row () =
+  let mask =
+    Blockword.tau_mask_standalone ~k:5 ~word:(word "01001") ~code:(word "00111")
+  in
+  check_int "exactly nor" (Boolfun.mask_of_list [ Boolfun.nor ]) mask
+
+(* Figure 4 row: 00101 -> 01111 via XOR. *)
+let test_paper_fig4_xor_row () =
+  let mask =
+    Blockword.tau_mask_standalone ~k:5 ~word:(word "00101") ~code:(word "01111")
+  in
+  check_bool "xor consistent" true (Boolfun.mask_mem Boolfun.xor mask)
+
+let test_first_bit_passthrough () =
+  (* standalone mask is empty whenever first bits differ *)
+  check_int "first bit differs" 0
+    (Blockword.tau_mask_standalone ~k:3 ~word:(word "010") ~code:(word "001"))
+
+let test_identity_always_feasible () =
+  for k = 1 to 8 do
+    for w = 0 to (1 lsl k) - 1 do
+      let mask = Blockword.tau_mask_standalone ~k ~word:w ~code:w in
+      if not (Boolfun.mask_mem Boolfun.identity mask) then
+        Alcotest.failf "identity infeasible for k=%d w=%d" k w
+    done
+  done
+
+let test_decode_matches_mask () =
+  (* if tau is in the mask, decode really does restore the word *)
+  let k = 5 in
+  for word = 0 to (1 lsl k) - 1 do
+    for code = 0 to (1 lsl k) - 1 do
+      let mask = Blockword.tau_mask ~k ~word ~code in
+      List.iter
+        (fun tau ->
+          let got =
+            Blockword.decode ~k ~tau ~code ~seed_original:(word land 1 = 1)
+          in
+          if got <> word then
+            Alcotest.failf "decode mismatch k=%d w=%d c=%d tau=%s" k word code
+              (Boolfun.name tau))
+        (Boolfun.list_of_mask mask)
+    done
+  done
+
+let test_decode_chained_seed () =
+  (* chained: the overlap bit's original value is the seed even when the
+     stored bit differs *)
+  let k = 3 in
+  let code = word "110" in
+  (* stored overlap bit = 0 *)
+  let tau = Boolfun.xor in
+  (* x1 = code1 xor code0 = 1 xor 0 = 1; x2 = code2 xor x1 = 1 xor 1 = 0 *)
+  let decoded = Blockword.decode ~k ~tau ~code ~seed_original:true in
+  check_int "chained decode" (word "011") decoded
+
+let test_codewords_sorted () =
+  List.iter
+    (fun k ->
+      let ws = Blockword.codewords_by_transitions k in
+      check_int "complete" (1 lsl k) (Array.length ws);
+      let ok = ref true in
+      for i = 0 to Array.length ws - 2 do
+        let ta = Blockword.transitions ~k ws.(i)
+        and tb = Blockword.transitions ~k ws.(i + 1) in
+        if ta > tb then ok := false
+      done;
+      check_bool "sorted by transitions" true !ok)
+    [ 2; 4; 7 ]
+
+let prop_mask_decode_agree =
+  QCheck.Test.make ~name:"mask membership iff decode restores" ~count:500
+    QCheck.(triple (int_bound 63) (int_bound 63) (int_bound 15))
+    (fun (w, c, ti) ->
+      let k = 6 in
+      let tau = Boolfun.of_index ti in
+      let in_mask = Boolfun.mask_mem tau (Blockword.tau_mask ~k ~word:w ~code:c) in
+      let decodes =
+        Blockword.decode ~k ~tau ~code:c ~seed_original:(w land 1 = 1) = w
+      in
+      in_mask = decodes)
+
+let () =
+  Alcotest.run "blockword"
+    [
+      ( "transitions",
+        [
+          Alcotest.test_case "examples" `Quick test_transitions_examples;
+          Alcotest.test_case "closed form" `Quick test_transitions_closed_form;
+        ] );
+      ( "paper examples",
+        [
+          Alcotest.test_case "010 -> 000 via !y" `Quick test_paper_example_010;
+          Alcotest.test_case "011 -/-> 111" `Quick test_paper_example_011;
+          Alcotest.test_case "fig4 nor row" `Quick test_paper_fig4_nor_row;
+          Alcotest.test_case "fig4 xor row" `Quick test_paper_fig4_xor_row;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "first-bit passthrough" `Quick
+            test_first_bit_passthrough;
+          Alcotest.test_case "identity always feasible" `Quick
+            test_identity_always_feasible;
+          Alcotest.test_case "decode matches mask (k=5 exhaustive)" `Quick
+            test_decode_matches_mask;
+          Alcotest.test_case "chained seed" `Quick test_decode_chained_seed;
+          Alcotest.test_case "codewords sorted" `Quick test_codewords_sorted;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_mask_decode_agree ] );
+    ]

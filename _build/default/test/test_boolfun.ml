@@ -1,0 +1,111 @@
+module Boolfun = Powercode.Boolfun
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_count () = check_int "sixteen functions" 16 (List.length Boolfun.all)
+
+let test_index_roundtrip () =
+  List.iter
+    (fun f -> check_int "roundtrip" (Boolfun.index f)
+        (Boolfun.index (Boolfun.of_index (Boolfun.index f))))
+    Boolfun.all
+
+let test_of_index_range () =
+  Alcotest.check_raises "16 rejected"
+    (Invalid_argument "Boolfun.of_index: not in 0..15") (fun () ->
+      ignore (Boolfun.of_index 16))
+
+let truth_table f =
+  [
+    Boolfun.apply f false false;
+    Boolfun.apply f false true;
+    Boolfun.apply f true false;
+    Boolfun.apply f true true;
+  ]
+
+let test_named_tables () =
+  Alcotest.(check (list bool)) "identity = x" [ false; false; true; true ]
+    (truth_table Boolfun.identity);
+  Alcotest.(check (list bool)) "inversion = !x" [ true; true; false; false ]
+    (truth_table Boolfun.inversion);
+  Alcotest.(check (list bool)) "history = y" [ false; true; false; true ]
+    (truth_table Boolfun.history);
+  Alcotest.(check (list bool)) "not_history = !y" [ true; false; true; false ]
+    (truth_table Boolfun.not_history);
+  Alcotest.(check (list bool)) "xor" [ false; true; true; false ]
+    (truth_table Boolfun.xor);
+  Alcotest.(check (list bool)) "xnor" [ true; false; false; true ]
+    (truth_table Boolfun.xnor);
+  Alcotest.(check (list bool)) "nor" [ true; false; false; false ]
+    (truth_table Boolfun.nor);
+  Alcotest.(check (list bool)) "nand" [ true; true; true; false ]
+    (truth_table Boolfun.nand);
+  Alcotest.(check (list bool)) "and" [ false; false; false; true ]
+    (truth_table Boolfun.and_);
+  Alcotest.(check (list bool)) "or" [ false; true; true; true ]
+    (truth_table Boolfun.or_)
+
+let test_all_distinct () =
+  let idx = List.map Boolfun.index Boolfun.all in
+  check_int "distinct" 16 (List.length (List.sort_uniq Int.compare idx))
+
+(* The paper's symmetry: inverting all bits swaps XOR with XNOR and NOR with
+   NAND while fixing identity and inversion. *)
+let test_dual_pairs () =
+  let eq = Boolfun.equal in
+  check_bool "dual xor = xnor" true (eq (Boolfun.dual Boolfun.xor) Boolfun.xnor);
+  check_bool "dual xnor = xor" true (eq (Boolfun.dual Boolfun.xnor) Boolfun.xor);
+  check_bool "dual nor = nand" true (eq (Boolfun.dual Boolfun.nor) Boolfun.nand);
+  check_bool "dual nand = nor" true (eq (Boolfun.dual Boolfun.nand) Boolfun.nor);
+  check_bool "dual identity = identity" true
+    (eq (Boolfun.dual Boolfun.identity) Boolfun.identity);
+  check_bool "dual inversion = inversion" true
+    (eq (Boolfun.dual Boolfun.inversion) Boolfun.inversion);
+  check_bool "dual !y = !y" true
+    (eq (Boolfun.dual Boolfun.not_history) Boolfun.not_history)
+
+let prop_dual_involution =
+  QCheck.Test.make ~name:"dual is an involution" ~count:64
+    QCheck.(int_bound 15)
+    (fun i ->
+      let f = Boolfun.of_index i in
+      Boolfun.equal (Boolfun.dual (Boolfun.dual f)) f)
+
+let prop_dual_semantics =
+  QCheck.Test.make ~name:"dual f (x,y) = not (f (!x,!y))" ~count:200
+    QCheck.(triple (int_bound 15) bool bool)
+    (fun (i, x, y) ->
+      let f = Boolfun.of_index i in
+      Boolfun.apply (Boolfun.dual f) x y = not (Boolfun.apply f (not x) (not y)))
+
+let test_masks () =
+  let m = Boolfun.mask_of_list [ Boolfun.identity; Boolfun.xor ] in
+  check_bool "mem identity" true (Boolfun.mask_mem Boolfun.identity m);
+  check_bool "mem xor" true (Boolfun.mask_mem Boolfun.xor m);
+  check_bool "not mem nor" false (Boolfun.mask_mem Boolfun.nor m);
+  check_int "two members" 2 (List.length (Boolfun.list_of_mask m));
+  check_int "full has 16" 16 (List.length (Boolfun.list_of_mask Boolfun.full_mask))
+
+let test_names_unique () =
+  let names = List.map Boolfun.name Boolfun.all in
+  check_int "unique names" 16 (List.length (List.sort_uniq String.compare names))
+
+let () =
+  Alcotest.run "boolfun"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "count" `Quick test_count;
+          Alcotest.test_case "index roundtrip" `Quick test_index_roundtrip;
+          Alcotest.test_case "of_index range" `Quick test_of_index_range;
+          Alcotest.test_case "named truth tables" `Quick test_named_tables;
+          Alcotest.test_case "all distinct" `Quick test_all_distinct;
+          Alcotest.test_case "names unique" `Quick test_names_unique;
+        ] );
+      ( "dual",
+        Alcotest.test_case "pairs" `Quick test_dual_pairs
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_dual_involution; prop_dual_semantics ] );
+      ("masks", [ Alcotest.test_case "masks" `Quick test_masks ]);
+    ]

@@ -1,0 +1,225 @@
+module Buscount = Buspower.Buscount
+module Businvert = Buspower.Businvert
+module T0 = Buspower.T0
+module Energy = Buspower.Energy
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ---- buscount -------------------------------------------------------------- *)
+
+let test_buscount_basic () =
+  let t = Buscount.create ~width:4 () in
+  List.iter (Buscount.observe t) [ 0b0000; 0b1111; 0b1111; 0b0101 ];
+  check_int "total" 6 (Buscount.total t);
+  Alcotest.(check (array int)) "per line" [| 1; 2; 1; 2 |] (Buscount.per_line t);
+  check_int "words" 4 (Buscount.words_observed t)
+
+let test_buscount_single_word () =
+  let t = Buscount.create () in
+  Buscount.observe t 0xffffffff;
+  check_int "first word free" 0 (Buscount.total t)
+
+let test_buscount_reset () =
+  let t = Buscount.create ~width:8 () in
+  Buscount.observe t 0xff;
+  Buscount.observe t 0x00;
+  Buscount.reset t;
+  check_int "cleared" 0 (Buscount.total t);
+  Buscount.observe t 0xff;
+  check_int "fresh history" 0 (Buscount.total t)
+
+let test_buscount_width_check () =
+  let t = Buscount.create ~width:4 () in
+  Alcotest.check_raises "wide word"
+    (Invalid_argument "Buscount.observe: word wider than bus") (fun () ->
+      Buscount.observe t 16)
+
+let test_count_stream_matches_bitmat () =
+  let words = [| 0xdead; 0xbeef; 0x1234; 0xffff; 0x0001 |] in
+  check_int "agree with Bitmat"
+    (Bitutil.Bitmat.transitions (Bitutil.Bitmat.of_words ~width:16 words))
+    (Buscount.count_stream ~width:16 words)
+
+(* ---- bus-invert ------------------------------------------------------------- *)
+
+let test_businvert_inverts_on_majority () =
+  let t = Businvert.create ~width:8 () in
+  let _ = Businvert.encode t 0x00 in
+  (* 0xff differs in 8 > 4 lines: must invert *)
+  let bus, inv = Businvert.encode t 0xff in
+  check_bool "inverted" true inv;
+  check_int "bus carries complement" 0x00 bus
+
+let test_businvert_keeps_on_minority () =
+  let t = Businvert.create ~width:8 () in
+  let _ = Businvert.encode t 0x00 in
+  let bus, inv = Businvert.encode t 0x01 in
+  check_bool "not inverted" false inv;
+  check_int "verbatim" 0x01 bus
+
+let test_businvert_decode_roundtrip () =
+  let t = Businvert.create ~width:8 () in
+  let inputs = [ 0x00; 0xff; 0xa5; 0x5a; 0x0f; 0xf0; 0x33 ] in
+  List.iter
+    (fun w ->
+      let coded = Businvert.encode t w in
+      check_int "roundtrip" w (Businvert.decode ~width:8 coded))
+    inputs
+
+let test_businvert_halves_worst_case () =
+  (* alternating 0x00/0xff: raw cost 8 per step; bus-invert pays only the
+     invert line after the first flip *)
+  let words = Array.init 20 (fun i -> if i land 1 = 0 then 0x00 else 0xff) in
+  let raw = Buscount.count_stream ~width:8 words in
+  let encoded = Businvert.count_stream ~width:8 words in
+  check_int "raw cost" (19 * 8) raw;
+  check_bool "encoded far cheaper" true (encoded <= 19)
+
+let prop_businvert_per_step_bound =
+  QCheck.Test.make ~name:"bus-invert: <= width/2 + 1 per step" ~count:300
+    QCheck.(list_of_size Gen.(2 -- 30) (int_bound 0xff))
+    (fun words ->
+      let t = Businvert.create ~width:8 () in
+      let previous = ref None in
+      List.for_all
+        (fun w ->
+          let before = Businvert.transitions t in
+          let _ = Businvert.encode t w in
+          let after = Businvert.transitions t in
+          let ok =
+            match !previous with
+            | None -> after = before
+            | Some _ -> after - before <= (8 / 2) + 1
+          in
+          previous := Some w;
+          ok)
+        words)
+
+let prop_businvert_roundtrip =
+  QCheck.Test.make ~name:"bus-invert roundtrip" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 30) (int_bound 0xffff))
+    (fun words ->
+      let t = Businvert.create ~width:16 () in
+      List.for_all
+        (fun w -> Businvert.decode ~width:16 (Businvert.encode t w) = w)
+        words)
+
+(* ---- T0 ---------------------------------------------------------------------- *)
+
+let test_t0_sequential_is_free () =
+  (* one INC-line assertion at the start, then the whole run rides free *)
+  let addrs = Array.init 100 (fun i -> i) in
+  check_int "only the INC assert" 1 (T0.count_stream ~width:16 addrs)
+
+let test_t0_branch_costs () =
+  let t = T0.create ~width:16 () in
+  T0.observe t 10;
+  T0.observe t 11;
+  (* sequential: INC goes high: 1 transition *)
+  check_int "inc assert" 1 (T0.transitions t);
+  T0.observe t 50;
+  (* non-sequential: INC drops (1) + address lines change from the frozen
+     bus value 10 (the lines never carried 11) to 50 *)
+  let expected_addr_flips =
+    let rec pop x acc = if x = 0 then acc else pop (x lsr 1) (acc + (x land 1)) in
+    pop (10 lxor 50) 0
+  in
+  check_int "branch cost" (1 + 1 + expected_addr_flips) (T0.transitions t)
+
+let test_t0_beats_raw_on_loops () =
+  (* a loop fetch pattern: 100 iterations of addresses 20..29 *)
+  let addrs =
+    Array.init 1000 (fun i -> 20 + (i mod 10))
+  in
+  let raw = T0.raw_count_stream ~width:16 addrs in
+  let t0 = T0.count_stream ~width:16 addrs in
+  check_bool "t0 wins" true (t0 < raw)
+
+(* ---- gray ------------------------------------------------------------------------ *)
+
+let test_gray_roundtrip () =
+  for a = 0 to 1000 do
+    check_int "roundtrip" a (Buspower.Gray.decode (Buspower.Gray.encode a))
+  done
+
+let test_gray_adjacent_one_bit () =
+  for a = 0 to 500 do
+    let d = Buspower.Gray.encode a lxor Buspower.Gray.encode (a + 1) in
+    check_int "one bit" 0 (d land (d - 1))
+  done
+
+let test_gray_sequential_run_cost () =
+  let addrs = Array.init 100 (fun i -> i) in
+  check_int "one transition per step" 99
+    (Buspower.Gray.count_stream ~width:16 addrs)
+
+let prop_gray_injective =
+  QCheck.Test.make ~name:"gray encode injective" ~count:300
+    QCheck.(pair (int_bound 100000) (int_bound 100000))
+    (fun (a, b) ->
+      a = b || Buspower.Gray.encode a <> Buspower.Gray.encode b)
+
+(* ---- energy -------------------------------------------------------------------- *)
+
+let test_energy_model () =
+  let e = Energy.of_transitions Energy.on_chip 1000 in
+  (* 0.5 * 0.5pF * 1.8^2 * 1000 = 0.81 nJ *)
+  Alcotest.(check (float 1e-12)) "on chip" 0.81e-9 e;
+  check_bool "off chip costlier" true
+    (Energy.per_transition Energy.off_chip > Energy.per_transition Energy.on_chip)
+
+let test_energy_pp () =
+  let suffix j =
+    let s = Format.asprintf "%a" Energy.pp_joules j in
+    String.sub s (String.length s - 2) 2
+  in
+  check_string "810 pJ" "pJ" (suffix 0.81e-9);
+  check_string "nJ" "nJ" (suffix 5.0e-9);
+  check_string "mJ" "mJ" (suffix 2.0e-3);
+  check_string "J" " J" (suffix 3.0)
+
+let () =
+  Alcotest.run "buspower"
+    [
+      ( "buscount",
+        [
+          Alcotest.test_case "basic" `Quick test_buscount_basic;
+          Alcotest.test_case "single word" `Quick test_buscount_single_word;
+          Alcotest.test_case "reset" `Quick test_buscount_reset;
+          Alcotest.test_case "width check" `Quick test_buscount_width_check;
+          Alcotest.test_case "matches bitmat" `Quick
+            test_count_stream_matches_bitmat;
+        ] );
+      ( "bus-invert",
+        Alcotest.test_case "inverts on majority" `Quick
+          test_businvert_inverts_on_majority
+        :: Alcotest.test_case "keeps on minority" `Quick
+             test_businvert_keeps_on_minority
+        :: Alcotest.test_case "decode roundtrip" `Quick
+             test_businvert_decode_roundtrip
+        :: Alcotest.test_case "halves worst case" `Quick
+             test_businvert_halves_worst_case
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_businvert_per_step_bound; prop_businvert_roundtrip ] );
+      ( "t0",
+        [
+          Alcotest.test_case "sequential free" `Quick test_t0_sequential_is_free;
+          Alcotest.test_case "branch costs" `Quick test_t0_branch_costs;
+          Alcotest.test_case "beats raw on loops" `Quick
+            test_t0_beats_raw_on_loops;
+        ] );
+      ( "gray",
+        Alcotest.test_case "roundtrip" `Quick test_gray_roundtrip
+        :: Alcotest.test_case "adjacent differ in one bit" `Quick
+             test_gray_adjacent_one_bit
+        :: Alcotest.test_case "sequential run cost" `Quick
+             test_gray_sequential_run_cost
+        :: List.map QCheck_alcotest.to_alcotest [ prop_gray_injective ] );
+      ( "energy",
+        [
+          Alcotest.test_case "model" `Quick test_energy_model;
+          Alcotest.test_case "pretty printing" `Quick test_energy_pp;
+        ] );
+    ]

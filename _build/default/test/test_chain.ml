@@ -1,0 +1,208 @@
+module Chain = Powercode.Chain
+module Subset = Powercode.Subset
+module Bitvec = Bitutil.Bitvec
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let stream_of_string = Bitvec.of_string
+
+let seeded_stream seed n =
+  let state = ref seed in
+  Bitvec.init n (fun _ ->
+      (* xorshift, deterministic across runs *)
+      state := !state lxor (!state lsl 13);
+      state := !state lxor (!state lsr 7);
+      state := !state lxor (!state lsl 17);
+      !state land 1 = 1)
+
+let test_block_count () =
+  check_int "n=0" 0 (Chain.block_count ~n:0 ~k:5);
+  check_int "n=1" 1 (Chain.block_count ~n:1 ~k:5);
+  check_int "n=5" 1 (Chain.block_count ~n:5 ~k:5);
+  check_int "n=6" 2 (Chain.block_count ~n:6 ~k:5);
+  check_int "n=9" 2 (Chain.block_count ~n:9 ~k:5);
+  check_int "n=10" 3 (Chain.block_count ~n:10 ~k:5);
+  check_int "n=1000 k=5" (1 + ((1000 - 5 + 3) / 4)) (Chain.block_count ~n:1000 ~k:5)
+
+let test_empty_stream () =
+  let e = Chain.encode_greedy ~k:4 (Bitvec.create 0) in
+  check_int "no taus" 0 (Array.length e.Chain.taus);
+  check_bool "decodes to empty" true (Bitvec.equal (Chain.decode e) (Bitvec.create 0))
+
+let test_single_bit () =
+  let s = stream_of_string "1" in
+  let e = Chain.encode_greedy ~k:4 s in
+  check_bool "roundtrip" true (Bitvec.equal (Chain.decode e) s);
+  check_bool "stored verbatim" true (Bitvec.equal e.Chain.code s)
+
+let test_alternating_collapses () =
+  (* the motivating example: 1010... encodes with zero transitions after the
+     first block boundary effects; at minimum it beats the original hugely *)
+  let s = Bitvec.init 41 (fun i -> i land 1 = 0) in
+  let e = Chain.encode_greedy ~k:5 s in
+  check_bool "roundtrip" true (Bitvec.equal (Chain.decode e) s);
+  check_bool "big win" true
+    (Bitvec.transitions e.Chain.code <= Bitvec.transitions s / 4)
+
+let test_constant_stays () =
+  let s = Bitvec.init 37 (fun _ -> true) in
+  let e = Chain.encode_greedy ~k:6 s in
+  check_int "still zero transitions" 0 (Bitvec.transitions e.Chain.code);
+  check_bool "roundtrip" true (Bitvec.equal (Chain.decode e) s)
+
+let test_never_worse_than_original () =
+  for seed = 1 to 30 do
+    let s = seeded_stream seed 200 in
+    List.iter
+      (fun k ->
+        let e = Chain.encode_greedy ~k s in
+        if Bitvec.transitions e.Chain.code > Bitvec.transitions s then
+          Alcotest.failf "worse than original: seed=%d k=%d" seed k)
+      [ 2; 3; 4; 5; 6; 7 ]
+  done
+
+let test_optimal_at_least_greedy () =
+  for seed = 1 to 20 do
+    let s = seeded_stream (seed * 7919) 150 in
+    List.iter
+      (fun k ->
+        let g = Chain.encode_greedy ~k s in
+        let o = Chain.encode_optimal ~k s in
+        let tg = Bitvec.transitions g.Chain.code in
+        let to_ = Bitvec.transitions o.Chain.code in
+        if to_ > tg then Alcotest.failf "DP worse than greedy: seed=%d k=%d" seed k;
+        if not (Bitvec.equal (Chain.decode o) s) then
+          Alcotest.failf "DP decode failed: seed=%d k=%d" seed k)
+      [ 2; 4; 5; 7 ]
+  done
+
+(* §6 of the paper: random 1000-bit streams, k = 5, reduction within ~1% of
+   50%.  Averaged over seeds to keep the tolerance honest. *)
+let test_paper_sec6_fifty_percent () =
+  let trials = 25 in
+  let sum = ref 0.0 in
+  for seed = 1 to trials do
+    let s = seeded_stream (seed * 104729) 1000 in
+    let e = Chain.encode_greedy ~k:5 s in
+    let t0 = float_of_int (Bitvec.transitions s) in
+    let t1 = float_of_int (Bitvec.transitions e.Chain.code) in
+    sum := !sum +. (100.0 *. (1.0 -. (t1 /. t0)))
+  done;
+  let avg = !sum /. float_of_int trials in
+  if avg < 48.0 || avg > 52.5 then
+    Alcotest.failf "average reduction %.2f%% outside 48..52.5" avg
+
+let test_subset_roundtrip () =
+  for seed = 1 to 10 do
+    let s = seeded_stream (seed * 31) 100 in
+    List.iter
+      (fun k ->
+        let e = Chain.encode_greedy ~subset_mask:Subset.paper_eight_mask ~k s in
+        if not (Bitvec.equal (Chain.decode e) s) then
+          Alcotest.failf "subset roundtrip failed seed=%d k=%d" seed k;
+        (* all chosen transformations really are in the subset *)
+        Array.iter
+          (fun tau ->
+            if not (Powercode.Boolfun.mask_mem tau Subset.paper_eight_mask)
+            then Alcotest.failf "tau outside subset seed=%d k=%d" seed k)
+          e.Chain.taus)
+      [ 3; 5; 7 ]
+  done
+
+let test_tau_count_matches_blocks () =
+  let s = seeded_stream 42 77 in
+  List.iter
+    (fun k ->
+      let e = Chain.encode_greedy ~k s in
+      check_int
+        (Printf.sprintf "k=%d" k)
+        (Chain.block_count ~n:77 ~k)
+        (Array.length e.Chain.taus))
+    [ 2; 3; 4; 5; 6; 7 ]
+
+let test_first_bit_verbatim () =
+  for seed = 5 to 15 do
+    let s = seeded_stream seed 64 in
+    let e = Chain.encode_greedy ~k:5 s in
+    check_bool "first bit passes through" true
+      (Bitvec.get e.Chain.code 0 = Bitvec.get s 0)
+  done
+
+let test_bad_k_rejected () =
+  Alcotest.check_raises "k=1" (Invalid_argument "Chain: block size not in 2..16")
+    (fun () -> ignore (Chain.encode_greedy ~k:1 (Bitvec.create 8)));
+  Alcotest.check_raises "k=17" (Invalid_argument "Chain: block size not in 2..16")
+    (fun () -> ignore (Chain.encode_greedy ~k:17 (Bitvec.create 8)))
+
+(* cross-validation: a stream of exactly k bits is a single standalone
+   block, so the chain encoder must achieve exactly the solver's optimum *)
+let test_single_block_matches_solver () =
+  List.iter
+    (fun k ->
+      for word = 0 to (1 lsl k) - 1 do
+        let stream = Bitvec.of_int ~width:k word in
+        let e = Chain.encode_greedy ~k stream in
+        let entry = Powercode.Solver.solve ~k word in
+        let chain_cost = Bitvec.transitions e.Chain.code in
+        if chain_cost <> entry.Powercode.Solver.code_transitions then
+          Alcotest.failf "k=%d w=%d: chain %d <> solver %d" k word chain_cost
+            entry.Powercode.Solver.code_transitions
+      done)
+    [ 2; 3; 5; 7 ]
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"greedy encode/decode roundtrip" ~count:300
+    QCheck.(pair (int_range 2 8) (list_of_size Gen.(0 -- 80) bool))
+    (fun (k, bits) ->
+      let s = Bitvec.of_list bits in
+      let e = Chain.encode_greedy ~k s in
+      Bitvec.equal (Chain.decode e) s)
+
+let prop_roundtrip_optimal =
+  QCheck.Test.make ~name:"optimal encode/decode roundtrip" ~count:200
+    QCheck.(pair (int_range 2 8) (list_of_size Gen.(0 -- 60) bool))
+    (fun (k, bits) ->
+      let s = Bitvec.of_list bits in
+      let e = Chain.encode_optimal ~k s in
+      Bitvec.equal (Chain.decode e) s)
+
+let prop_savings_accounting =
+  QCheck.Test.make ~name:"transitions_saved accounting" ~count:100
+    QCheck.(list_of_size Gen.(2 -- 60) bool)
+    (fun bits ->
+      let s = Bitvec.of_list bits in
+      let e = Chain.encode_greedy ~k:5 s in
+      Chain.transitions_saved ~original:s ~encoded:e
+      = Bitvec.transitions s - Bitvec.transitions e.Chain.code)
+
+let () =
+  Alcotest.run "chain"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "block_count" `Quick test_block_count;
+          Alcotest.test_case "empty" `Quick test_empty_stream;
+          Alcotest.test_case "single bit" `Quick test_single_bit;
+          Alcotest.test_case "tau count" `Quick test_tau_count_matches_blocks;
+          Alcotest.test_case "first bit verbatim" `Quick test_first_bit_verbatim;
+          Alcotest.test_case "bad k" `Quick test_bad_k_rejected;
+        ] );
+      ( "quality",
+        [
+          Alcotest.test_case "alternating collapses" `Quick
+            test_alternating_collapses;
+          Alcotest.test_case "constant stays" `Quick test_constant_stays;
+          Alcotest.test_case "never worse" `Quick test_never_worse_than_original;
+          Alcotest.test_case "optimal >= greedy" `Quick
+            test_optimal_at_least_greedy;
+          Alcotest.test_case "paper sec6: ~50% on random streams" `Quick
+            test_paper_sec6_fifty_percent;
+          Alcotest.test_case "subset roundtrip" `Quick test_subset_roundtrip;
+          Alcotest.test_case "single block = solver optimum" `Quick
+            test_single_block_matches_solver;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_roundtrip_optimal; prop_savings_accounting ] );
+    ]

@@ -1,0 +1,205 @@
+(* Cross-layer integration: Minic source -> compiled program -> profile ->
+   encoding plan -> hardware tables -> decoded execution, checked for exact
+   architectural equivalence with the baseline run. *)
+
+module PE = Powercode.Program_encoder
+module Subset = Powercode.Subset
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let build_system ?(k = 5) source =
+  let compiled = Minic.Compile.compile source in
+  let program = compiled.Minic.Compile.program in
+  let words = Isa.Program.words program in
+  let blocks = Cfg.Block.partition (Isa.Program.insns program) in
+  let profile, _ = Cfg.Profile.collect program in
+  let candidates =
+    Array.to_list blocks
+    |> List.filter (fun b -> Cfg.Profile.block_weight profile b > 0)
+    |> List.map (fun (b : Cfg.Block.t) ->
+           {
+             PE.start_index = b.Cfg.Block.start;
+             body =
+               Bitutil.Bitmat.of_words ~width:32
+                 (Array.sub words b.Cfg.Block.start b.Cfg.Block.len);
+             weight = Cfg.Profile.block_weight profile b;
+           })
+  in
+  let config =
+    { PE.k; subset_mask = Subset.paper_eight_mask; tt_capacity = 16;
+      optimal_chain = false }
+  in
+  let plan = PE.plan config candidates in
+  (program, Hardware.Reprogram.build program plan, plan)
+
+let fir_source =
+  {|
+    float x[64];
+    float h[8];
+    float y[64];
+    int main() {
+      int i; int j; float acc;
+      for (i = 0; i < 64; i = i + 1) { x[i] = itof(i % 9) - 4.0; }
+      for (i = 0; i < 8; i = i + 1) { h[i] = 1.0 / itof(i + 1); }
+      for (i = 7; i < 64; i = i + 1) {
+        acc = 0.0;
+        for (j = 0; j < 8; j = j + 1) {
+          acc = acc + h[j] * x[i - j];
+        }
+        y[i] = acc;
+      }
+      print_float(y[63]);
+      print_char(10);
+      return 0;
+    }
+  |}
+
+(* Run the program twice: plain, and through the fetch decoder, comparing
+   every decoded word and the final observable behaviour. *)
+let test_decoded_run_equivalent () =
+  List.iter
+    (fun k ->
+      let program, system, _ = build_system ~k fir_source in
+      let words = Isa.Program.words program in
+      (* plain run *)
+      let s1 = Machine.Cpu.create_state () in
+      let r1 = Machine.Cpu.run program s1 in
+      (* decoded run *)
+      let dec = Hardware.Reprogram.decoder system in
+      let s2 = Machine.Cpu.create_state () in
+      let on_fetch ~pc =
+        let _bus, decoded = Hardware.Fetch_decoder.fetch dec ~pc in
+        if decoded <> words.(pc) then
+          Alcotest.failf "k=%d pc=%d decode mismatch" k pc
+      in
+      let r2 = Machine.Cpu.run ~on_fetch program s2 in
+      check_int "same instruction count" r1.Machine.Cpu.instructions
+        r2.Machine.Cpu.instructions;
+      check_int "same exit" r1.Machine.Cpu.exit_code r2.Machine.Cpu.exit_code;
+      check_string "same output" (Machine.Cpu.output s1) (Machine.Cpu.output s2))
+    [ 2; 4; 5; 7 ]
+
+let test_fir_saves_transitions () =
+  let program, system, _ = build_system ~k:5 fir_source in
+  let words = Isa.Program.words program in
+  let base = Buspower.Buscount.create () in
+  let enc = Buspower.Buscount.create () in
+  let s = Machine.Cpu.create_state () in
+  let on_fetch ~pc =
+    Buspower.Buscount.observe base words.(pc);
+    Buspower.Buscount.observe enc system.Hardware.Reprogram.image.(pc)
+  in
+  let _ = Machine.Cpu.run ~on_fetch program s in
+  let b = Buspower.Buscount.total base and e = Buspower.Buscount.total enc in
+  check_bool "saves transitions" true (e < b);
+  check_bool "saves a lot (>10%)" true
+    (float_of_int e < 0.9 *. float_of_int b)
+
+let test_plan_image_only_touches_encoded_blocks () =
+  let program, system, plan = build_system fir_source in
+  let words = Isa.Program.words program in
+  let image = system.Hardware.Reprogram.image in
+  let inside pc =
+    List.exists
+      (fun p ->
+        match p.PE.encoding with
+        | None -> false
+        | Some enc ->
+            let start = p.PE.cand.PE.start_index in
+            pc >= start
+            && pc < start + Bitutil.Bitmat.rows enc.PE.encoded)
+      plan.PE.placements
+  in
+  Array.iteri
+    (fun pc w ->
+      if not (inside pc) && image.(pc) <> w then
+        Alcotest.failf "image changed outside encoded blocks at %d" pc)
+    words
+
+let test_heads_stored_verbatim () =
+  let program, system, plan = build_system fir_source in
+  let words = Isa.Program.words program in
+  List.iter
+    (fun p ->
+      if p.PE.encoding <> None then
+        let start = p.PE.cand.PE.start_index in
+        check_int "head verbatim" words.(start)
+          system.Hardware.Reprogram.image.(start))
+    plan.PE.placements
+
+(* A multi-function program keeps working when its functions interleave with
+   encoded loops (calls leave and re-enter encoded regions). *)
+let test_calls_across_encoded_regions () =
+  let src =
+    {|
+      int helper(int x) {
+        int acc; int i;
+        acc = 0;
+        for (i = 0; i < x; i = i + 1) { acc = acc + i * i; }
+        return acc;
+      }
+      int main() {
+        int total; int round;
+        total = 0;
+        for (round = 0; round < 10; round = round + 1) {
+          total = total + helper(round);
+        }
+        print_int(total);
+        return 0;
+      }
+    |}
+  in
+  let program, system, _ = build_system ~k:4 src in
+  let words = Isa.Program.words program in
+  let dec = Hardware.Reprogram.decoder system in
+  let state = Machine.Cpu.create_state () in
+  let on_fetch ~pc =
+    let _bus, decoded = Hardware.Fetch_decoder.fetch dec ~pc in
+    if decoded <> words.(pc) then Alcotest.failf "pc=%d mismatch" pc
+  in
+  let _ = Machine.Cpu.run ~on_fetch program state in
+  check_string "result" "540" (Machine.Cpu.output state)
+
+(* The software-reference decoder (Program_encoder.decode_block) and the
+   hardware model must agree block by block. *)
+let test_reference_and_hardware_agree () =
+  let program, system, plan = build_system ~k:6 fir_source in
+  ignore program;
+  List.iter
+    (fun p ->
+      match p.PE.encoding with
+      | None -> ()
+      | Some enc ->
+          let reference =
+            PE.decode_block ~k:6 ~entries:enc.PE.entries enc.PE.encoded
+          in
+          let start = p.PE.cand.PE.start_index in
+          let rows = Bitutil.Bitmat.rows enc.PE.encoded in
+          let dec = Hardware.Reprogram.decoder system in
+          for i = 0 to rows - 1 do
+            let _bus, decoded = Hardware.Fetch_decoder.fetch dec ~pc:(start + i) in
+            if decoded <> Bitutil.Bitmat.word reference i then
+              Alcotest.failf "reference/hardware disagree at row %d" i
+          done)
+    plan.PE.placements
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "decoded run equivalent" `Quick
+            test_decoded_run_equivalent;
+          Alcotest.test_case "fir saves transitions" `Quick
+            test_fir_saves_transitions;
+          Alcotest.test_case "image patch locality" `Quick
+            test_plan_image_only_touches_encoded_blocks;
+          Alcotest.test_case "heads verbatim" `Quick test_heads_stored_verbatim;
+          Alcotest.test_case "calls across regions" `Quick
+            test_calls_across_encoded_regions;
+          Alcotest.test_case "reference = hardware" `Quick
+            test_reference_and_hardware_agree;
+        ] );
+    ]

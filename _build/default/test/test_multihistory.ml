@@ -1,0 +1,102 @@
+module M = Powercode.Multihistory
+module Solver = Powercode.Solver
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* h = 1 must coincide exactly with the main solver *)
+let test_h1_matches_solver () =
+  List.iter
+    (fun k ->
+      let t1 = M.totals ~h:1 ~k in
+      let t = Solver.totals ~k () in
+      check_int (Printf.sprintf "k=%d ttn" k) t.Solver.ttn t1.M.ttn;
+      check_int (Printf.sprintf "k=%d rtn" k) t.Solver.rtn t1.M.rtn)
+    [ 2; 3; 4; 5; 6; 7 ]
+
+let test_h1_per_word_matches_solver () =
+  let k = 6 in
+  for word = 0 to (1 lsl k) - 1 do
+    let c1 = M.solve ~h:1 ~k word in
+    let e = Solver.solve ~k word in
+    check_int "same transitions"
+      (Powercode.Blockword.transitions ~k e.Solver.code)
+      (Powercode.Blockword.transitions ~k c1)
+  done
+
+let test_h2_at_least_h1 () =
+  List.iter
+    (fun k ->
+      let t1 = M.totals ~h:1 ~k in
+      let t2 = M.totals ~h:2 ~k in
+      check_bool (Printf.sprintf "k=%d h2 no worse" k) true (t2.M.rtn <= t1.M.rtn))
+    [ 2; 3; 4; 5; 6; 7 ]
+
+let test_h3_at_least_h2 () =
+  List.iter
+    (fun k ->
+      let t2 = M.totals ~h:2 ~k in
+      let t3 = M.totals ~h:3 ~k in
+      check_bool (Printf.sprintf "k=%d h3 no worse" k) true (t3.M.rtn <= t2.M.rtn))
+    [ 3; 5; 7 ]
+
+let test_roundtrip_all_words () =
+  List.iter
+    (fun (h, k) ->
+      for word = 0 to (1 lsl k) - 1 do
+        let code = M.solve ~h ~k word in
+        match M.solve_table ~h ~k ~word ~code with
+        | None -> Alcotest.failf "h=%d k=%d w=%d: solver returned infeasible code" h k word
+        | Some table ->
+            let got = M.decode ~h ~k ~table ~code in
+            if got <> word then
+              Alcotest.failf "h=%d k=%d w=%d: decode %d" h k word got
+      done)
+    [ (1, 5); (2, 5); (2, 7); (3, 6) ]
+
+let test_identity_bound () =
+  List.iter
+    (fun (h, k) ->
+      for word = 0 to (1 lsl k) - 1 do
+        let code = M.solve ~h ~k word in
+        if
+          Powercode.Blockword.transitions ~k code
+          > Powercode.Blockword.transitions ~k word
+        then Alcotest.failf "worse than identity h=%d k=%d w=%d" h k word
+      done)
+    [ (2, 6); (3, 5) ]
+
+let test_bad_params () =
+  Alcotest.check_raises "h=0" (Invalid_argument "Multihistory: h not in 1..3")
+    (fun () -> ignore (M.solve ~h:0 ~k:3 0));
+  Alcotest.check_raises "h=4" (Invalid_argument "Multihistory: h not in 1..3")
+    (fun () -> ignore (M.solve ~h:4 ~k:3 0))
+
+let test_known_h2_win () =
+  (* 01100 needs 2 transitions at h=1 (Figure 4) but h=2 history can see
+     further back; verify h=2 strictly improves the k=5 total *)
+  let t1 = M.totals ~h:1 ~k:5 in
+  let t2 = M.totals ~h:2 ~k:5 in
+  check_bool "strict improvement at k=5" true (t2.M.rtn < t1.M.rtn)
+
+let () =
+  Alcotest.run "multihistory"
+    [
+      ( "h=1 equivalence",
+        [
+          Alcotest.test_case "totals" `Quick test_h1_matches_solver;
+          Alcotest.test_case "per word" `Quick test_h1_per_word_matches_solver;
+        ] );
+      ( "monotonicity",
+        [
+          Alcotest.test_case "h2 >= h1" `Quick test_h2_at_least_h1;
+          Alcotest.test_case "h3 >= h2" `Quick test_h3_at_least_h2;
+          Alcotest.test_case "h2 strict at k=5" `Quick test_known_h2_win;
+        ] );
+      ( "correctness",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_all_words;
+          Alcotest.test_case "identity bound" `Quick test_identity_bound;
+          Alcotest.test_case "bad params" `Quick test_bad_params;
+        ] );
+    ]

@@ -1,0 +1,170 @@
+module Evaluate = Pipeline.Evaluate
+module Subset = Powercode.Subset
+module Boolfun = Powercode.Boolfun
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let scaled name = Workloads.by_name Workloads.scaled name
+
+let test_report_shape () =
+  let r = Evaluate.evaluate_workload ~ks:[ 4; 5 ] (scaled "mmul") in
+  check_int "two runs" 2 (List.length r.Evaluate.runs);
+  Alcotest.(check (list int))
+    "ks" [ 4; 5 ]
+    (List.map (fun x -> x.Evaluate.k) r.Evaluate.runs);
+  check_bool "baseline positive" true (r.Evaluate.baseline_transitions > 0);
+  check_bool "instructions positive" true (r.Evaluate.instructions > 0)
+
+let test_verification_covers_every_fetch () =
+  let r = Evaluate.evaluate_workload ~ks:[ 4; 6 ] ~verify:true (scaled "tri") in
+  List.iter
+    (fun run ->
+      check_int
+        (Printf.sprintf "k=%d verified" run.Evaluate.k)
+        r.Evaluate.instructions run.Evaluate.verified_fetches)
+    r.Evaluate.runs
+
+let test_reduction_positive_on_loop_kernels () =
+  List.iter
+    (fun name ->
+      let r = Evaluate.evaluate_workload ~ks:[ 4; 5 ] (scaled name) in
+      List.iter
+        (fun run ->
+          check_bool
+            (Printf.sprintf "%s k=%d reduces" name run.Evaluate.k)
+            true
+            (run.Evaluate.reduction_pct > 0.0))
+        r.Evaluate.runs)
+    [ "mmul"; "sor"; "ej"; "fft"; "tri"; "lu" ]
+
+let test_encoded_never_worse () =
+  List.iter
+    (fun name ->
+      let r = Evaluate.evaluate_workload (scaled name) in
+      List.iter
+        (fun run ->
+          check_bool "no worse than baseline" true
+            (run.Evaluate.transitions <= r.Evaluate.baseline_transitions))
+        r.Evaluate.runs)
+    [ "mmul"; "fft" ]
+
+let test_output_unchanged_by_observation () =
+  (* evaluation must not perturb program semantics *)
+  let w = scaled "lu" in
+  let c = Workloads.compile w in
+  let state = Machine.Cpu.create_state () in
+  let _ = Machine.Cpu.run c.Minic.Compile.program state in
+  let plain = Machine.Cpu.output state in
+  let r = Evaluate.evaluate_workload ~verify:true w in
+  Alcotest.(check string) "same output" plain r.Evaluate.output
+
+let test_tt_budget_respected () =
+  let r = Evaluate.evaluate_workload ~ks:[ 4 ] (scaled "ej") in
+  List.iter
+    (fun run -> check_bool "within 16" true (run.Evaluate.tt_used <= 16))
+    r.Evaluate.runs
+
+let test_identity_only_subset_changes_nothing () =
+  let w = scaled "fft" in
+  let c = Workloads.compile w in
+  let r =
+    Evaluate.evaluate ~ks:[ 5 ]
+      ~subset_mask:(Boolfun.mask_of_list [ Boolfun.identity ])
+      ~name:"fft-id" c.Minic.Compile.program
+  in
+  match r.Evaluate.runs with
+  | [ run ] ->
+      check_int "identity encoding saves nothing" r.Evaluate.baseline_transitions
+        run.Evaluate.transitions
+  | _ -> Alcotest.fail "one run expected"
+
+let test_full_universe_at_least_as_good () =
+  let w = scaled "sor" in
+  let c = Workloads.compile w in
+  let sub =
+    Evaluate.evaluate ~ks:[ 5 ] ~subset_mask:Subset.paper_eight_mask
+      ~name:"sor8" c.Minic.Compile.program
+  in
+  let full =
+    Evaluate.evaluate ~ks:[ 5 ] ~subset_mask:Boolfun.full_mask ~name:"sor16"
+      c.Minic.Compile.program
+  in
+  match (sub.Evaluate.runs, full.Evaluate.runs) with
+  | [ s ], [ f ] ->
+      (* greedy chaining is not strictly monotonic in the subset, but the
+         full universe should never lose more than a whisker *)
+      check_bool "within 2%" true
+        (f.Evaluate.reduction_pct >= s.Evaluate.reduction_pct -. 2.0)
+  | _ -> Alcotest.fail "one run each"
+
+let test_optimal_chain_at_least_greedy () =
+  let w = scaled "tri" in
+  let c = Workloads.compile w in
+  let g = Evaluate.evaluate ~ks:[ 5 ] ~name:"g" c.Minic.Compile.program in
+  let o =
+    Evaluate.evaluate ~ks:[ 5 ] ~optimal_chain:true ~name:"o"
+      c.Minic.Compile.program
+  in
+  match (g.Evaluate.runs, o.Evaluate.runs) with
+  | [ gr ], [ orun ] ->
+      check_bool "optimal static chain not worse dynamically by much" true
+        (orun.Evaluate.transitions <= gr.Evaluate.transitions + (gr.Evaluate.transitions / 50))
+  | _ -> Alcotest.fail "one run each"
+
+let test_loop_selection_policy () =
+  (* the paper's "major application loops" policy: encoding only loop
+     blocks must still capture nearly all the savings on loop-dominated
+     kernels, and every fetch must still decode correctly *)
+  let w = scaled "mmul" in
+  let c = Workloads.compile w in
+  let blocks_r =
+    Evaluate.evaluate ~ks:[ 5 ] ~verify:true ~name:"blocks"
+      c.Minic.Compile.program
+  in
+  let loops_r =
+    Evaluate.evaluate ~ks:[ 5 ] ~selection:`Hot_loops ~verify:true
+      ~name:"loops" c.Minic.Compile.program
+  in
+  match (blocks_r.Evaluate.runs, loops_r.Evaluate.runs) with
+  | [ b ], [ l ] ->
+      check_bool "loop policy close to block policy" true
+        (Float.abs (b.Evaluate.reduction_pct -. l.Evaluate.reduction_pct) < 5.0);
+      check_int "verified" loops_r.Evaluate.instructions
+        l.Evaluate.verified_fetches
+  | _ -> Alcotest.fail "one run each"
+
+let test_coverage_bounds () =
+  let r = Evaluate.evaluate_workload ~ks:[ 5 ] (scaled "mmul") in
+  check_bool "0..100" true
+    (r.Evaluate.coverage_pct >= 0.0 && r.Evaluate.coverage_pct <= 100.0);
+  check_bool "loops dominate" true (r.Evaluate.coverage_pct > 50.0)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "evaluate",
+        [
+          Alcotest.test_case "report shape" `Quick test_report_shape;
+          Alcotest.test_case "verification covers fetches" `Quick
+            test_verification_covers_every_fetch;
+          Alcotest.test_case "reduces on all kernels" `Quick
+            test_reduction_positive_on_loop_kernels;
+          Alcotest.test_case "never worse" `Quick test_encoded_never_worse;
+          Alcotest.test_case "semantics preserved" `Quick
+            test_output_unchanged_by_observation;
+          Alcotest.test_case "tt budget" `Quick test_tt_budget_respected;
+          Alcotest.test_case "coverage bounds" `Quick test_coverage_bounds;
+          Alcotest.test_case "loop selection policy" `Quick
+            test_loop_selection_policy;
+        ] );
+      ( "ablation",
+        [
+          Alcotest.test_case "identity subset" `Quick
+            test_identity_only_subset_changes_nothing;
+          Alcotest.test_case "full universe" `Quick
+            test_full_universe_at_least_as_good;
+          Alcotest.test_case "optimal chain" `Quick
+            test_optimal_chain_at_least_greedy;
+        ] );
+    ]

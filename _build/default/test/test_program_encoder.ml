@@ -1,0 +1,191 @@
+module PE = Powercode.Program_encoder
+module Subset = Powercode.Subset
+module Bitmat = Bitutil.Bitmat
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let config ?(k = 5) ?(tt = 16) ?(optimal = false) () =
+  {
+    PE.k;
+    subset_mask = Subset.paper_eight_mask;
+    tt_capacity = tt;
+    optimal_chain = optimal;
+  }
+
+let seeded_words seed n width =
+  let state = ref seed in
+  Array.init n (fun _ ->
+      state := !state lxor (!state lsl 13);
+      state := !state lxor (!state lsr 7);
+      state := !state lxor (!state lsl 17);
+      !state land ((1 lsl width) - 1))
+
+let matrix seed n = Bitmat.of_words ~width:32 (seeded_words seed n 32)
+
+let test_entries_needed () =
+  check_int "rows=5 k=5" 1 (PE.entries_needed ~k:5 ~rows:5);
+  check_int "rows=6 k=5" 2 (PE.entries_needed ~k:5 ~rows:6);
+  check_int "rows=9 k=5" 2 (PE.entries_needed ~k:5 ~rows:9);
+  check_int "rows=10 k=5" 3 (PE.entries_needed ~k:5 ~rows:10)
+
+let test_encode_decode_roundtrip () =
+  List.iter
+    (fun (seed, rows, k) ->
+      let m = matrix seed rows in
+      let enc = PE.encode_block (config ~k ()) m in
+      let dec = PE.decode_block ~k ~entries:enc.PE.entries enc.PE.encoded in
+      Alcotest.(check (array int))
+        (Printf.sprintf "seed=%d rows=%d k=%d" seed rows k)
+        (Bitmat.words m) (Bitmat.words dec))
+    [ (1, 2, 4); (2, 5, 5); (3, 17, 5); (4, 30, 7); (5, 8, 2); (6, 64, 6) ]
+
+let test_first_instruction_verbatim () =
+  let m = matrix 99 12 in
+  let enc = PE.encode_block (config ()) m in
+  check_int "head verbatim" (Bitmat.word m 0) (Bitmat.word enc.PE.encoded 0)
+
+let test_never_more_transitions () =
+  List.iter
+    (fun seed ->
+      let m = matrix seed 25 in
+      let enc = PE.encode_block (config ()) m in
+      check_bool "no worse" true
+        (Bitmat.transitions enc.PE.encoded <= Bitmat.transitions m))
+    [ 11; 22; 33; 44 ]
+
+let test_entry_structure () =
+  let rows = 13 and k = 5 in
+  let enc = PE.encode_block (config ~k ()) (matrix 7 rows) in
+  let n = Array.length enc.PE.entries in
+  check_int "entry count" (PE.entries_needed ~k ~rows) n;
+  Array.iteri
+    (fun j (e : PE.tt_entry) ->
+      check_int "one tau per line" 32 (Array.length e.PE.taus);
+      check_bool "is_end only on last" true (e.PE.is_end = (j = n - 1)))
+    enc.PE.entries;
+  (* counts must sum to the block length: entry 0 includes the head *)
+  let total = Array.fold_left (fun acc e -> acc + e.PE.count) 0 enc.PE.entries in
+  check_int "counts cover all rows" rows total
+
+let test_optimal_no_worse_than_greedy () =
+  List.iter
+    (fun seed ->
+      let m = matrix seed 40 in
+      let g = PE.encode_block (config ()) m in
+      let o = PE.encode_block (config ~optimal:true ()) m in
+      check_bool "optimal <= greedy" true
+        (Bitmat.transitions o.PE.encoded <= Bitmat.transitions g.PE.encoded);
+      let dec = PE.decode_block ~k:5 ~entries:o.PE.entries o.PE.encoded in
+      Alcotest.(check (array int)) "optimal decodes" (Bitmat.words m)
+        (Bitmat.words dec))
+    [ 3; 14; 159 ]
+
+(* ---- planning ------------------------------------------------------------ *)
+
+let cand seed ~start ~rows ~weight =
+  { PE.start_index = start; body = matrix seed rows; weight }
+
+let test_plan_prefers_hot () =
+  let cands =
+    [
+      cand 1 ~start:0 ~rows:10 ~weight:10;
+      cand 2 ~start:20 ~rows:10 ~weight:1000;
+    ]
+  in
+  let plan = PE.plan (config ~tt:3 ()) cands in
+  let by_start s =
+    List.find (fun p -> p.PE.cand.PE.start_index = s) plan.PE.placements
+  in
+  check_bool "hot encoded" true ((by_start 20).PE.encoding <> None);
+  check_int "tt used" 3 plan.PE.tt_used
+
+let test_plan_skips_tiny_and_cold () =
+  let cands =
+    [
+      cand 1 ~start:0 ~rows:1 ~weight:50;
+      cand 2 ~start:10 ~rows:8 ~weight:0;
+    ]
+  in
+  let plan = PE.plan (config ()) cands in
+  List.iter
+    (fun p -> check_bool "not encoded" true (p.PE.encoding = None))
+    plan.PE.placements;
+  check_int "no tt" 0 plan.PE.tt_used
+
+let test_plan_partial_coverage () =
+  (* 100 rows at k=5 needs 1+ceil(95/4)=25 entries; 16 available cover
+     5 + 15*4 = 65 rows *)
+  let plan = PE.plan (config ()) [ cand 5 ~start:0 ~rows:100 ~weight:9 ] in
+  match plan.PE.placements with
+  | [ p ] -> (
+      match p.PE.encoding with
+      | None -> Alcotest.fail "expected partial encoding"
+      | Some enc ->
+          check_int "covered rows" 65 (Bitmat.rows enc.PE.encoded);
+          check_int "tt used" 16 plan.PE.tt_used;
+          check_bool "last entry ends" true
+            (Array.length enc.PE.entries = 16 && enc.PE.entries.(15).PE.is_end))
+  | _ -> Alcotest.fail "one placement expected"
+
+let test_plan_sorted_by_start () =
+  let cands =
+    [
+      cand 1 ~start:50 ~rows:5 ~weight:5;
+      cand 2 ~start:0 ~rows:5 ~weight:50;
+      cand 3 ~start:25 ~rows:5 ~weight:500;
+    ]
+  in
+  let plan = PE.plan (config ()) cands in
+  let starts = List.map (fun p -> p.PE.cand.PE.start_index) plan.PE.placements in
+  Alcotest.(check (list int)) "sorted" [ 0; 25; 50 ] starts
+
+let test_plan_capacity_invariant () =
+  for seed = 1 to 10 do
+    let cands =
+      List.init 8 (fun i ->
+          cand
+            ((seed * 10) + i)
+            ~start:(i * 40)
+            ~rows:(5 + (i * 3))
+            ~weight:(100 - i))
+    in
+    let plan = PE.plan (config ~tt:16 ()) cands in
+    check_bool "capacity respected" true (plan.PE.tt_used <= 16)
+  done
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode_block/decode_block roundtrip" ~count:60
+    QCheck.(pair (int_range 2 7) (int_range 2 40))
+    (fun (k, rows) ->
+      let m = matrix ((k * 1000) + rows) rows in
+      let enc = PE.encode_block (config ~k ()) m in
+      let dec = PE.decode_block ~k ~entries:enc.PE.entries enc.PE.encoded in
+      Bitmat.words dec = Bitmat.words m)
+
+let () =
+  Alcotest.run "program_encoder"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "entries_needed" `Quick test_entries_needed;
+          Alcotest.test_case "roundtrip" `Quick test_encode_decode_roundtrip;
+          Alcotest.test_case "head verbatim" `Quick
+            test_first_instruction_verbatim;
+          Alcotest.test_case "never worse" `Quick test_never_more_transitions;
+          Alcotest.test_case "entry structure" `Quick test_entry_structure;
+          Alcotest.test_case "optimal chain" `Quick
+            test_optimal_no_worse_than_greedy;
+        ] );
+      ( "planning",
+        [
+          Alcotest.test_case "prefers hot" `Quick test_plan_prefers_hot;
+          Alcotest.test_case "skips tiny and cold" `Quick
+            test_plan_skips_tiny_and_cold;
+          Alcotest.test_case "partial coverage" `Quick test_plan_partial_coverage;
+          Alcotest.test_case "sorted output" `Quick test_plan_sorted_by_start;
+          Alcotest.test_case "capacity invariant" `Quick
+            test_plan_capacity_invariant;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_roundtrip ]);
+    ]

@@ -1,0 +1,200 @@
+module Solver = Powercode.Solver
+module Subset = Powercode.Subset
+module Boolfun = Powercode.Boolfun
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let word s = Bitutil.Bitvec.to_int (Bitutil.Bitvec.of_string s)
+let render ~k w = Bitutil.Bitvec.to_string (Bitutil.Bitvec.of_int ~width:k w)
+
+(* Figure 2 of the paper, verbatim: optimal codes for k = 3.  Every row is
+   deterministic (no cost ties among feasible codes for these words with our
+   scan order), so codes and transformations are asserted exactly. *)
+let figure2 =
+  [
+    ("000", "000", "x", 0, 0);
+    ("001", "111", "!x", 1, 0);
+    ("010", "000", "!y", 2, 0);
+    ("011", "011", "x", 1, 1);
+    ("100", "100", "x", 1, 1);
+    ("101", "111", "!y", 2, 0);
+    ("110", "000", "!x", 1, 0);
+    ("111", "111", "x", 0, 0);
+  ]
+
+let test_figure2 () =
+  List.iter
+    (fun (x, code, tau, tx, tc) ->
+      let e = Solver.solve ~k:3 (word x) in
+      check_string (x ^ " code") code (render ~k:3 e.Solver.code);
+      check_string (x ^ " tau") tau (Boolfun.name e.Solver.tau);
+      check_int (x ^ " Tx") tx e.Solver.word_transitions;
+      check_int (x ^ " Tc") tc e.Solver.code_transitions)
+    figure2
+
+(* Figure 3 of the paper: TTN / RTN / improvement for k = 2..7.  The paper's
+   k = 6 row is printed doubled (320/180) — the consistent values are
+   160/90 with the same 43.8% — and its k = 7 RTN of 234 is 2 below the
+   provable optimum of 236 (38.5% vs the printed 39.1%).  Both deviations
+   are documented in EXPERIMENTS.md; the values asserted here are the ones
+   our exhaustive solver proves optimal. *)
+let figure3 =
+  [
+    (2, 2, 0, 100.0);
+    (3, 8, 2, 75.0);
+    (4, 24, 10, 58.3);
+    (5, 64, 32, 50.0);
+    (6, 160, 90, 43.8);
+    (7, 384, 236, 38.5);
+  ]
+
+let test_figure3 () =
+  List.iter
+    (fun (k, ttn, rtn, pct) ->
+      let t = Solver.totals ~k () in
+      check_int (Printf.sprintf "k=%d TTN" k) ttn t.Solver.ttn;
+      check_int (Printf.sprintf "k=%d RTN" k) rtn t.Solver.rtn;
+      Alcotest.(check (float 0.05))
+        (Printf.sprintf "k=%d pct" k)
+        pct t.Solver.improvement_pct)
+    figure3
+
+(* Figure 4: k = 5 restricted to the eight transformations.  Optimal codes
+   are not unique; ties make some of the paper's rows one of several
+   equal-cost choices.  The transition columns are tie-invariant and are
+   asserted verbatim for the printed half-table. *)
+let figure4_transitions =
+  [
+    ("00000", 0, 0); ("00001", 1, 0); ("00010", 2, 1); ("00011", 1, 1);
+    ("00100", 2, 2); ("00101", 3, 1); ("00110", 2, 1); ("00111", 1, 1);
+    ("01000", 2, 1); ("01001", 3, 1); ("01010", 4, 0); ("01011", 3, 1);
+    ("01100", 2, 2); ("01101", 3, 2); ("01110", 2, 1); ("01111", 1, 1);
+  ]
+
+let test_figure4_transitions () =
+  List.iter
+    (fun (x, tx, tc) ->
+      let e = Solver.solve ~subset_mask:Subset.paper_eight_mask ~k:5 (word x) in
+      check_int (x ^ " Tx") tx e.Solver.word_transitions;
+      check_int (x ^ " Tc") tc e.Solver.code_transitions)
+    figure4_transitions
+
+(* Unique-cost rows of Figure 4 asserted exactly. *)
+let test_figure4_exact_rows () =
+  let e = Solver.solve ~subset_mask:Subset.paper_eight_mask ~k:5 (word "01010") in
+  check_string "01010 code" "00000" (render ~k:5 e.Solver.code);
+  check_string "01010 tau" "!y" (Boolfun.name e.Solver.tau);
+  let e = Solver.solve ~subset_mask:Subset.paper_eight_mask ~k:5 (word "00001") in
+  check_string "00001 code" "11111" (render ~k:5 e.Solver.code);
+  check_string "00001 tau" "!x" (Boolfun.name e.Solver.tau)
+
+(* Figure 4's stated symmetry: complementing every bit of X and X~ yields a
+   valid solution whose transformation is the dual (XOR<->XNOR, NOR<->NAND,
+   identity/inversion fixed).  Check constructively: the complement of each
+   solved code maps the complement word under the dual of some consistent
+   transformation. *)
+let test_fig4_duality_constructive () =
+  let k = 5 in
+  let mask_bits = (1 lsl k) - 1 in
+  Array.iter
+    (fun (e : Solver.entry) ->
+      let word' = lnot e.Solver.word land mask_bits in
+      let code' = lnot e.Solver.code land mask_bits in
+      let mask' =
+        Powercode.Blockword.tau_mask_standalone ~k ~word:word' ~code:code'
+      in
+      if not (Boolfun.mask_mem (Boolfun.dual e.Solver.tau) mask') then
+        Alcotest.failf "duality fails for word %d" e.Solver.word)
+    (Solver.table ~subset_mask:Subset.paper_eight_mask ~k ())
+
+(* The paper's symmetry: solving the complement of a word yields a code
+   whose transitions equal the original's code transitions. *)
+let test_complement_symmetry () =
+  List.iter
+    (fun k ->
+      let mask = (1 lsl k) - 1 in
+      for w = 0 to mask do
+        let a = Solver.solve ~k w in
+        let b = Solver.solve ~k (lnot w land mask) in
+        if a.Solver.code_transitions <> b.Solver.code_transitions then
+          Alcotest.failf "asymmetry at k=%d w=%d" k w
+      done)
+    [ 3; 5; 6 ]
+
+let test_identity_bound () =
+  (* the code never has more transitions than the original *)
+  List.iter
+    (fun k ->
+      Array.iter
+        (fun (e : Solver.entry) ->
+          if e.Solver.code_transitions > e.Solver.word_transitions then
+            Alcotest.failf "worse than identity at k=%d w=%d" k e.Solver.word)
+        (Solver.table ~k ()))
+    [ 2; 3; 4; 5; 6; 7 ]
+
+let test_chosen_tau_in_mask () =
+  Array.iter
+    (fun (e : Solver.entry) ->
+      if not (Boolfun.mask_mem e.Solver.tau e.Solver.tau_mask) then
+        Alcotest.failf "tau not in mask for w=%d" e.Solver.word)
+    (Solver.table ~k:6 ())
+
+let test_solution_decodes () =
+  (* every table entry decodes back to its word *)
+  List.iter
+    (fun k ->
+      Array.iter
+        (fun (e : Solver.entry) ->
+          let got =
+            Powercode.Blockword.decode ~k ~tau:e.Solver.tau ~code:e.Solver.code
+              ~seed_original:(e.Solver.word land 1 = 1)
+          in
+          if got <> e.Solver.word then
+            Alcotest.failf "decode failed k=%d w=%d" k e.Solver.word)
+        (Solver.table ~k ()))
+    [ 2; 3; 4; 5; 6; 7 ]
+
+let test_subset_without_identity_rejected () =
+  Alcotest.check_raises "identity mandatory"
+    (Invalid_argument "Solver: subset must contain the identity transformation")
+    (fun () ->
+      ignore
+        (Solver.solve ~subset_mask:(Boolfun.mask_of_list [ Boolfun.xor ]) ~k:3 0))
+
+let prop_restricting_never_improves =
+  QCheck.Test.make ~name:"restricted solve never beats unrestricted" ~count:100
+    QCheck.(int_bound 127)
+    (fun w ->
+      let full = Solver.solve ~k:7 w in
+      let sub = Solver.solve ~subset_mask:Subset.paper_eight_mask ~k:7 w in
+      sub.Solver.code_transitions >= full.Solver.code_transitions)
+
+let () =
+  Alcotest.run "solver"
+    [
+      ( "paper tables",
+        [
+          Alcotest.test_case "figure 2 verbatim" `Quick test_figure2;
+          Alcotest.test_case "figure 3 totals" `Quick test_figure3;
+          Alcotest.test_case "figure 4 transitions" `Quick
+            test_figure4_transitions;
+          Alcotest.test_case "figure 4 exact rows" `Quick
+            test_figure4_exact_rows;
+          Alcotest.test_case "figure 4 duality" `Quick
+            test_fig4_duality_constructive;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "complement symmetry" `Quick
+            test_complement_symmetry;
+          Alcotest.test_case "identity bound" `Quick test_identity_bound;
+          Alcotest.test_case "tau in mask" `Quick test_chosen_tau_in_mask;
+          Alcotest.test_case "solutions decode" `Quick test_solution_decodes;
+          Alcotest.test_case "identity mandatory" `Quick
+            test_subset_without_identity_rejected;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_restricting_never_improves ]
+      );
+    ]

@@ -1,0 +1,133 @@
+module Subset = Powercode.Subset
+module Solver = Powercode.Solver
+module Boolfun = Powercode.Boolfun
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* The paper claims a unique 8-transformation subset suffices for global
+   optimality at every k <= 7.  Our exhaustive search sharpens this: the
+   true minimum is SIX transformations, unique at that size, and contained
+   in the paper's eight.  (EXPERIMENTS.md discusses the discrepancy.) *)
+
+let test_minimum_is_six () =
+  let minimal = Subset.all_minimal ~kmax:7 in
+  check_int "unique minimum" 1 (List.length minimal);
+  check_int "six members" 6
+    (List.length (Boolfun.list_of_mask (List.hd minimal)))
+
+let test_canonical_members () =
+  let c = Subset.canonical () in
+  let names = List.sort String.compare (List.map Boolfun.name c) in
+  Alcotest.(check (list string))
+    "members"
+    (List.sort String.compare [ "x"; "!x"; "x^y"; "!(x^y)"; "!(x|y)"; "!(x&y)" ])
+    names
+
+let test_canonical_contains_identity () =
+  check_bool "identity present" true
+    (Boolfun.mask_mem Boolfun.identity (Subset.canonical_mask ()))
+
+let test_canonical_closed_under_dual () =
+  List.iter
+    (fun f ->
+      check_bool
+        ("dual of " ^ Boolfun.name f)
+        true
+        (Boolfun.mask_mem (Boolfun.dual f) (Subset.canonical_mask ())))
+    (Subset.canonical ())
+
+let test_canonical_subset_of_paper_eight () =
+  check_int "canonical within paper eight"
+    (Subset.canonical_mask ())
+    (Subset.canonical_mask () land Subset.paper_eight_mask)
+
+let test_paper_eight_membership () =
+  let names = List.sort String.compare (List.map Boolfun.name Subset.paper_eight) in
+  Alcotest.(check (list string))
+    "the paper's named set"
+    (List.sort String.compare
+       [ "x"; "!x"; "y"; "!y"; "x^y"; "!(x^y)"; "!(x|y)"; "!(x&y)" ])
+    names
+
+let test_achieves_optimal_all_k () =
+  List.iter
+    (fun k ->
+      check_bool
+        (Printf.sprintf "canonical optimal at k=%d" k)
+        true
+        (Subset.achieves_per_word_optimal
+           ~subset_mask:(Subset.canonical_mask ()) ~k);
+      check_bool
+        (Printf.sprintf "paper eight optimal at k=%d" k)
+        true
+        (Subset.achieves_per_word_optimal ~subset_mask:Subset.paper_eight_mask
+           ~k))
+    [ 2; 3; 4; 5; 6; 7 ]
+
+let test_five_subsets_insufficient () =
+  (* minimality: no 5-element subset achieves the optimum; verified via the
+     hitting-set search already, and double-checked here by dropping each
+     member of the canonical six *)
+  let canonical = Subset.canonical () in
+  List.iter
+    (fun dropped ->
+      if not (Boolfun.equal dropped Boolfun.identity) then begin
+        let reduced =
+          List.filter (fun f -> not (Boolfun.equal f dropped)) canonical
+        in
+        let mask = Boolfun.mask_of_list reduced in
+        let still_optimal =
+          List.for_all
+            (fun k -> Subset.achieves_per_word_optimal ~subset_mask:mask ~k)
+            [ 2; 3; 4; 5; 6; 7 ]
+        in
+        check_bool
+          ("dropping " ^ Boolfun.name dropped ^ " loses optimality")
+          false still_optimal
+      end)
+    canonical
+
+let test_identity_alone_is_lossless_but_not_optimal () =
+  let mask = Boolfun.mask_of_list [ Boolfun.identity ] in
+  let t = Solver.totals ~subset_mask:mask ~k:5 () in
+  check_int "identity-only RTN = TTN" t.Solver.ttn t.Solver.rtn
+
+let test_requirements_nonempty () =
+  let reqs = Subset.requirements ~kmax:7 in
+  check_bool "has requirements" true (List.length reqs > 0);
+  List.iter
+    (fun m -> check_bool "every requirement nonempty" true (m <> 0))
+    reqs
+
+let () =
+  Alcotest.run "subset"
+    [
+      ( "minimal set",
+        [
+          Alcotest.test_case "minimum is six, unique" `Quick
+            test_minimum_is_six;
+          Alcotest.test_case "members" `Quick test_canonical_members;
+          Alcotest.test_case "contains identity" `Quick
+            test_canonical_contains_identity;
+          Alcotest.test_case "closed under dual" `Quick
+            test_canonical_closed_under_dual;
+          Alcotest.test_case "within the paper's eight" `Quick
+            test_canonical_subset_of_paper_eight;
+        ] );
+      ( "paper's eight",
+        [
+          Alcotest.test_case "named members" `Quick test_paper_eight_membership;
+          Alcotest.test_case "optimal for k<=7" `Quick
+            test_achieves_optimal_all_k;
+        ] );
+      ( "minimality",
+        [
+          Alcotest.test_case "five insufficient" `Quick
+            test_five_subsets_insufficient;
+          Alcotest.test_case "identity-only is lossless" `Quick
+            test_identity_alone_is_lossless_but_not_optimal;
+          Alcotest.test_case "requirements nonempty" `Quick
+            test_requirements_nonempty;
+        ] );
+    ]

@@ -1,0 +1,141 @@
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let names = [ "mmul"; "sor"; "ej"; "fft"; "tri"; "lu" ]
+
+let test_registry_complete () =
+  Alcotest.(check (list string))
+    "paper set" names
+    (List.map (fun w -> w.Workloads.name) Workloads.paper_sized);
+  Alcotest.(check (list string))
+    "scaled set" names
+    (List.map (fun w -> w.Workloads.name) Workloads.scaled)
+
+let test_by_name () =
+  let w = Workloads.by_name Workloads.scaled "fft" in
+  check_string "found" "fft" w.Workloads.name;
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Workloads.by_name Workloads.scaled "nonesuch"))
+
+let test_all_compile () =
+  List.iter
+    (fun w ->
+      match Workloads.compile w with
+      | _ -> ()
+      | exception e ->
+          Alcotest.failf "%s failed to compile: %s" w.Workloads.name
+            (Option.value
+               (Minic.Compile.describe_error e)
+               ~default:(Printexc.to_string e)))
+    (Workloads.paper_sized @ Workloads.scaled @ Workloads.extended)
+
+let run w =
+  let c = Workloads.compile w in
+  let state = Machine.Cpu.create_state () in
+  let r = Machine.Cpu.run c.Minic.Compile.program state in
+  (r, Machine.Cpu.output state)
+
+let test_scaled_run_and_print_finite () =
+  List.iter
+    (fun w ->
+      let r, out = run w in
+      check_bool (w.Workloads.name ^ " exits 0") true (r.Machine.Cpu.exit_code = 0);
+      let value = float_of_string (String.trim out) in
+      check_bool
+        (w.Workloads.name ^ " checksum finite")
+        true
+        (Float.is_finite value))
+    Workloads.scaled
+
+let test_runs_deterministic () =
+  List.iter
+    (fun w ->
+      let _, a = run w in
+      let _, b = run w in
+      check_string (w.Workloads.name ^ " deterministic") a b)
+    Workloads.scaled
+
+(* Reference checksum for the scaled mmul, computed independently in OCaml
+   with single-precision rounding after every operation, exactly as the FP
+   unit behaves. *)
+let test_mmul_checksum_against_reference () =
+  let n = 12 in
+  let single x = Int32.float_of_bits (Int32.bits_of_float x) in
+  let a = Array.make_matrix n n 0.0 and b = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      a.(i).(j) <- single (float_of_int ((i - j) mod 5));
+      b.(i).(j) <- single (float_of_int ((i + (2 * j)) mod 7))
+    done
+  done;
+  let trace = ref 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref 0.0 in
+    for k = 0 to n - 1 do
+      s := single (!s +. single (a.(i).(k) *. b.(k).(i)))
+    done;
+    trace := single (!trace +. !s)
+  done;
+  let _, out = run (Workloads.by_name Workloads.scaled "mmul") in
+  let got = float_of_string (String.trim out) in
+  Alcotest.(check (float 1e-3)) "trace" !trace got
+
+let test_extended_run () =
+  List.iter
+    (fun w ->
+      let r, out = run w in
+      check_bool (w.Workloads.name ^ " exits 0") true
+        (r.Machine.Cpu.exit_code = 0);
+      let value = float_of_string (String.trim out) in
+      check_bool (w.Workloads.name ^ " finite") true (Float.is_finite value);
+      check_bool (w.Workloads.name ^ " nonzero") true (value > 0.0))
+    Workloads.extended
+
+let test_loops_exist () =
+  (* every kernel must contain at least one natural loop; that is the whole
+     premise of the paper *)
+  List.iter
+    (fun w ->
+      let c = Workloads.compile w in
+      let insns = Isa.Program.insns c.Minic.Compile.program in
+      let blocks = Cfg.Block.partition insns in
+      let doms = Cfg.Dominator.compute blocks in
+      let loops = Cfg.Loop.detect blocks doms in
+      check_bool (w.Workloads.name ^ " has loops") true (List.length loops > 0))
+    Workloads.scaled
+
+let test_paper_sizes_mentioned () =
+  (* descriptions carry the paper's problem sizes *)
+  let descr name =
+    (Workloads.by_name Workloads.paper_sized name).Workloads.description
+  in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "mmul 100" true (contains (descr "mmul") "100");
+  check_bool "sor 256" true (contains (descr "sor") "256");
+  check_bool "fft 256" true (contains (descr "fft") "256");
+  check_bool "lu 128" true (contains (descr "lu") "128")
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+          Alcotest.test_case "paper sizes" `Quick test_paper_sizes_mentioned;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "all compile" `Quick test_all_compile;
+          Alcotest.test_case "scaled run" `Quick test_scaled_run_and_print_finite;
+          Alcotest.test_case "deterministic" `Quick test_runs_deterministic;
+          Alcotest.test_case "mmul reference checksum" `Quick
+            test_mmul_checksum_against_reference;
+          Alcotest.test_case "extended kernels run" `Quick test_extended_run;
+          Alcotest.test_case "loops exist" `Quick test_loops_exist;
+        ] );
+    ]
