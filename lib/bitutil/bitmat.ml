@@ -18,10 +18,31 @@ let word m i =
 
 let words m = Array.copy m.words
 
+(* Column extraction strides the output a word at a time: bits of line [b]
+   accumulate into an int that is blitted into the builder whenever full,
+   instead of going through a copying per-bit [Bitvec.set]. *)
 let column m b =
   if b < 0 || b >= m.width then invalid_arg "Bitmat.column: line out of range";
-  Bitvec.init (rows m) (fun i -> m.words.(i) lsr b land 1 = 1)
+  let n = rows m in
+  let bpw = Bitvec.bits_per_word in
+  let bld = Bitvec.Builder.create n in
+  let acc = ref 0 and nacc = ref 0 and base = ref 0 in
+  for i = 0 to n - 1 do
+    acc := !acc lor ((m.words.(i) lsr b land 1) lsl !nacc);
+    incr nacc;
+    if !nacc = bpw then begin
+      Bitvec.Builder.blit_int bld ~pos:!base ~len:bpw !acc;
+      base := !base + bpw;
+      acc := 0;
+      nacc := 0
+    end
+  done;
+  if !nacc > 0 then Bitvec.Builder.blit_int bld ~pos:!base ~len:!nacc !acc;
+  Bitvec.Builder.freeze bld
 
+(* The reverse transpose reads each column's backing words and scatters only
+   the set bits (lowest-set-bit stripping), so all-zero stretches of a line
+   cost one comparison per word. *)
 let of_columns cols =
   let width = Array.length cols in
   if width = 0 then invalid_arg "Bitmat.of_columns: no columns";
@@ -30,22 +51,31 @@ let of_columns cols =
     (fun c ->
       if Bitvec.length c <> n then invalid_arg "Bitmat.of_columns: ragged")
     cols;
-  let words =
-    Array.init n (fun i ->
-        let w = ref 0 in
-        for b = width - 1 downto 0 do
-          w := (!w lsl 1) lor (if Bitvec.get cols.(b) i then 1 else 0)
-        done;
-        !w)
-  in
+  let bpw = Bitvec.bits_per_word in
+  let words = Array.make n 0 in
+  for b = 0 to width - 1 do
+    let col = cols.(b) in
+    let line_bit = 1 lsl b in
+    for iw = 0 to Bitvec.word_count col - 1 do
+      let w = ref (Bitvec.word col iw) in
+      let base = iw * bpw in
+      while !w <> 0 do
+        let j = Popcount.lsb_index !w in
+        words.(base + j) <- words.(base + j) lor line_bit;
+        w := !w land (!w - 1)
+      done
+    done
+  done;
   { width; words }
 
 let column_transitions m =
   let counts = Array.make m.width 0 in
   for i = 0 to rows m - 2 do
-    let diff = m.words.(i) lxor m.words.(i + 1) in
-    for b = 0 to m.width - 1 do
-      if diff lsr b land 1 = 1 then counts.(b) <- counts.(b) + 1
+    let diff = ref (m.words.(i) lxor m.words.(i + 1)) in
+    while !diff <> 0 do
+      let b = Popcount.lsb_index !diff in
+      counts.(b) <- counts.(b) + 1;
+      diff := !diff land (!diff - 1)
     done
   done;
   counts
@@ -53,8 +83,6 @@ let column_transitions m =
 let transitions m =
   let total = ref 0 in
   for i = 0 to rows m - 2 do
-    let diff = m.words.(i) lxor m.words.(i + 1) in
-    let rec pop x acc = if x = 0 then acc else pop (x lsr 1) (acc + (x land 1)) in
-    total := !total + pop diff 0
+    total := !total + Popcount.count (m.words.(i) lxor m.words.(i + 1))
   done;
   !total

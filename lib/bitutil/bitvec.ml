@@ -1,60 +1,148 @@
-(* Bits are stored in a Bytes.t, one bit per position, packed 8 per byte.
-   Vectors are small (block words, 32-bit columns), so simplicity beats
-   bit-twiddling cleverness. *)
+(* Bits are packed 32 per word in an int array: every backing word is a
+   non-negative int, word-level arithmetic (xor, shifts, popcount) never
+   touches the sign bit, and — because 32 is a power of two — all bit-index
+   arithmetic is shifts and masks rather than integer division (ocamlopt
+   emits a hardware divide for [/ 62]-style constants, which dominates the
+   encode hot path).  Unused high bits of the last word are kept zero, which
+   makes equality and comparison plain array comparisons. *)
 
-type t = { len : int; data : Bytes.t }
+let bpw = 32
+let full_word = 0xffffffff
+let mask nbits = (1 lsl nbits) - 1 (* nbits <= 32, far from overflow *)
+let widx i = i lsr 5
+let bidx i = i land 31
 
-let bytes_for len = (len + 7) / 8
+type t = { len : int; words : int array }
+
+let words_for len = (len + bpw - 1) lsr 5
 
 let create len =
   if len < 0 then invalid_arg "Bitvec.create: negative length";
-  { len; data = Bytes.make (bytes_for len) '\000' }
+  { len; words = Array.make (words_for len) 0 }
 
 let length v = v.len
+let bits_per_word = bpw
+let word_count v = words_for v.len
+
+let word v i =
+  if i < 0 || i >= words_for v.len then
+    invalid_arg "Bitvec.word: word index out of range";
+  v.words.(i)
 
 let check v i =
   if i < 0 || i >= v.len then invalid_arg "Bitvec: index out of range"
 
 let get v i =
   check v i;
-  Char.code (Bytes.get v.data (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  v.words.(widx i) lsr bidx i land 1 <> 0
 
 let set v i b =
   check v i;
-  let data = Bytes.copy v.data in
-  let byte = Char.code (Bytes.get data (i lsr 3)) in
-  let mask = 1 lsl (i land 7) in
-  let byte = if b then byte lor mask else byte land lnot mask in
-  Bytes.set data (i lsr 3) (Char.chr (byte land 0xff));
-  { v with data }
+  let words = Array.copy v.words in
+  let bit = 1 lsl bidx i in
+  let iw = widx i in
+  words.(iw) <- (if b then words.(iw) lor bit else words.(iw) land lnot bit);
+  { v with words }
+
+(* ---- mutable builder ----------------------------------------------------- *)
+
+module Builder = struct
+  type builder = { blen : int; bwords : int array; mutable frozen : bool }
+
+  let create len =
+    if len < 0 then invalid_arg "Bitvec.Builder.create: negative length";
+    { blen = len; bwords = Array.make (words_for len) 0; frozen = false }
+
+  let length b = b.blen
+
+  let check_mut b =
+    if b.frozen then invalid_arg "Bitvec.Builder: use after freeze"
+
+  let check_idx b i =
+    if i < 0 || i >= b.blen then
+      invalid_arg "Bitvec.Builder: index out of range"
+
+  let get b i =
+    check_idx b i;
+    b.bwords.(widx i) lsr bidx i land 1 <> 0
+
+  let set b i v =
+    check_mut b;
+    check_idx b i;
+    let bit = 1 lsl bidx i in
+    let iw = widx i in
+    b.bwords.(iw) <-
+      (if v then b.bwords.(iw) lor bit else b.bwords.(iw) land lnot bit)
+
+  let blit_int b ~pos ~len v =
+    check_mut b;
+    if len < 0 || len > bpw then invalid_arg "Bitvec.Builder.blit_int: bad len";
+    if pos < 0 || pos + len > b.blen then
+      invalid_arg "Bitvec.Builder.blit_int: range out of bounds";
+    if len > 0 then begin
+      let v = v land mask len in
+      let iw = widx pos and off = bidx pos in
+      let nlow = min len (bpw - off) in
+      b.bwords.(iw) <-
+        b.bwords.(iw)
+        land lnot (mask nlow lsl off)
+        lor ((v land mask nlow) lsl off);
+      if len > nlow then begin
+        let nhigh = len - nlow in
+        b.bwords.(iw + 1) <-
+          b.bwords.(iw + 1) land lnot (mask nhigh) lor (v lsr nlow)
+      end
+    end
+
+  let freeze b =
+    check_mut b;
+    b.frozen <- true;
+    { len = b.blen; words = b.bwords }
+end
 
 let init n f =
-  let v = ref (create n) in
+  if n < 0 then invalid_arg "Bitvec.init: negative length";
+  let words = Array.make (words_for n) 0 in
   for i = 0 to n - 1 do
-    if f i then v := set !v i true
+    if f i then words.(widx i) <- words.(widx i) lor (1 lsl bidx i)
   done;
-  !v
+  { len = n; words }
+
+let extract v ~pos ~len =
+  if len < 0 || len > bpw then invalid_arg "Bitvec.extract: bad len";
+  if pos < 0 || pos + len > v.len then invalid_arg "Bitvec.extract: range";
+  if len = 0 then 0
+  else begin
+    let iw = widx pos and off = bidx pos in
+    let nlow = min len (bpw - off) in
+    let low = v.words.(iw) lsr off land mask nlow in
+    if len = nlow then low
+    else low lor (v.words.(iw + 1) land mask (len - nlow)) lsl nlow
+  end
 
 let of_list bits =
   let arr = Array.of_list bits in
   init (Array.length arr) (fun i -> arr.(i))
 
-let to_list v =
-  List.init v.len (fun i -> get v i)
+let to_list v = List.init v.len (fun i -> get v i)
 
 let of_int ~width n =
   if width < 0 || width > 62 then invalid_arg "Bitvec.of_int: bad width";
   if n < 0 || (width < 62 && n lsr width <> 0) then
     invalid_arg "Bitvec.of_int: value does not fit";
-  init width (fun i -> n lsr i land 1 = 1)
+  if width = 0 then create 0
+  else begin
+    let words = Array.make (words_for width) 0 in
+    words.(0) <- n land full_word;
+    if width > bpw then words.(1) <- n lsr bpw;
+    { len = width; words }
+  end
 
 let to_int v =
   if v.len > 62 then invalid_arg "Bitvec.to_int: too long";
-  let r = ref 0 in
-  for i = v.len - 1 downto 0 do
-    r := (!r lsl 1) lor (if get v i then 1 else 0)
-  done;
-  !r
+  if v.len = 0 then 0
+  else if v.len <= bpw then v.words.(0)
+  else v.words.(0) lor (v.words.(1) lsl bpw)
 
 let of_string s =
   let n = String.length s in
@@ -67,26 +155,47 @@ let of_string s =
 let to_string v =
   String.init v.len (fun i -> if get v (v.len - 1 - i) then '1' else '0')
 
+(* Copy [len] bits of [src] starting at [src_pos] into [b] at [dst_pos],
+   one word-sized chunk at a time. *)
+let blit_into b src ~src_pos ~dst_pos ~len =
+  let off = ref 0 in
+  while !off < len do
+    let chunk = min bpw (len - !off) in
+    Builder.blit_int b ~pos:(dst_pos + !off) ~len:chunk
+      (extract src ~pos:(src_pos + !off) ~len:chunk);
+    off := !off + chunk
+  done
+
 let append a b =
-  init (a.len + b.len) (fun i -> if i < a.len then get a i else get b (i - a.len))
+  let bld = Builder.create (a.len + b.len) in
+  blit_into bld a ~src_pos:0 ~dst_pos:0 ~len:a.len;
+  blit_into bld b ~src_pos:0 ~dst_pos:a.len ~len:b.len;
+  Builder.freeze bld
 
 let sub v ~pos ~len =
   if pos < 0 || len < 0 || pos + len > v.len then invalid_arg "Bitvec.sub";
-  init len (fun i -> get v (pos + i))
+  let bld = Builder.create len in
+  blit_into bld v ~src_pos:pos ~dst_pos:0 ~len;
+  Builder.freeze bld
 
 let transitions v =
-  let n = ref 0 in
-  for i = 0 to v.len - 2 do
-    if get v i <> get v (i + 1) then incr n
-  done;
-  !n
+  if v.len <= 1 then 0
+  else begin
+    let nw = words_for v.len in
+    let total = ref 0 in
+    for iw = 0 to nw - 1 do
+      let w = v.words.(iw) in
+      let nbits = if iw = nw - 1 then v.len - (iw * bpw) else bpw in
+      total :=
+        !total + Popcount.count32 ((w lxor (w lsr 1)) land mask (nbits - 1));
+      if iw < nw - 1 && (w lsr (bpw - 1)) land 1 <> v.words.(iw + 1) land 1
+      then incr total
+    done;
+    !total
+  end
 
 let popcount v =
-  let n = ref 0 in
-  for i = 0 to v.len - 1 do
-    if get v i then incr n
-  done;
-  !n
+  Array.fold_left (fun acc w -> acc + Popcount.count32 w) 0 v.words
 
 let check_same a b =
   if a.len <> b.len then invalid_arg "Bitvec: length mismatch"
@@ -94,22 +203,61 @@ let check_same a b =
 let hamming a b =
   check_same a b;
   let n = ref 0 in
-  for i = 0 to a.len - 1 do
-    if get a i <> get b i then incr n
+  for iw = 0 to words_for a.len - 1 do
+    n := !n + Popcount.count32 (a.words.(iw) lxor b.words.(iw))
   done;
   !n
 
 let map2 f a b =
   check_same a b;
-  init a.len (fun i -> f (get a i) (get b i))
+  let nw = words_for a.len in
+  let words = Array.make nw 0 in
+  (* Evaluate f's truth table once, then combine whole words. *)
+  let tt = f true true
+  and tf = f true false
+  and ft = f false true
+  and ff = f false false in
+  for iw = 0 to nw - 1 do
+    let x = a.words.(iw) and y = b.words.(iw) in
+    let r = ref 0 in
+    if tt then r := !r lor (x land y);
+    if tf then r := !r lor (x land lnot y);
+    if ft then r := !r lor (lnot x land y);
+    if ff then r := !r lor lnot (x lor y);
+    let nbits = if iw = nw - 1 then a.len - (iw * bpw) else bpw in
+    words.(iw) <- !r land mask nbits
+  done;
+  { len = a.len; words }
 
-let lnot_ v = init v.len (fun i -> not (get v i))
+let lnot_ v =
+  let nw = words_for v.len in
+  let words = Array.make nw 0 in
+  for iw = 0 to nw - 1 do
+    let nbits = if iw = nw - 1 then v.len - (iw * bpw) else bpw in
+    words.(iw) <- lnot v.words.(iw) land mask nbits
+  done;
+  { len = v.len; words }
 
-let equal a b = a.len = b.len && Bytes.equal a.data b.data
+(* High bits of the last word are invariantly zero, so structural equality
+   of the backing arrays is bit equality. *)
+let equal a b =
+  a.len = b.len
+  &&
+  let rec go i = i < 0 || (a.words.(i) = b.words.(i) && go (i - 1)) in
+  go (words_for a.len - 1)
 
 let compare a b =
   match Int.compare a.len b.len with
-  | 0 -> Bytes.compare a.data b.data
+  | 0 ->
+      let nw = words_for a.len in
+      let rec go i =
+        if i >= nw then 0
+        else
+          match Int.compare a.words.(i) b.words.(i) with
+          | 0 -> go (i + 1)
+          | c -> c
+      in
+      go 0
   | c -> c
 
 let fold f init v =

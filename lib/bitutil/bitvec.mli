@@ -4,7 +4,14 @@
     {e first} bit in stream order (the earliest bit fetched on a bus line);
     when a vector is rendered as a string the first bit is printed rightmost,
     matching the paper's convention of writing block words with the earliest
-    bit on the right. *)
+    bit on the right.
+
+    Bits are packed {!bits_per_word} per backing [int] word, and the word
+    layout is exposed read-only ({!word}, {!extract}) so that the encoding
+    hot paths — and {!Bitmat}'s transposes — can work a word at a time.
+    Constructing a vector incrementally goes through {!Builder}, which
+    writes bits in place and freezes once, instead of copying the backing
+    store on every bit write. *)
 
 type t
 
@@ -18,11 +25,57 @@ val length : t -> int
 (** [get v i] is bit [i].  Raises [Invalid_argument] if out of range. *)
 val get : t -> int -> bool
 
-(** [set v i b] is a copy of [v] with bit [i] set to [b]. *)
+(** [set v i b] is a copy of [v] with bit [i] set to [b].  This copies the
+    whole backing store; use {!Builder} for write-heavy construction. *)
 val set : t -> int -> bool -> t
 
 (** [init n f] is the vector whose bit [i] is [f i]. *)
 val init : int -> (int -> bool) -> t
+
+(** Mutable write-in-place construction.  A builder is created zeroed,
+    written with {!Builder.set} / {!Builder.blit_int}, and turned into an
+    immutable {!t} by {!Builder.freeze} — without copying.  Any mutation
+    after [freeze] raises [Invalid_argument]. *)
+module Builder : sig
+  type builder
+
+  (** [create n] is a builder of [n] zero bits. *)
+  val create : int -> builder
+
+  val length : builder -> int
+
+  (** [get b i] reads bit [i] — decoders read back bits they just wrote. *)
+  val get : builder -> int -> bool
+
+  (** [set b i v] writes bit [i] in place. *)
+  val set : builder -> int -> bool -> unit
+
+  (** [blit_int b ~pos ~len v] writes the [len] low bits of [v] (bit 0
+      first) at positions [pos .. pos+len-1].  [len] must be at most
+      {!bits_per_word}. *)
+  val blit_int : builder -> pos:int -> len:int -> int -> unit
+
+  (** [freeze b] is the built vector.  [b] must not be mutated afterwards
+      (enforced: further [set]/[blit_int]/[freeze] raise). *)
+  val freeze : builder -> t
+end
+
+(** Number of bits packed per backing word (32: every word is a
+    non-negative [int], and — being a power of two — bit-index arithmetic
+    compiles to shifts and masks, not hardware division). *)
+val bits_per_word : int
+
+(** [word_count v] is the number of backing words, [ceil (length / bits_per_word)]. *)
+val word_count : t -> int
+
+(** [word v i] is backing word [i]: bits [i*bits_per_word ..] of [v], bit 0
+    of the word being the lowest-indexed.  High bits beyond [length v] are
+    zero.  Raises [Invalid_argument] if out of range. *)
+val word : t -> int -> int
+
+(** [extract v ~pos ~len] is bits [pos .. pos+len-1] as an int, bit 0 of
+    the result being bit [pos].  [len] must be at most {!bits_per_word}. *)
+val extract : t -> pos:int -> len:int -> int
 
 (** [of_list bits] has bit [i] equal to [List.nth bits i]. *)
 val of_list : bool list -> t
@@ -53,7 +106,8 @@ val append : t -> t -> t
 val sub : t -> pos:int -> len:int -> t
 
 (** [transitions v] counts positions [i] with [get v i <> get v (i+1)] —
-    the number of bus transitions caused by shifting [v] out serially. *)
+    the number of bus transitions caused by shifting [v] out serially.
+    Word-level: popcount of [w lxor (w lsr 1)] per backing word. *)
 val transitions : t -> int
 
 (** [popcount v] is the number of set bits. *)
@@ -63,7 +117,8 @@ val popcount : t -> int
     Raises [Invalid_argument] on length mismatch. *)
 val hamming : t -> t -> int
 
-(** [map2 f a b] applies [f] bitwise.  Raises on length mismatch. *)
+(** [map2 f a b] applies [f] bitwise (evaluated word-at-a-time from [f]'s
+    truth table).  Raises on length mismatch. *)
 val map2 : (bool -> bool -> bool) -> t -> t -> t
 
 (** [lnot_ v] flips every bit. *)

@@ -1,0 +1,23 @@
+(* One shared 16-bit table: 64 KiB of bytes, built once at load time.  Every
+   popcount in the repo goes through it; the naive shift loop only runs here,
+   to fill the table. *)
+
+let table =
+  let t = Bytes.create 65536 in
+  for i = 0 to 65535 do
+    let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+    Bytes.set t i (Char.chr (go i 0))
+  done;
+  t
+
+let count16 x = Char.code (Bytes.unsafe_get table (x land 0xffff))
+let count32 x = count16 x + count16 (x lsr 16)
+
+let count x =
+  if x < 0 then invalid_arg "Popcount.count: negative";
+  count16 x + count16 (x lsr 16) + count16 (x lsr 32) + count16 (x lsr 48)
+
+let lsb_index x =
+  if x = 0 then invalid_arg "Popcount.lsb_index: zero";
+  (* x land (-x) isolates the lowest set bit 2^j; j ones remain below it. *)
+  count ((x land (-x)) - 1)

@@ -1,0 +1,21 @@
+(** Shared table-driven population counts.
+
+    One 16-bit lookup table serves every popcount in the tree: the word-level
+    {!Bitvec} operations, the {!Bitmat} transition counters and the
+    pipeline's fetch-counting hot loop all route through here instead of
+    carrying private shift-loop implementations. *)
+
+(** [count16 x] is the number of set bits among the low 16 bits of [x]. *)
+val count16 : int -> int
+
+(** [count32 x] is the number of set bits among the low 32 bits of [x]. *)
+val count32 : int -> int
+
+(** [count x] is the number of set bits of [x].  [x] must be
+    non-negative. *)
+val count : int -> int
+
+(** [lsb_index x] is the index of the lowest set bit of [x].  [x] must be
+    non-zero; used to iterate over sparse bit sets via
+    [x land (x - 1)] stripping. *)
+val lsb_index : int -> int

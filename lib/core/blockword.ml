@@ -7,9 +7,7 @@ let check_word ~k w =
 let transitions ~k w =
   check_k k;
   check_word ~k w;
-  let flips = (w lxor (w lsr 1)) land ((1 lsl (k - 1)) - 1) in
-  let rec pop x acc = if x = 0 then acc else pop (x lsr 1) (acc + (x land 1)) in
-  pop flips 0
+  Bitutil.Popcount.count32 ((w lxor (w lsr 1)) land ((1 lsl (k - 1)) - 1))
 
 (* consistent.(slot).(v): mask of functions whose truth-table bit [slot]
    equals [v], where slot = 2x + y. *)
@@ -50,15 +48,22 @@ let decode ~k ~tau ~code ~seed_original =
   done;
   !word
 
+(* Memo shared across domains (Codetable.build runs under its own lock, but
+   Solver and the benches also call this directly). *)
 let by_transitions_cache : (int, int array) Hashtbl.t = Hashtbl.create 8
+let cache_mutex = Mutex.create ()
 
 let codewords_by_transitions k =
   check_k k;
-  match Hashtbl.find_opt by_transitions_cache k with
-  | Some a -> a
-  | None ->
-      let words = Array.init (1 lsl k) Fun.id in
-      let key w = (transitions ~k w, w) in
-      Array.sort (fun a b -> compare (key a) (key b)) words;
-      Hashtbl.add by_transitions_cache k words;
-      words
+  Mutex.lock cache_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_mutex)
+    (fun () ->
+      match Hashtbl.find_opt by_transitions_cache k with
+      | Some a -> a
+      | None ->
+          let words = Array.init (1 lsl k) Fun.id in
+          let key w = (transitions ~k w, w) in
+          Array.sort (fun a b -> compare (key a) (key b)) words;
+          Hashtbl.add by_transitions_cache k words;
+          words)

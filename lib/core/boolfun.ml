@@ -63,3 +63,15 @@ let list_of_mask m =
 
 let mask_mem f m = m lsr f land 1 = 1
 let full_mask = 0xffff
+
+(* Deterministic transformation choice: the paper's tables consistently pick
+   the "named" functions, so prefer them in a fixed order before falling
+   back to truth-table order.  Shared by the standalone solver and the
+   chained code tables so both sides break ties identically. *)
+let preference =
+  [ identity; inversion; not_history; xor; xnor; nor; nand; history ] @ all
+
+let choose_preferred mask =
+  match List.find_opt (fun f -> mask_mem f mask) preference with
+  | Some f -> f
+  | None -> invalid_arg "Boolfun.choose_preferred: empty mask"

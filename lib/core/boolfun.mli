@@ -7,7 +7,10 @@
     functions; the paper shows a fixed subset of eight suffices for optimal
     codes at every practical block size (see {!Subset}). *)
 
-type t
+type t = private int
+(** The truth-table index.  Exposed as [private int] so the compiler knows
+    values are immediate: storing them in arrays on the encode hot path then
+    needs no GC write barrier. *)
 
 (** [of_index i] is the function with truth table [i] ([0..15]): bit
     [(2*x + y)] of [i] is the value at [(x, y)].  Raises [Invalid_argument]
@@ -85,3 +88,14 @@ val mask_mem : t -> int -> bool
 
 (** [full_mask] contains all 16 functions. *)
 val full_mask : int
+
+(** [preference] is the deterministic tie-break order used whenever several
+    transformations are admissible: the paper's named functions first
+    (identity, inversion, ¬y, XOR, XNOR, NOR, NAND, y), then truth-table
+    order.  Shared by {!Solver} and {!Codetable} so standalone and chained
+    encodings pick identical transformations. *)
+val preference : t list
+
+(** [choose_preferred mask] is the first member of {!preference} contained
+    in [mask].  Raises [Invalid_argument] on the empty mask. *)
+val choose_preferred : int -> t

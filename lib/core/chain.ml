@@ -1,5 +1,9 @@
 module Bitvec = Bitutil.Bitvec
 
+(* The greedy-encode hot loop hardcodes the 32-bit packing of Bitvec so the
+   per-block index arithmetic is shifts and masks. *)
+let () = assert (Bitvec.bits_per_word = 32)
+
 type encoded = { code : Bitvec.t; taus : Boolfun.t array; k : int }
 
 let check_k k =
@@ -24,40 +28,76 @@ let block_spans ~n ~k =
   in
   if n = 0 then [] else go 0 []
 
-let subword stream ~pos ~len =
-  let w = ref 0 in
-  for i = len - 1 downto 0 do
-    w := (!w lsl 1) lor (if Bitvec.get stream (pos + i) then 1 else 0)
-  done;
-  !w
-
-let blit_code code ~pos ~len value =
-  let c = ref code in
-  for i = 0 to len - 1 do
-    c := Bitvec.set !c (pos + i) (value lsr i land 1 = 1)
-  done;
-  !c
+(* All blocks except (possibly) the first and last have length exactly [k];
+   memoising the k-sized table per call keeps the shared Codetable cache —
+   and its mutex — off the per-block path. *)
+let table_fetcher ~subset_mask ~k =
+  let table_k = lazy (Codetable.get ~subset_mask ~k ()) in
+  fun len ->
+    if len = k then Lazy.force table_k else Codetable.get ~subset_mask ~k:len ()
 
 let encode_greedy ?(subset_mask = Boolfun.full_mask) ~k stream =
   check_k k;
   let n = Bitvec.length stream in
-  let spans = block_spans ~n ~k in
-  let code = ref (Bitvec.create n) in
-  let taus = ref [] in
-  let encode_block (start, len) =
-    let table = Codetable.get ~subset_mask ~k:len () in
-    let word = subword stream ~pos:start ~len in
-    let choice =
-      if start = 0 then Codetable.standalone table ~word
-      else
-        let b_in = Bitvec.get !code start in
-        Codetable.chained_best table ~b_in ~word
-    in
-    code := blit_code !code ~pos:start ~len choice.Codetable.code;
-    taus := choice.Codetable.tau :: !taus
-  in
-  List.iter encode_block spans;
-  { code = !code; taus = Array.of_list (List.rev !taus); k }
+  let blocks = block_count ~n ~k in
+  if blocks = 0 then { code = Bitvec.create 0; taus = [||]; k }
+  else begin
+    let nw = Bitvec.word_count stream in
+    let swords = Array.init nw (Bitvec.word stream) in
+    let cwords = Array.make nw 0 in
+    let taus = Array.make blocks Boolfun.identity in
+    let table_for = table_fetcher ~subset_mask ~k in
+    let table_k = table_for k in
+    let row0 = Codetable.chained_row table_k ~b_in:false in
+    let row1 = Codetable.chained_row table_k ~b_in:true in
+    (* Walk the spans directly (same positions block_spans yields), carrying
+       the chain boundary bit forward instead of re-reading the output.
+       Unsafe accesses are justified: [iw < nw] because [start < n]; the
+       straddle case touches word [iw + 1] only when the block extends past
+       the word boundary, i.e. [start + len - 1 >= (iw + 1) * 32 < n]; and
+       [word] is masked to [len <= k] bits, within the [2^k]-entry rows. *)
+    let start = ref 0 and b_in = ref false in
+    for j = 0 to blocks - 1 do
+      let len = min k (n - !start) in
+      let iw = !start lsr 5 and off = !start land 31 in
+      let straddles = off + len > 32 in
+      let word =
+        let low = Array.unsafe_get swords iw lsr off in
+        (if straddles then
+           low lor (Array.unsafe_get swords (iw + 1) lsl (32 - off))
+         else low)
+        land ((1 lsl len) - 1)
+      in
+      let choice =
+        if j = 0 then
+          Codetable.standalone
+            (if len = k then table_k else table_for len)
+            ~word
+        else if len = k then
+          Array.unsafe_get (if !b_in then row1 else row0) word
+        else Codetable.chained_best (table_for len) ~b_in:!b_in ~word
+      in
+      let c = choice.Codetable.code in
+      (* Consecutive blocks overlap by one bit and the table only offers
+         codes whose first bit equals [b_in] (the previous block's last
+         bit), so accumulating with [lor] is a blit.  Bits shifted past a
+         word's low 32 are garbage and get masked off below. *)
+      Array.unsafe_set cwords iw (Array.unsafe_get cwords iw lor (c lsl off));
+      if straddles then
+        Array.unsafe_set cwords (iw + 1)
+          (Array.unsafe_get cwords (iw + 1) lor (c lsr (32 - off)));
+      taus.(j) <- choice.Codetable.tau;
+      b_in := (c lsr (len - 1)) land 1 <> 0;
+      start := !start + len - 1
+    done;
+    let code = Bitvec.Builder.create n in
+    for i = 0 to nw - 1 do
+      let base = i * 32 in
+      Bitvec.Builder.blit_int code ~pos:base ~len:(min 32 (n - base))
+        (cwords.(i) land 0xffffffff)
+    done;
+    { code = Bitvec.Builder.freeze code; taus; k }
+  end
 
 let encode_optimal ?(subset_mask = Boolfun.full_mask) ~k stream =
   check_k k;
@@ -72,9 +112,10 @@ let encode_optimal ?(subset_mask = Boolfun.full_mask) ~k stream =
     let infinity_cost = max_int / 2 in
     let dp = Array.make_matrix (blocks + 1) 2 infinity_cost in
     let parent = Array.make_matrix (blocks + 1) 2 None in
+    let table_for = table_fetcher ~subset_mask ~k in
     let start0, len0 = spans.(0) in
-    let word0 = subword stream ~pos:start0 ~len:len0 in
-    let table0 = Codetable.get ~subset_mask ~k:len0 () in
+    let word0 = Bitvec.extract stream ~pos:start0 ~len:len0 in
+    let table0 = table_for len0 in
     (* Block 0: standalone — enumerate feasible codes grouped by out bit. *)
     for b_out = 0 to 1 do
       let first_bit = word0 land 1 in
@@ -92,8 +133,8 @@ let encode_optimal ?(subset_mask = Boolfun.full_mask) ~k stream =
     done;
     for j = 1 to blocks - 1 do
       let start, len = spans.(j) in
-      let word = subword stream ~pos:start ~len in
-      let table = Codetable.get ~subset_mask ~k:len () in
+      let word = Bitvec.extract stream ~pos:start ~len in
+      let table = table_for len in
       for b_in = 0 to 1 do
         if dp.(j).(b_in) < infinity_cost then
           for b_out = 0 to 1 do
@@ -113,7 +154,7 @@ let encode_optimal ?(subset_mask = Boolfun.full_mask) ~k stream =
     done;
     let final = if dp.(blocks).(0) <= dp.(blocks).(1) then 0 else 1 in
     assert (dp.(blocks).(final) < infinity_cost);
-    let code = ref (Bitvec.create n) in
+    let code = Bitvec.Builder.create n in
     let taus = Array.make blocks Boolfun.identity in
     let rec rebuild j b =
       if j = 0 then ()
@@ -122,34 +163,34 @@ let encode_optimal ?(subset_mask = Boolfun.full_mask) ~k stream =
         | None -> assert false
         | Some (c, b_prev) ->
             let start, len = spans.(j - 1) in
-            code := blit_code !code ~pos:start ~len c.Codetable.code;
+            Bitvec.Builder.blit_int code ~pos:start ~len c.Codetable.code;
             taus.(j - 1) <- c.Codetable.tau;
             rebuild (j - 1) b_prev
     in
     rebuild blocks final;
-    { code = !code; taus; k }
+    { code = Bitvec.Builder.freeze code; taus; k }
   end
 
 let decode { code; taus; k } =
   let n = Bitvec.length code in
   let spans = block_spans ~n ~k in
-  let original = ref (Bitvec.create n) in
+  let original = Bitvec.Builder.create n in
   List.iteri
     (fun j (start, len) ->
       let tau = taus.(j) in
       if start = 0 && len >= 1 then
-        original := Bitvec.set !original 0 (Bitvec.get code 0);
+        Bitvec.Builder.set original 0 (Bitvec.get code 0);
       for i = 1 to len - 1 do
         let pos = start + i in
         let history =
           if i = 1 then Bitvec.get code start
-          else Bitvec.get !original (pos - 1)
+          else Bitvec.Builder.get original (pos - 1)
         in
         let v = Boolfun.apply tau (Bitvec.get code pos) history in
-        original := Bitvec.set !original pos v
+        Bitvec.Builder.set original pos v
       done)
     spans;
-  !original
+  Bitvec.Builder.freeze original
 
 let transitions_saved ~original ~encoded =
   Bitvec.transitions original - Bitvec.transitions encoded.code

@@ -24,6 +24,12 @@ type encoded = {
     [1 + ceil((n - k) / (k - 1))] otherwise. *)
 val block_count : n:int -> k:int -> int
 
+(** [block_spans ~n ~k] lists the [(start, len)] extent of every block:
+    starts are [0, k-1, 2(k-1), ...] and each block spans up to [k] bits,
+    its first bit shared with the previous block.  Exposed for the
+    per-line parallel encoder (code-table prefetching) and tests. *)
+val block_spans : n:int -> k:int -> (int * int) list
+
 (** [encode_greedy ?subset_mask ~k stream] encodes with the paper's
     iterative approach.  [k] must be in [2..16].  The encoded stream never
     has more transitions than the original within any block chain, because

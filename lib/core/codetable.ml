@@ -13,16 +13,7 @@ type t = {
 let k t = t.k
 let subset_mask t = t.subset_mask
 
-(* Deterministic tau choice shared with the solver's preference order. *)
-let choose_tau mask =
-  let order =
-    Boolfun.
-      [identity; inversion; not_history; xor; xnor; nor; nand; history]
-    @ Boolfun.all
-  in
-  match List.find_opt (fun f -> Boolfun.mask_mem f mask) order with
-  | Some f -> f
-  | None -> invalid_arg "Codetable.choose_tau: empty mask"
+let choose_tau = Boolfun.choose_preferred
 
 let build ~subset_mask ~k =
   if k < 1 || k > 16 then invalid_arg "Codetable.get: k not in 1..16";
@@ -60,15 +51,24 @@ let build ~subset_mask ~k =
   let standalone_entries = Solver.table ~subset_mask ~k () in
   { k; subset_mask; chained; chained_out; standalone_entries }
 
+(* The cache is shared by every domain of the parallel per-line encoder, so
+   all access goes through one mutex.  Building a missing table happens
+   under the lock: redundant concurrent builds would be pure waste, and the
+   encoder prefetches its tables before fanning out anyway. *)
 let cache : (int * int, t) Hashtbl.t = Hashtbl.create 16
+let cache_mutex = Mutex.create ()
 
 let get ?(subset_mask = Boolfun.full_mask) ~k () =
-  match Hashtbl.find_opt cache (k, subset_mask) with
-  | Some t -> t
-  | None ->
-      let t = build ~subset_mask ~k in
-      Hashtbl.add cache (k, subset_mask) t;
-      t
+  Mutex.lock cache_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_mutex)
+    (fun () ->
+      match Hashtbl.find_opt cache (k, subset_mask) with
+      | Some t -> t
+      | None ->
+          let t = build ~subset_mask ~k in
+          Hashtbl.add cache (k, subset_mask) t;
+          t)
 
 let bool_to_int b = if b then 1 else 0
 
@@ -79,6 +79,8 @@ let check_word t word =
 let chained_best t ~b_in ~word =
   check_word t word;
   t.chained.(bool_to_int b_in).(word)
+
+let chained_row t ~b_in = Array.copy t.chained.(bool_to_int b_in)
 
 let chained_best_out t ~b_in ~word ~b_out =
   check_word t word;

@@ -31,6 +31,12 @@ val subset_mask : t -> int
     [word] with bit 0 replaced by [b_in] is always feasible. *)
 val chained_best : t -> b_in:bool -> word:int -> choice
 
+(** [chained_row t ~b_in] is the full row of best chained choices indexed by
+    original word: entry [word] equals [chained_best t ~b_in ~word].  The
+    encode hot loop fetches both rows once per stream and indexes per block,
+    keeping calls and range checks out of the loop. *)
+val chained_row : t -> b_in:bool -> choice array
+
 (** [chained_best_out t ~b_in ~word ~b_out] constrains additionally the
     {e last} encoded bit of the block to [b_out]; [None] when infeasible. *)
 val chained_best_out : t -> b_in:bool -> word:int -> b_out:bool -> choice option

@@ -1,0 +1,140 @@
+let sequential_mode () = Sys.getenv_opt "POWERCODE_SEQ" = Some "1"
+
+(* Workers beyond ~8 stop paying for themselves on 32-line fan-outs and the
+   blocks are short; cap the pool rather than grabbing every core. *)
+let max_workers = 8
+
+let worker_count () =
+  max 0 (min max_workers (Domain.recommended_domain_count () - 1))
+
+(* Each [parallel_init] call is one job: a shared task queue plus a
+   per-call remaining-chunk counter so that concurrent callers (should they
+   ever appear) wait only for their own chunks. *)
+type job = {
+  mutable remaining : int;
+  mutable failure : exn option;
+}
+
+type pool = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  job_finished : Condition.t;
+  mutable queue : (job * (unit -> unit)) list;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let finish_chunk pool job =
+  (* called with [pool.mutex] held *)
+  job.remaining <- job.remaining - 1;
+  if job.remaining = 0 then Condition.broadcast pool.job_finished
+
+let run_chunk pool job thunk =
+  (* called with [pool.mutex] held; runs the chunk unlocked *)
+  Mutex.unlock pool.mutex;
+  (try thunk ()
+   with exn ->
+     Mutex.lock pool.mutex;
+     if job.failure = None then job.failure <- Some exn;
+     Mutex.unlock pool.mutex);
+  Mutex.lock pool.mutex;
+  finish_chunk pool job
+
+let rec worker_loop pool =
+  (* entered with [pool.mutex] held *)
+  if pool.stop then Mutex.unlock pool.mutex
+  else
+    match pool.queue with
+    | (job, thunk) :: rest ->
+        pool.queue <- rest;
+        run_chunk pool job thunk;
+        worker_loop pool
+    | [] ->
+        Condition.wait pool.work_available pool.mutex;
+        worker_loop pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let the_pool = ref None
+let pool_mutex = Mutex.create ()
+
+let get_pool () =
+  Mutex.lock pool_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock pool_mutex)
+    (fun () ->
+      match !the_pool with
+      | Some _ as p -> p
+      | None ->
+          let n = worker_count () in
+          if n = 0 then None
+          else begin
+            let pool =
+              {
+                mutex = Mutex.create ();
+                work_available = Condition.create ();
+                job_finished = Condition.create ();
+                queue = [];
+                stop = false;
+                domains = [];
+              }
+            in
+            pool.domains <-
+              List.init n (fun _ ->
+                  Domain.spawn (fun () ->
+                      Mutex.lock pool.mutex;
+                      worker_loop pool));
+            at_exit (fun () -> shutdown pool);
+            the_pool := Some pool;
+            Some pool
+          end)
+
+let parallel_init n f =
+  if n < 0 then invalid_arg "Parpool.parallel_init: negative length";
+  if n <= 1 || sequential_mode () then Array.init n f
+  else
+    match get_pool () with
+    | None -> Array.init n f
+    | Some pool ->
+        let results = Array.make n None in
+        let nchunks = min n (worker_count () + 1) in
+        let job = { remaining = nchunks; failure = None } in
+        let chunk c () =
+          (* chunk c covers indices c, c + nchunks, c + 2*nchunks, ...;
+             striding spreads uneven per-index cost across domains *)
+          let i = ref c in
+          while !i < n do
+            results.(!i) <- Some (f !i);
+            i := !i + nchunks
+          done
+        in
+        Mutex.lock pool.mutex;
+        for c = 1 to nchunks - 1 do
+          pool.queue <- pool.queue @ [ (job, chunk c) ]
+        done;
+        Condition.broadcast pool.work_available;
+        (* the caller runs chunk 0 itself, then helps drain the queue *)
+        run_chunk pool job (chunk 0);
+        let rec help () =
+          match pool.queue with
+          | (j, thunk) :: rest when j == job ->
+              pool.queue <- rest;
+              run_chunk pool job thunk;
+              help ()
+          | _ -> ()
+        in
+        help ();
+        while job.remaining > 0 do
+          Condition.wait pool.job_finished pool.mutex
+        done;
+        Mutex.unlock pool.mutex;
+        (match job.failure with Some exn -> raise exn | None -> ());
+        Array.map
+          (function Some v -> v | None -> assert false)
+          results

@@ -1,0 +1,27 @@
+(** A small reusable domain pool for embarrassingly-parallel loops.
+
+    The 32 bus lines of a basic block encode independently, so the per-line
+    encoder fans each matrix out over a fixed set of worker domains.  The
+    pool is created lazily on first use, reused for every subsequent call
+    (spawning domains per block would dwarf the work), and torn down at
+    process exit.
+
+    Sequential fallback: when [POWERCODE_SEQ=1] is set in the environment,
+    when [Domain.recommended_domain_count () = 1], or when the caller asks
+    for fewer than two items, {!parallel_init} degrades to [Array.init].
+    The environment variable is consulted on every call, so tests can
+    toggle it at runtime. *)
+
+(** [sequential_mode ()] is [true] when [POWERCODE_SEQ=1] is set. *)
+val sequential_mode : unit -> bool
+
+(** [worker_count ()] is the number of worker domains the pool will use
+    (0 when parallelism is unavailable).  Does not spawn the pool. *)
+val worker_count : unit -> int
+
+(** [parallel_init n f] is [Array.init n f] with the index range chunked
+    over the pool's domains plus the calling domain.  [f] must be safe to
+    call from any domain.  The first exception raised by any [f i] is
+    re-raised in the caller after all chunks settle.  Evaluation order
+    across chunks is unspecified; each index is evaluated exactly once. *)
+val parallel_init : int -> (int -> 'a) -> 'a array

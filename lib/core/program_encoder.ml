@@ -22,15 +22,33 @@ type block_encoding = { encoded : Bitmat.t; entries : tt_entry array }
 
 let entries_needed ~k ~rows = Chain.block_count ~n:rows ~k
 
+(* Below this many matrix bits the per-line chains are too cheap to amortise
+   the pool handoff, so small blocks (the common case on compiled code)
+   encode sequentially.  128 instructions x 32 lines. *)
+let parallel_threshold_bits = 4096
+
 let encode_block config m =
   let width = Bitmat.width m in
   let rows = Bitmat.rows m in
   let encode =
     if config.optimal_chain then Chain.encode_optimal else Chain.encode_greedy
   in
+  let encode_line b =
+    encode ~subset_mask:config.subset_mask ~k:config.k (Bitmat.column m b)
+  in
   let per_line =
-    Array.init width (fun b ->
-        encode ~subset_mask:config.subset_mask ~k:config.k (Bitmat.column m b))
+    if rows * width >= parallel_threshold_bits then begin
+      (* Prefetch the shared code tables (one per distinct block length —
+         the interior blocks all share one) sequentially so worker domains
+         only ever read the cache. *)
+      Chain.block_spans ~n:rows ~k:config.k
+      |> List.map snd
+      |> List.sort_uniq Int.compare
+      |> List.iter (fun len ->
+             ignore (Codetable.get ~subset_mask:config.subset_mask ~k:len ()));
+      Parpool.parallel_init width encode_line
+    end
+    else Array.init width encode_line
   in
   let encoded =
     Bitmat.of_columns (Array.map (fun e -> e.Chain.code) per_line)
@@ -54,13 +72,11 @@ let encode_block config m =
 
 let decode_block ~k ~entries m =
   let width = Bitmat.width m in
-  let rows = Bitmat.rows m in
   let columns =
     Array.init width (fun b ->
         let taus = Array.map (fun e -> e.taus.(b)) entries in
         Chain.decode { Chain.code = Bitmat.column m b; taus; k })
   in
-  ignore rows;
   Bitmat.of_columns columns
 
 type candidate = { start_index : int; body : Bitmat.t; weight : int }

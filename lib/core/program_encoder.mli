@@ -41,8 +41,16 @@ val entries_needed : k:int -> rows:int -> int
 (** [encode_block config m] encodes one basic block.  The first instruction
     is always stored verbatim (every column's chain starts pass-through).
     Decoding [encoded] with [entries] restores [m] exactly —
-    see {!decode_block}. *)
+    see {!decode_block}.
+
+    The bus lines encode independently; blocks of at least
+    [parallel_threshold_bits] matrix bits fan the per-line chains out over
+    the {!Parpool} domain pool (set [POWERCODE_SEQ=1] to force the
+    sequential path — the result is bit-identical either way). *)
 val encode_block : config -> Bitutil.Bitmat.t -> block_encoding
+
+(** Minimum [rows * width] for {!encode_block} to use the domain pool. *)
+val parallel_threshold_bits : int
 
 (** [decode_block ~k ~entries m] is the software reference decoder (the
     hardware model lives in the [hardware] library and must agree). *)

@@ -7,18 +7,7 @@ type entry = {
   code_transitions : int;
 }
 
-(* Deterministic transformation choice: the paper's tables consistently pick
-   the "named" functions, so prefer them in a fixed order before falling
-   back to truth-table order. *)
-let preference =
-  Boolfun.
-    [identity; inversion; not_history; xor; xnor; nor; nand; history]
-  @ Boolfun.all
-
-let choose_tau mask =
-  match List.find_opt (fun f -> Boolfun.mask_mem f mask) preference with
-  | Some f -> f
-  | None -> invalid_arg "Solver.choose_tau: empty mask"
+let choose_tau = Boolfun.choose_preferred
 
 let require_identity subset_mask =
   if not (Boolfun.mask_mem Boolfun.identity subset_mask) then

@@ -19,19 +19,10 @@ type report = {
 
 exception Verification_failed of { pc : int; expected : int; got : int }
 
-(* 16-bit table popcount: the counting run touches every fetch for every
-   image, so this is the hot path of the whole harness. *)
-let pop16 =
-  let t = Bytes.create 65536 in
-  for i = 0 to 65535 do
-    let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
-    Bytes.set t i (Char.chr (go i 0))
-  done;
-  t
-
-let popcount32 x =
-  Char.code (Bytes.unsafe_get pop16 (x land 0xffff))
-  + Char.code (Bytes.unsafe_get pop16 ((x lsr 16) land 0xffff))
+(* The counting run touches every fetch for every image, so this is the hot
+   path of the whole harness; the 16-bit table lives in Bitutil.Popcount,
+   shared with the bit-vector word operations. *)
+let popcount32 = Bitutil.Popcount.count32
 
 let candidate_of_block words profile (b : Cfg.Block.t) =
   let body = Array.sub words b.Cfg.Block.start b.Cfg.Block.len in

@@ -103,9 +103,152 @@ let test_bitmat_width_check () =
     (Invalid_argument "Bitmat.of_words: word does not fit width") (fun () ->
       ignore (Bitmat.of_words ~width:4 [| 16 |]))
 
+(* ---- builder ------------------------------------------------------------- *)
+
+let test_builder_set_freeze () =
+  let b = Bitvec.Builder.create 70 in
+  Bitvec.Builder.set b 0 true;
+  Bitvec.Builder.set b 61 true;
+  Bitvec.Builder.set b 62 true;
+  Bitvec.Builder.set b 69 true;
+  Bitvec.Builder.set b 62 false;
+  check_bool "read back" true (Bitvec.Builder.get b 61);
+  check_bool "cleared" false (Bitvec.Builder.get b 62);
+  let v = Bitvec.Builder.freeze b in
+  check_bool "bit 0" true (Bitvec.get v 0);
+  check_bool "bit 61" true (Bitvec.get v 61);
+  check_bool "bit 62" false (Bitvec.get v 62);
+  check_bool "bit 69" true (Bitvec.get v 69);
+  check_int "popcount" 3 (Bitvec.popcount v)
+
+let test_builder_frozen_rejects () =
+  let b = Bitvec.Builder.create 8 in
+  let _ = Bitvec.Builder.freeze b in
+  Alcotest.check_raises "set after freeze"
+    (Invalid_argument "Bitvec.Builder: use after freeze") (fun () ->
+      Bitvec.Builder.set b 0 true)
+
+let test_blit_int_spans_words () =
+  (* a 20-bit blit placed to straddle a backing-word boundary *)
+  let b = Bitvec.Builder.create 100 in
+  Bitvec.Builder.blit_int b ~pos:50 ~len:20 0xABCDE;
+  let v = Bitvec.Builder.freeze b in
+  check_int "read back across boundary" 0xABCDE
+    (Bitvec.extract v ~pos:50 ~len:20);
+  check_bool "below untouched" false (Bitvec.get v 49);
+  check_bool "above untouched" false (Bitvec.get v 70)
+
+let test_extract_matches_get () =
+  let v = Bitvec.init 130 (fun i -> i * 7 mod 3 = 0) in
+  for pos = 0 to 129 do
+    let len = min 25 (130 - pos) in
+    let w = Bitvec.extract v ~pos ~len in
+    for i = 0 to len - 1 do
+      if w lsr i land 1 = 1 <> Bitvec.get v (pos + i) then
+        Alcotest.failf "extract mismatch at pos=%d i=%d" pos i
+    done
+  done
+
 (* ---- properties ---------------------------------------------------------- *)
 
 let bits_gen n = QCheck.(list_of_size (Gen.return n) bool)
+
+(* lengths straddling backing-word boundaries get exercised explicitly *)
+let sized_bits = QCheck.(list_of_size Gen.(0 -- 200) bool)
+
+let reference_transitions bits =
+  let a = Array.of_list bits in
+  let n = ref 0 in
+  for i = 0 to Array.length a - 2 do
+    if a.(i) <> a.(i + 1) then incr n
+  done;
+  !n
+
+let prop_transitions_vs_reference =
+  QCheck.Test.make ~name:"word-level transitions = per-bit reference"
+    ~count:500 sized_bits (fun bits ->
+      Bitvec.transitions (Bitvec.of_list bits) = reference_transitions bits)
+
+let prop_popcount_vs_reference =
+  QCheck.Test.make ~name:"word-level popcount = per-bit reference" ~count:500
+    sized_bits (fun bits ->
+      Bitvec.popcount (Bitvec.of_list bits)
+      = List.length (List.filter Fun.id bits))
+
+let prop_hamming_vs_reference =
+  QCheck.Test.make ~name:"word-level hamming = per-bit reference" ~count:300
+    QCheck.(pair (bits_gen 125) (bits_gen 125))
+    (fun (a, b) ->
+      Bitvec.hamming (Bitvec.of_list a) (Bitvec.of_list b)
+      = List.length (List.filter Fun.id (List.map2 ( <> ) a b)))
+
+let prop_map2_vs_reference =
+  QCheck.Test.make ~name:"word-level map2 = per-bit reference" ~count:100
+    QCheck.(triple (int_bound 15) (bits_gen 80) (bits_gen 80))
+    (fun (tt, a, b) ->
+      (* truth-table index tt covers all 16 binary boolean functions *)
+      let f x y =
+        tt lsr ((if x then 2 else 0) + if y then 1 else 0) land 1 = 1
+      in
+      let va = Bitvec.of_list a and vb = Bitvec.of_list b in
+      Bitvec.equal
+        (Bitvec.map2 f va vb)
+        (Bitvec.init 80 (fun i -> f (Bitvec.get va i) (Bitvec.get vb i))))
+
+let prop_builder_vs_set =
+  QCheck.Test.make ~name:"builder construction = copy-on-write construction"
+    ~count:300 sized_bits (fun bits ->
+      let n = List.length bits in
+      let b = Bitvec.Builder.create n in
+      List.iteri (fun i v -> Bitvec.Builder.set b i v) bits;
+      let via_builder = Bitvec.Builder.freeze b in
+      let via_set =
+        List.fold_left
+          (fun (v, i) bit -> (Bitvec.set v i bit, i + 1))
+          (Bitvec.create n, 0) bits
+        |> fst
+      in
+      Bitvec.equal via_builder via_set
+      && Bitvec.equal via_builder (Bitvec.of_list bits))
+
+let prop_blit_int_vs_sets =
+  QCheck.Test.make ~name:"blit_int = per-bit sets" ~count:300
+    QCheck.(triple (int_bound 100) (int_bound 30) (int_bound 0x3fffffff))
+    (fun (pos, len, value) ->
+      let n = 140 in
+      let len = min len (n - pos) in
+      let b1 = Bitvec.Builder.create n in
+      Bitvec.Builder.blit_int b1 ~pos ~len value;
+      let b2 = Bitvec.Builder.create n in
+      for i = 0 to len - 1 do
+        Bitvec.Builder.set b2 (pos + i) (value lsr i land 1 = 1)
+      done;
+      Bitvec.equal (Bitvec.Builder.freeze b1) (Bitvec.Builder.freeze b2))
+
+let prop_append_sub_word_boundary =
+  QCheck.Test.make ~name:"append/sub across word boundaries" ~count:200
+    QCheck.(pair (list_of_size Gen.(0 -- 100) bool) (list_of_size Gen.(0 -- 100) bool))
+    (fun (a, b) ->
+      let va = Bitvec.of_list a and vb = Bitvec.of_list b in
+      let c = Bitvec.append va vb in
+      Bitvec.equal va (Bitvec.sub c ~pos:0 ~len:(Bitvec.length va))
+      && Bitvec.equal vb
+           (Bitvec.sub c ~pos:(Bitvec.length va) ~len:(Bitvec.length vb)))
+
+let prop_column_vs_reference =
+  QCheck.Test.make ~name:"fast column/of_columns = per-bit reference"
+    ~count:50
+    QCheck.(list_of_size Gen.(2 -- 150) (int_bound 0xffff))
+    (fun words ->
+      let words = Array.of_list words in
+      let m = Bitmat.of_words ~width:16 words in
+      let cols = Array.init 16 (Bitmat.column m) in
+      let reference_col b =
+        Bitvec.init (Array.length words) (fun i -> words.(i) lsr b land 1 = 1)
+      in
+      Array.for_all Fun.id
+        (Array.init 16 (fun b -> Bitvec.equal cols.(b) (reference_col b)))
+      && Bitmat.words (Bitmat.of_columns cols) = words)
 
 let prop_string_roundtrip =
   QCheck.Test.make ~name:"bitvec string roundtrip" ~count:200
@@ -161,6 +304,16 @@ let () =
           Alcotest.test_case "append/sub" `Quick test_append_sub;
           Alcotest.test_case "map2/lnot" `Quick test_map2_lnot;
         ] );
+      ( "builder",
+        [
+          Alcotest.test_case "set/freeze" `Quick test_builder_set_freeze;
+          Alcotest.test_case "frozen rejects writes" `Quick
+            test_builder_frozen_rejects;
+          Alcotest.test_case "blit_int spans words" `Quick
+            test_blit_int_spans_words;
+          Alcotest.test_case "extract matches get" `Quick
+            test_extract_matches_get;
+        ] );
       ( "bitmat",
         [
           Alcotest.test_case "columns" `Quick test_bitmat_columns;
@@ -175,5 +328,13 @@ let () =
             prop_transitions_bound;
             prop_hamming_triangle;
             prop_matrix_transitions_consistent;
+            prop_transitions_vs_reference;
+            prop_popcount_vs_reference;
+            prop_hamming_vs_reference;
+            prop_map2_vs_reference;
+            prop_builder_vs_set;
+            prop_blit_int_vs_sets;
+            prop_append_sub_word_boundary;
+            prop_column_vs_reference;
           ] );
     ]

@@ -1,0 +1,116 @@
+(* The per-line encoder fans out over a domain pool; these tests pin down
+   that the parallel and sequential (POWERCODE_SEQ=1) paths produce
+   bit-identical encodings, entry for entry, on matrices large enough to
+   take the parallel path. *)
+
+module Bitmat = Bitutil.Bitmat
+module PE = Powercode.Program_encoder
+module Parpool = Powercode.Parpool
+
+let check_int = Alcotest.(check int)
+
+let force_sequential b = Unix.putenv "POWERCODE_SEQ" (if b then "1" else "0")
+
+let random_matrix ~seed ~rows =
+  let state = ref seed in
+  let words =
+    Array.init rows (fun _ ->
+        state := !state lxor (!state lsl 13);
+        state := !state lxor (!state lsr 7);
+        state := !state lxor (!state lsl 17);
+        !state land 0xffffffff)
+  in
+  Bitmat.of_words ~width:32 words
+
+let check_same_encoding ~msg a b =
+  Alcotest.(check (array int))
+    (msg ^ ": encoded image")
+    (Bitmat.words a.PE.encoded) (Bitmat.words b.PE.encoded);
+  check_int (msg ^ ": entry count") (Array.length a.PE.entries)
+    (Array.length b.PE.entries);
+  Array.iteri
+    (fun j (ea : PE.tt_entry) ->
+      let eb = b.PE.entries.(j) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "%s: entry %d taus" msg j)
+        (Array.map Powercode.Boolfun.index ea.PE.taus)
+        (Array.map Powercode.Boolfun.index eb.PE.taus);
+      Alcotest.(check bool) "is_end" ea.PE.is_end eb.PE.is_end;
+      check_int "count" ea.PE.count eb.PE.count)
+    a.PE.entries
+
+(* rows * 32 comfortably above the parallel threshold *)
+let big_rows = (PE.parallel_threshold_bits / 32) + 100
+
+let test_parallel_matches_sequential () =
+  List.iter
+    (fun (seed, config) ->
+      let m = random_matrix ~seed ~rows:big_rows in
+      force_sequential false;
+      let par = PE.encode_block config m in
+      force_sequential true;
+      let seq = PE.encode_block config m in
+      force_sequential false;
+      check_same_encoding
+        ~msg:(Printf.sprintf "seed=%d k=%d" seed config.PE.k)
+        par seq)
+    [
+      (7919, PE.default_config ());
+      (104729, PE.default_config ~k:7 ());
+      (1299709, { (PE.default_config ()) with PE.optimal_chain = true });
+    ]
+
+let test_parallel_decodes_back () =
+  let config = PE.default_config () in
+  let m = random_matrix ~seed:4242 ~rows:big_rows in
+  force_sequential false;
+  let e = PE.encode_block config m in
+  let decoded =
+    PE.decode_block ~k:config.PE.k ~entries:e.PE.entries e.PE.encoded
+  in
+  Alcotest.(check (array int)) "roundtrip" (Bitmat.words m)
+    (Bitmat.words decoded)
+
+let test_sequential_env_is_live () =
+  force_sequential true;
+  Alcotest.(check bool) "seq on" true (Parpool.sequential_mode ());
+  force_sequential false;
+  Alcotest.(check bool) "seq off" false (Parpool.sequential_mode ())
+
+let test_parallel_init_matches_array_init () =
+  force_sequential false;
+  let f i = (i * 31) lxor (i lsl 3) in
+  Alcotest.(check (array int))
+    "parallel_init = Array.init" (Array.init 257 f)
+    (Parpool.parallel_init 257 f);
+  Alcotest.(check (array int)) "empty" [||] (Parpool.parallel_init 0 f)
+
+let test_parallel_init_propagates_exception () =
+  force_sequential false;
+  match
+    Parpool.parallel_init 64 (fun i ->
+        if i = 33 then failwith "boom" else i)
+  with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "encode_block",
+        [
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "parallel decodes back" `Quick
+            test_parallel_decodes_back;
+        ] );
+      ( "parpool",
+        [
+          Alcotest.test_case "env toggle is live" `Quick
+            test_sequential_env_is_live;
+          Alcotest.test_case "parallel_init = Array.init" `Quick
+            test_parallel_init_matches_array_init;
+          Alcotest.test_case "exception propagation" `Quick
+            test_parallel_init_propagates_exception;
+        ] );
+    ]
