@@ -837,6 +837,16 @@ let measure_workload w =
     evaluate_ns_per_insn = evaluate_ns /. float_of_int dynamic_insns;
   }
 
+(* ---- Telemetry: where the encode pipeline spends its work ------------------ *)
+
+let telemetry_report () =
+  section "Telemetry: encode-pipeline counters and spans";
+  Format.printf "%a" Telemetry.Report.pp_human (Telemetry.Metrics.freeze ());
+  Format.printf
+    "(schema in the Telemetry.Registry module; stable counters are \
+     order-independent across POWERCODE_SEQ settings — asserted by \
+     test/test_differential.ml.)@."
+
 let bench_encoding_json () =
   let fast = Sys.getenv_opt "POWERCODE_FAST" = Some "1" in
   let set = if fast then Workloads.scaled else Workloads.paper_sized in
@@ -853,7 +863,7 @@ let bench_encoding_json () =
   let oc = open_out "BENCH_encoding.json" in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"powercode-bench-encoding/1\",\n";
+  p "  \"schema\": \"powercode-bench-encoding/2\",\n";
   p "  \"mode\": \"%s\",\n" (if fast then "fast" else "full");
   p "  \"block_size_k\": 5,\n";
   (match !chain256_measurement with
@@ -875,7 +885,11 @@ let bench_encoding_json () =
         (if i = List.length timings - 1 then "" else ",");
       ignore i)
     timings;
-  p "  ]\n";
+  p "  ],\n";
+  (* the whole run's metrics: counters, tau/block-size histograms, span
+     tree (schema: Telemetry.Registry; documented in EXPERIMENTS.md) *)
+  p "  \"telemetry\": %s\n"
+    (Telemetry.Report.to_json (Telemetry.Metrics.freeze ()));
   p "}\n";
   close_out oc;
   Format.printf "Wrote %s@." (Filename.concat (Sys.getcwd ()) "BENCH_encoding.json")
@@ -886,6 +900,7 @@ let () =
   Format.printf
     "Power Efficiency through Application-Specific Instruction Memory \
      Transformations@.(DATE 2003) -- reproduction harness@.";
+  Telemetry.Metrics.set_enabled true;
   fig2 ();
   fig3 ();
   fig4 ();
@@ -906,5 +921,6 @@ let () =
   address_bus ();
   extended_workloads ();
   bechamel_suite ();
+  telemetry_report ();
   bench_encoding_json ();
   Format.printf "@.Done.@."

@@ -22,6 +22,28 @@ let subset_conv =
 let k_arg =
   Arg.(value & opt int 5 & info [ "k" ] ~docv:"K" ~doc:"Code block size (2..16).")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Collect telemetry (counters, histograms, timing spans) for the \
+           run and print the report to stderr.  Metric names are documented \
+           in the Telemetry.Registry module.")
+
+(* Enables collection for the wrapped command and reports on the way out
+   (stderr, so machine-readable stdout such as --csv stays clean). *)
+let with_stats stats f =
+  if not stats then f ()
+  else begin
+    Telemetry.Metrics.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Format.eprintf "%a@?" Telemetry.Report.pp_human
+          (Telemetry.Metrics.freeze ()))
+      f
+  end
+
 let subset_arg =
   Arg.(
     value
@@ -31,7 +53,8 @@ let subset_arg =
 
 (* ---- tables ---------------------------------------------------------------- *)
 
-let tables k subset_mask =
+let tables k subset_mask stats =
+  with_stats stats @@ fun () ->
   if k < 2 || k > 10 then `Error (false, "K must be in 2..10")
   else begin
     Format.printf "Optimal power code, k = %d:@." k;
@@ -46,7 +69,7 @@ let tables k subset_mask =
 let tables_cmd =
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate the paper's code tables")
-    Term.(ret (const tables $ k_arg $ subset_arg))
+    Term.(ret (const tables $ k_arg $ subset_arg $ stats_arg))
 
 (* ---- subset ---------------------------------------------------------------- *)
 
@@ -128,7 +151,8 @@ let build_system k subset_mask program =
     ~functions:(Array.of_list (Powercode.Boolfun.list_of_mask subset_mask))
     program plan
 
-let encode path k subset_mask firmware_out =
+let encode path k subset_mask firmware_out stats =
+  with_stats stats @@ fun () ->
   match load_program path with
   | exception e ->
       let msg =
@@ -163,7 +187,9 @@ let encode_cmd =
   Cmd.v
     (Cmd.info "encode"
        ~doc:"Encode a program's hot blocks and report transition savings")
-    Term.(ret (const encode $ file_arg $ k_arg $ subset_arg $ firmware_arg))
+    Term.(
+      ret (const encode $ file_arg $ k_arg $ subset_arg $ firmware_arg
+           $ stats_arg))
 
 (* ---- restore --------------------------------------------------------------- *)
 
@@ -195,7 +221,8 @@ let restore_cmd =
 
 (* ---- simulate ------------------------------------------------------------------ *)
 
-let simulate path max_instructions =
+let simulate path max_instructions stats =
+  with_stats stats @@ fun () ->
   match load_program path with
   | exception e ->
       let msg =
@@ -220,11 +247,12 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Assemble/compile and run a program")
-    Term.(ret (const simulate $ file_arg $ max_arg))
+    Term.(ret (const simulate $ file_arg $ max_arg $ stats_arg))
 
 (* ---- evaluate ------------------------------------------------------------------- *)
 
-let evaluate name scaled verify csv =
+let evaluate name scaled verify csv stats =
+  with_stats stats @@ fun () ->
   let set =
     (if scaled then Workloads.scaled else Workloads.paper_sized)
     @ Workloads.extended
@@ -272,7 +300,9 @@ let evaluate_cmd =
   in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Figure 6 style evaluation of a benchmark")
-    Term.(ret (const evaluate $ name_arg $ scaled_arg $ verify_arg $ csv_arg))
+    Term.(
+      ret (const evaluate $ name_arg $ scaled_arg $ verify_arg $ csv_arg
+           $ stats_arg))
 
 (* ---- disasm ------------------------------------------------------------------- *)
 

@@ -60,8 +60,11 @@ let codewords_by_transitions k =
     ~finally:(fun () -> Mutex.unlock cache_mutex)
     (fun () ->
       match Hashtbl.find_opt by_transitions_cache k with
-      | Some a -> a
+      | Some a ->
+          Telemetry.Metrics.incr Telemetry.Registry.blockword_memo_hits;
+          a
       | None ->
+          Telemetry.Metrics.incr Telemetry.Registry.blockword_memo_misses;
           let words = Array.init (1 lsl k) Fun.id in
           let key w = (transitions ~k w, w) in
           Array.sort (fun a b -> compare (key a) (key b)) words;

@@ -1,8 +1,20 @@
 module Bitvec = Bitutil.Bitvec
+module Metrics = Telemetry.Metrics
+module Tel = Telemetry.Registry
 
 (* The greedy-encode hot loop hardcodes the 32-bit packing of Bitvec so the
    per-block index arithmetic is shifts and masks. *)
 let () = assert (Bitvec.bits_per_word = 32)
+
+(* One bump per stream plus one histogram observe per code block; chain
+   encodes run on pool worker domains, which is why the counters shard. *)
+let record_encode taus blocks =
+  Metrics.incr Tel.chain_streams;
+  Metrics.add Tel.chain_code_blocks blocks;
+  if Metrics.enabled () then
+    Array.iter
+      (fun t -> Metrics.observe Tel.tau_selected (Boolfun.index t))
+      taus
 
 type encoded = { code : Bitvec.t; taus : Boolfun.t array; k : int }
 
@@ -90,6 +102,7 @@ let encode_greedy ?(subset_mask = Boolfun.full_mask) ~k stream =
       b_in := (c lsr (len - 1)) land 1 <> 0;
       start := !start + len - 1
     done;
+    record_encode taus blocks;
     let code = Bitvec.Builder.create n in
     for i = 0 to nw - 1 do
       let base = i * 32 in
@@ -168,10 +181,12 @@ let encode_optimal ?(subset_mask = Boolfun.full_mask) ~k stream =
             rebuild (j - 1) b_prev
     in
     rebuild blocks final;
+    record_encode taus blocks;
     { code = Bitvec.Builder.freeze code; taus; k }
   end
 
 let decode { code; taus; k } =
+  Metrics.incr Tel.chain_decodes;
   let n = Bitvec.length code in
   let spans = block_spans ~n ~k in
   let original = Bitvec.Builder.create n in

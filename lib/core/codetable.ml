@@ -1,3 +1,6 @@
+module Metrics = Telemetry.Metrics
+module Tel = Telemetry.Registry
+
 type choice = { code : int; tau : Boolfun.t; cost : int }
 
 type t = {
@@ -64,9 +67,15 @@ let get ?(subset_mask = Boolfun.full_mask) ~k () =
     ~finally:(fun () -> Mutex.unlock cache_mutex)
     (fun () ->
       match Hashtbl.find_opt cache (k, subset_mask) with
-      | Some t -> t
+      | Some t ->
+          Metrics.incr Tel.codetable_hits;
+          t
       | None ->
-          let t = build ~subset_mask ~k in
+          Metrics.incr Tel.codetable_misses;
+          let t =
+            Metrics.with_span Tel.span_codetable_build (fun () ->
+                build ~subset_mask ~k)
+          in
           Hashtbl.add cache (k, subset_mask) t;
           t)
 

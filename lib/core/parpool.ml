@@ -1,3 +1,6 @@
+module Metrics = Telemetry.Metrics
+module Tel = Telemetry.Registry
+
 let sequential_mode () = Sys.getenv_opt "POWERCODE_SEQ" = Some "1"
 
 (* Workers beyond ~8 stop paying for themselves on 32-line fan-outs and the
@@ -31,6 +34,7 @@ let finish_chunk pool job =
 
 let run_chunk pool job thunk =
   (* called with [pool.mutex] held; runs the chunk unlocked *)
+  Metrics.incr Tel.parpool_chunks;
   Mutex.unlock pool.mutex;
   (try thunk ()
    with exn ->
@@ -50,7 +54,14 @@ let rec worker_loop pool =
         run_chunk pool job thunk;
         worker_loop pool
     | [] ->
-        Condition.wait pool.work_available pool.mutex;
+        (* the wait below is exactly the domain's idle time *)
+        if Metrics.enabled () then begin
+          let t0 = Metrics.now_ns () in
+          Condition.wait pool.work_available pool.mutex;
+          Metrics.add Tel.parpool_idle_ns
+            (int_of_float (Float.max 0.0 (Metrics.now_ns () -. t0)))
+        end
+        else Condition.wait pool.work_available pool.mutex;
         worker_loop pool
 
 let shutdown pool =
@@ -97,11 +108,17 @@ let get_pool () =
 
 let parallel_init n f =
   if n < 0 then invalid_arg "Parpool.parallel_init: negative length";
-  if n <= 1 || sequential_mode () then Array.init n f
+  if n <= 1 || sequential_mode () then begin
+    Metrics.incr Tel.parpool_seq_fallbacks;
+    Array.init n f
+  end
   else
     match get_pool () with
-    | None -> Array.init n f
+    | None ->
+        Metrics.incr Tel.parpool_seq_fallbacks;
+        Array.init n f
     | Some pool ->
+        Metrics.incr Tel.parpool_jobs;
         let results = Array.make n None in
         let nchunks = min n (worker_count () + 1) in
         let job = { remaining = nchunks; failure = None } in

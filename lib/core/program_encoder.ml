@@ -1,5 +1,7 @@
 module Bitvec = Bitutil.Bitvec
 module Bitmat = Bitutil.Bitmat
+module Metrics = Telemetry.Metrics
+module Tel = Telemetry.Registry
 
 type config = {
   k : int;
@@ -28,8 +30,12 @@ let entries_needed ~k ~rows = Chain.block_count ~n:rows ~k
 let parallel_threshold_bits = 4096
 
 let encode_block config m =
+  Metrics.with_span Tel.span_encode_block @@ fun () ->
   let width = Bitmat.width m in
   let rows = Bitmat.rows m in
+  Metrics.incr Tel.encode_blocks;
+  Metrics.add Tel.encode_lines width;
+  Metrics.observe Tel.block_bits (Metrics.log2_bucket (rows * width));
   let encode =
     if config.optimal_chain then Chain.encode_optimal else Chain.encode_greedy
   in
@@ -37,6 +43,7 @@ let encode_block config m =
     encode ~subset_mask:config.subset_mask ~k:config.k (Bitmat.column m b)
   in
   let per_line =
+    Metrics.with_span Tel.span_encode_fanout @@ fun () ->
     if rows * width >= parallel_threshold_bits then begin
       (* Prefetch the shared code tables (one per distinct block length —
          the interior blocks all share one) sequentially so worker domains
@@ -90,6 +97,8 @@ type placement = {
 type plan = { config : config; placements : placement list; tt_used : int }
 
 let plan config candidates =
+  Metrics.with_span Tel.span_encode_plan @@ fun () ->
+  Metrics.add Tel.plan_blocks_considered (List.length candidates);
   let hot_first =
     List.stable_sort
       (fun a b ->
@@ -114,9 +123,12 @@ let plan config candidates =
           else if entries < 1 then 0
           else config.k + ((entries - 1) * (config.k - 1))
         in
-        if rows < 2 || cand.weight = 0 || covered_rows < 2 then
+        if rows < 2 || cand.weight = 0 || covered_rows < 2 then begin
+          Metrics.incr Tel.plan_blocks_skipped;
           { cand; encoding = None; tt_base = -1 }
+        end
         else begin
+          Metrics.incr Tel.plan_blocks_encoded;
           let base = !used in
           used := !used + entries;
           let body =
@@ -134,4 +146,5 @@ let plan config candidates =
       (fun a b -> Int.compare a.cand.start_index b.cand.start_index)
       placements
   in
+  Metrics.add Tel.plan_tt_entries !used;
   { config; placements; tt_used = !used }

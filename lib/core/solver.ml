@@ -15,6 +15,7 @@ let require_identity subset_mask =
 
 let solve ?(subset_mask = Boolfun.full_mask) ~k word =
   require_identity subset_mask;
+  Telemetry.Metrics.incr Telemetry.Registry.solver_words;
   let candidates = Blockword.codewords_by_transitions k in
   let rec scan i =
     if i >= Array.length candidates then
@@ -26,7 +27,8 @@ let solve ?(subset_mask = Boolfun.full_mask) ~k word =
         Blockword.tau_mask_standalone ~k ~word ~code land subset_mask
       in
       if mask = 0 then scan (i + 1)
-      else
+      else begin
+        Telemetry.Metrics.add Telemetry.Registry.solver_codes_scanned (i + 1);
         {
           word;
           code;
@@ -35,6 +37,7 @@ let solve ?(subset_mask = Boolfun.full_mask) ~k word =
           word_transitions = Blockword.transitions ~k word;
           code_transitions = Blockword.transitions ~k code;
         }
+      end
   in
   scan 0
 

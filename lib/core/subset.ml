@@ -6,6 +6,7 @@ let popcount m =
    the union, over all minimum-transition feasible codes, of their
    consistent-transformation masks. *)
 let requirement ~k word =
+  Telemetry.Metrics.incr Telemetry.Registry.subset_requirements;
   let best = (Solver.solve ~k word).code_transitions in
   let union = ref 0 in
   for code = 0 to (1 lsl k) - 1 do
@@ -35,6 +36,7 @@ let all_minimal ~kmax =
   let sets = requirements ~kmax in
   let best_size = ref 17 and found = ref [] in
   for subset = 1 to 0xffff do
+    Telemetry.Metrics.incr Telemetry.Registry.subset_masks_tested;
     let size = popcount subset in
     if size <= !best_size && hits subset sets then
       if size < !best_size then begin

@@ -203,4 +203,6 @@ let run ?(max_instructions = max_int / 2) ?on_fetch ?mmio program state =
         | v -> raise (Trap (Printf.sprintf "unknown syscall %d" v))));
     state.pc <- !next
   done;
+  (* one bump for the whole run: the simulator loop stays branch-lean *)
+  Telemetry.Metrics.add Telemetry.Registry.cpu_instructions !count;
   { instructions = !count; exit_code = !exit_code; pc_final = state.pc }

@@ -58,10 +58,21 @@ let access (t : t) ~pc =
     t.misses <- t.misses + 1;
     t.tags.(index) <- line_addr;
     let base = line_addr * t.config.words_per_line in
+    let streamed = ref 0 in
     for i = 0 to t.config.words_per_line - 1 do
       let a = base + i in
-      if a < Array.length t.image then stream_word t t.image.(a)
-    done
+      if a < Array.length t.image then begin
+        stream_word t t.image.(a);
+        incr streamed
+      end
+    done;
+    Telemetry.Metrics.add Telemetry.Registry.icache_refill_words !streamed
+  end;
+  if Telemetry.Metrics.enabled () then begin
+    Telemetry.Metrics.incr Telemetry.Registry.icache_accesses;
+    Telemetry.Metrics.incr
+      (if hit then Telemetry.Registry.icache_hits
+       else Telemetry.Registry.icache_misses)
   end;
   (t.image.(pc), hit)
 

@@ -1,3 +1,6 @@
+module Metrics = Telemetry.Metrics
+module Tel = Telemetry.Registry
+
 type encoded_run = {
   k : int;
   transitions : int;
@@ -37,6 +40,8 @@ type selection = [ `Hot_blocks | `Hot_loops ]
 let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
     ?(optimal_chain = false) ?(selection = `Hot_blocks) ?(verify = false)
     ~name program =
+  Metrics.with_span Tel.span_evaluate @@ fun () ->
+  Metrics.incr Tel.pipeline_evaluations;
   let subset_mask =
     match subset_mask with
     | Some m -> m
@@ -45,7 +50,9 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
   let words = Isa.Program.words program in
   let blocks = Cfg.Block.partition (Isa.Program.insns program) in
   (* pass 1: profile *)
-  let profile, _ = Cfg.Profile.collect program in
+  let profile, _ =
+    Metrics.with_span Tel.span_profile (fun () -> Cfg.Profile.collect program)
+  in
   let hot_blocks =
     Array.to_list blocks
     |> List.filter (fun b -> Cfg.Profile.block_weight profile b > 0)
@@ -69,6 +76,7 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
   in
   let bbit_capacity = max 16 (List.length candidates) in
   let systems =
+    Metrics.with_span Tel.span_plan @@ fun () ->
     List.map
       (fun k ->
         let config =
@@ -150,7 +158,12 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
         decoders
   in
   let state = Machine.Cpu.create_state () in
-  let result = Machine.Cpu.run ~on_fetch program state in
+  let result =
+    Metrics.with_span Tel.span_count (fun () ->
+        Machine.Cpu.run ~on_fetch program state)
+  in
+  Metrics.add Tel.pipeline_fetches result.Machine.Cpu.instructions;
+  Metrics.add Tel.pipeline_images nimg;
   let runs =
     List.mapi
       (fun v (k, plan, _system) ->

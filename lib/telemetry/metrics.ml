@@ -1,0 +1,231 @@
+type stability = Stable | Runtime
+type kind = Counter | Histogram | Span
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* Sharding: the pool never exceeds 8 workers + the main domain, so 16
+   shards keep distinct domains on distinct cells in practice (domain ids
+   are assigned consecutively).  A collision only costs contention, never
+   correctness: totals sum all shards. *)
+let shards = 16
+let shard () = (Domain.self () :> int) land (shards - 1)
+
+type counter = {
+  c_name : string;
+  c_stability : stability;
+  c_cells : int Atomic.t array;
+}
+
+type histogram = {
+  h_name : string;
+  h_stability : stability;
+  h_label : int -> string;
+  h_buckets : int;
+  (* h_cells.(shard).(bucket) *)
+  h_cells : int Atomic.t array array;
+}
+
+type span = { s_name : string }
+
+type span_stat = {
+  mutable st_count : int;
+  mutable st_total_ns : float;
+  mutable st_max_ns : float;
+}
+
+(* ---- registration ---------------------------------------------------- *)
+
+let reg_mutex = Mutex.create ()
+let schema : (string, kind * stability * string) Hashtbl.t = Hashtbl.create 64
+let all_counters : counter list ref = ref []
+let all_histograms : histogram list ref = ref []
+
+let register ~kind ~stability ~doc name =
+  Mutex.lock reg_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock reg_mutex)
+    (fun () ->
+      if Hashtbl.mem schema name then
+        invalid_arg ("Telemetry.Metrics: duplicate metric name " ^ name);
+      Hashtbl.add schema name (kind, stability, doc))
+
+let counter ?(stability = Stable) ~doc name =
+  register ~kind:Counter ~stability ~doc name;
+  let c =
+    {
+      c_name = name;
+      c_stability = stability;
+      c_cells = Array.init shards (fun _ -> Atomic.make 0);
+    }
+  in
+  Mutex.lock reg_mutex;
+  all_counters := c :: !all_counters;
+  Mutex.unlock reg_mutex;
+  c
+
+let histogram ?(stability = Stable) ~doc ~buckets ~label name =
+  if buckets < 1 then invalid_arg "Telemetry.Metrics.histogram: no buckets";
+  register ~kind:Histogram ~stability ~doc name;
+  let h =
+    {
+      h_name = name;
+      h_stability = stability;
+      h_label = label;
+      h_buckets = buckets;
+      h_cells =
+        Array.init shards (fun _ -> Array.init buckets (fun _ -> Atomic.make 0));
+    }
+  in
+  Mutex.lock reg_mutex;
+  all_histograms := h :: !all_histograms;
+  Mutex.unlock reg_mutex;
+  h
+
+let span ~doc name =
+  register ~kind:Span ~stability:Runtime ~doc name;
+  { s_name = name }
+
+let span_name sp = sp.s_name
+let counter_name c = c.c_name
+
+(* ---- recording ------------------------------------------------------- *)
+
+let add c n =
+  if Atomic.get enabled_flag then
+    ignore (Atomic.fetch_and_add (Array.unsafe_get c.c_cells (shard ())) n)
+
+let incr c = add c 1
+
+let counter_total c =
+  Array.fold_left (fun s cell -> s + Atomic.get cell) 0 c.c_cells
+
+let observe h bucket =
+  if Atomic.get enabled_flag then begin
+    let b = if bucket < 0 then 0 else min bucket (h.h_buckets - 1) in
+    ignore
+      (Atomic.fetch_and_add (Array.unsafe_get h.h_cells (shard ())).(b) 1)
+  end
+
+let log2_bucket v =
+  let r = ref 0 and x = ref v in
+  while !x > 1 do
+    Stdlib.incr r;
+    x := !x lsr 1
+  done;
+  !r
+
+(* ---- spans ----------------------------------------------------------- *)
+
+let span_table : (string, span_stat) Hashtbl.t = Hashtbl.create 32
+let span_mutex = Mutex.create ()
+
+(* Each domain tracks its open-span path; the stack stores full paths so
+   entering a child is one concatenation. *)
+let stack_key : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let record_span path elapsed =
+  Mutex.lock span_mutex;
+  (match Hashtbl.find_opt span_table path with
+  | Some st ->
+      st.st_count <- st.st_count + 1;
+      st.st_total_ns <- st.st_total_ns +. elapsed;
+      if elapsed > st.st_max_ns then st.st_max_ns <- elapsed
+  | None ->
+      Hashtbl.add span_table path
+        { st_count = 1; st_total_ns = elapsed; st_max_ns = elapsed });
+  Mutex.unlock span_mutex
+
+let with_span sp f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let path =
+      match stack with
+      | [] -> sp.s_name
+      | parent :: _ -> parent ^ "/" ^ sp.s_name
+    in
+    Domain.DLS.set stack_key (path :: stack);
+    let t0 = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let elapsed = Float.max 0.0 (now_ns () -. t0) in
+        Domain.DLS.set stack_key stack;
+        record_span path elapsed)
+      f
+  end
+
+(* ---- freeze / reset -------------------------------------------------- *)
+
+type span_record = { span_count : int; total_ns : float; max_ns : float }
+
+type frozen = {
+  counters : (string * stability * int) list;
+  histograms : (string * stability * (string * int) list) list;
+  spans : (string * span_record) list;
+}
+
+let freeze () =
+  let counters =
+    !all_counters
+    |> List.rev_map (fun c -> (c.c_name, c.c_stability, counter_total c))
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  let histograms =
+    !all_histograms
+    |> List.rev_map (fun h ->
+           let sums =
+             List.init h.h_buckets (fun b ->
+                 ( h.h_label b,
+                   Array.fold_left
+                     (fun s row -> s + Atomic.get row.(b))
+                     0 h.h_cells ))
+           in
+           (h.h_name, h.h_stability, sums))
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  let spans =
+    Mutex.lock span_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock span_mutex)
+      (fun () ->
+        Hashtbl.fold
+          (fun path st acc ->
+            ( path,
+              {
+                span_count = st.st_count;
+                total_ns = st.st_total_ns;
+                max_ns = st.st_max_ns;
+              } )
+            :: acc)
+          span_table []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+  in
+  { counters; histograms; spans }
+
+let reset () =
+  List.iter
+    (fun c -> Array.iter (fun cell -> Atomic.set cell 0) c.c_cells)
+    !all_counters;
+  List.iter
+    (fun h ->
+      Array.iter (fun row -> Array.iter (fun cell -> Atomic.set cell 0) row)
+        h.h_cells)
+    !all_histograms;
+  Mutex.lock span_mutex;
+  Hashtbl.reset span_table;
+  Mutex.unlock span_mutex
+
+let registered () =
+  Mutex.lock reg_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock reg_mutex)
+    (fun () ->
+      Hashtbl.fold
+        (fun name (kind, stability, doc) acc ->
+          (name, kind, stability, doc) :: acc)
+        schema []
+      |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b))

@@ -1,0 +1,190 @@
+(* Every metric the system emits, declared here and nowhere else: the
+   instrumented modules reference these values, test/test_telemetry.ml pins
+   the resulting schema, and the README's telemetry section documents it.
+   Stability classes matter: Stable totals must be identical between
+   POWERCODE_SEQ=1 and parallel runs of the same workload (asserted by
+   test/test_differential.ml); Runtime totals describe how the run executed
+   and may legitimately differ (cache warmth, pool scheduling, time). *)
+
+let counter = Metrics.counter
+let runtime = Metrics.Runtime
+
+(* ---- encode pipeline (stable) ---------------------------------------- *)
+
+let encode_blocks =
+  counter ~doc:"Basic blocks encoded by Program_encoder.encode_block"
+    "encode.blocks"
+
+let encode_lines =
+  counter ~doc:"Per-line chain encodes fanned out by encode_block (32/block)"
+    "encode.lines"
+
+let plan_blocks_considered =
+  counter ~doc:"Candidate blocks offered to Program_encoder.plan"
+    "plan.blocks_considered"
+
+let plan_blocks_encoded =
+  counter ~doc:"Candidates that received a TT allocation and an encoding"
+    "plan.blocks_encoded"
+
+let plan_blocks_skipped =
+  counter ~doc:"Candidates left verbatim (cold, too short, or no TT space)"
+    "plan.blocks_skipped"
+
+let plan_tt_entries =
+  counter ~doc:"Transformation Table entries allocated across all plans"
+    "plan.tt_entries"
+
+let chain_streams =
+  counter ~doc:"Bit streams encoded by the chain encoder (greedy or DP)"
+    "chain.streams"
+
+let chain_code_blocks =
+  counter ~doc:"k-bit code blocks chosen across all chain encodes"
+    "chain.code_blocks"
+
+let chain_decodes =
+  counter ~doc:"Bit streams decoded by Chain.decode" "chain.decodes"
+
+(* The 16 two-input boolean functions in truth-table order; must match
+   Boolfun.name (cross-checked in test/test_telemetry.ml). *)
+let tau_names =
+  [|
+    "0"; "!(x|y)"; "!x&y"; "!x"; "x&!y"; "!y"; "x^y"; "!(x&y)"; "x&y";
+    "!(x^y)"; "y"; "!(x&!y)"; "x"; "!(!x&y)"; "x|y"; "1";
+  |]
+
+let tau_selected =
+  Metrics.histogram
+    ~doc:
+      "Transformations selected per code block per line, by truth-table \
+       index"
+    ~buckets:16
+    ~label:(fun i -> tau_names.(i))
+    "encode.tau_selected"
+
+let block_bits =
+  Metrics.histogram
+    ~doc:"encode_block matrix sizes (rows x width bits), log2 buckets"
+    ~buckets:24
+    ~label:(fun i -> Printf.sprintf "2^%d" i)
+    "encode.block_bits"
+
+(* ---- machine (stable) ------------------------------------------------- *)
+
+let cpu_instructions =
+  counter ~doc:"Instructions executed (= fetch bus words) by Machine.Cpu.run"
+    "cpu.instructions"
+
+let icache_accesses =
+  counter ~doc:"I-cache lookups" "icache.accesses"
+
+let icache_hits = counter ~doc:"I-cache hits" "icache.hits"
+let icache_misses = counter ~doc:"I-cache misses" "icache.misses"
+
+let icache_refill_words =
+  counter ~doc:"Words streamed from memory on I-cache refills"
+    "icache.refill_words"
+
+(* ---- pipeline (stable) ------------------------------------------------ *)
+
+let pipeline_evaluations =
+  counter ~doc:"Pipeline.Evaluate.evaluate calls" "pipeline.evaluations"
+
+let pipeline_fetches =
+  counter ~doc:"Dynamic instruction fetches counted by evaluate runs"
+    "pipeline.fetches"
+
+let pipeline_images =
+  counter ~doc:"Encoded images whose transitions one evaluate run counted"
+    "pipeline.images"
+
+(* ---- caches and search spaces (runtime: depend on cache warmth) ------- *)
+
+let codetable_hits =
+  counter ~stability:runtime ~doc:"Codetable.get served from the cache"
+    "codetable.hits"
+
+let codetable_misses =
+  counter ~stability:runtime ~doc:"Codetable.get that had to build a table"
+    "codetable.misses"
+
+let blockword_memo_hits =
+  counter ~stability:runtime
+    ~doc:"codewords_by_transitions served from the memo" "blockword.memo_hits"
+
+let blockword_memo_misses =
+  counter ~stability:runtime
+    ~doc:"codewords_by_transitions that had to sort the universe"
+    "blockword.memo_misses"
+
+let solver_words =
+  counter ~stability:runtime
+    ~doc:"Words solved for an optimal code (table builds only)"
+    "solver.words_solved"
+
+let solver_codes_scanned =
+  counter ~stability:runtime
+    ~doc:"Candidate codes examined across Solver.solve scans"
+    "solver.codes_scanned"
+
+let subset_requirements =
+  counter ~stability:runtime
+    ~doc:"Per-word requirement masks enumerated by Subset.requirements"
+    "subset.requirements"
+
+let subset_masks_tested =
+  counter ~stability:runtime
+    ~doc:"Candidate subsets tested by the hitting-set search"
+    "subset.masks_tested"
+
+(* ---- domain pool (runtime: scheduling-dependent) ---------------------- *)
+
+let parpool_jobs =
+  counter ~stability:runtime ~doc:"parallel_init calls that used the pool"
+    "parpool.jobs"
+
+let parpool_chunks =
+  counter ~stability:runtime
+    ~doc:"Work chunks executed (by workers and the helping caller)"
+    "parpool.chunks"
+
+let parpool_seq_fallbacks =
+  counter ~stability:runtime
+    ~doc:"parallel_init calls that ran sequentially (env, size, or no pool)"
+    "parpool.seq_fallbacks"
+
+let parpool_idle_ns =
+  counter ~stability:runtime
+    ~doc:"Wall nanoseconds worker domains spent waiting for work"
+    "parpool.idle_ns"
+
+(* ---- spans (always runtime) ------------------------------------------- *)
+
+let span_evaluate =
+  Metrics.span ~doc:"One Pipeline.Evaluate.evaluate call end to end"
+    "pipeline.evaluate"
+
+let span_profile =
+  Metrics.span ~doc:"Profiling pass (Cfg.Profile.collect)" "pipeline.profile"
+
+let span_plan =
+  Metrics.span ~doc:"Planning + encoding + hardware build, all block sizes"
+    "pipeline.plan"
+
+let span_count =
+  Metrics.span ~doc:"Counting run over all images (Machine.Cpu.run)"
+    "pipeline.count"
+
+let span_encode_plan =
+  Metrics.span ~doc:"One Program_encoder.plan call" "encode.plan"
+
+let span_encode_block =
+  Metrics.span ~doc:"One Program_encoder.encode_block call" "encode.block"
+
+let span_encode_fanout =
+  Metrics.span ~doc:"Per-line chain encodes of one block (pool or inline)"
+    "encode.fanout"
+
+let span_codetable_build =
+  Metrics.span ~doc:"Building one (k, subset) code table" "codetable.build"

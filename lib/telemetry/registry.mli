@@ -1,0 +1,71 @@
+(** The metric registry: every counter, histogram and span the system
+    emits, declared in one place so the schema is greppable and testable.
+
+    Instrumented modules reference these values directly (e.g.
+    [Telemetry.Metrics.incr Telemetry.Registry.encode_blocks]).  The full
+    name/kind/stability schema is pinned by [test/test_telemetry.ml] via
+    {!Metrics.registered}; stable counters are additionally asserted
+    order-independent (sequential = parallel) by
+    [test/test_differential.ml]. *)
+
+(** {1 Encode pipeline — stable} *)
+
+val encode_blocks : Metrics.counter
+val encode_lines : Metrics.counter
+val plan_blocks_considered : Metrics.counter
+val plan_blocks_encoded : Metrics.counter
+val plan_blocks_skipped : Metrics.counter
+val plan_tt_entries : Metrics.counter
+val chain_streams : Metrics.counter
+val chain_code_blocks : Metrics.counter
+val chain_decodes : Metrics.counter
+
+(** Truth-table-order names of the 16 transformations, used as bucket
+    labels of {!tau_selected}; must agree with [Boolfun.name]. *)
+val tau_names : string array
+
+val tau_selected : Metrics.histogram
+val block_bits : Metrics.histogram
+
+(** {1 Machine — stable} *)
+
+val cpu_instructions : Metrics.counter
+val icache_accesses : Metrics.counter
+val icache_hits : Metrics.counter
+val icache_misses : Metrics.counter
+val icache_refill_words : Metrics.counter
+
+(** {1 Pipeline — stable} *)
+
+val pipeline_evaluations : Metrics.counter
+val pipeline_fetches : Metrics.counter
+val pipeline_images : Metrics.counter
+
+(** {1 Caches and search spaces — runtime} *)
+
+val codetable_hits : Metrics.counter
+val codetable_misses : Metrics.counter
+val blockword_memo_hits : Metrics.counter
+val blockword_memo_misses : Metrics.counter
+val solver_words : Metrics.counter
+val solver_codes_scanned : Metrics.counter
+val subset_requirements : Metrics.counter
+val subset_masks_tested : Metrics.counter
+
+(** {1 Domain pool — runtime} *)
+
+val parpool_jobs : Metrics.counter
+val parpool_chunks : Metrics.counter
+val parpool_seq_fallbacks : Metrics.counter
+val parpool_idle_ns : Metrics.counter
+
+(** {1 Spans} *)
+
+val span_evaluate : Metrics.span
+val span_profile : Metrics.span
+val span_plan : Metrics.span
+val span_count : Metrics.span
+val span_encode_plan : Metrics.span
+val span_encode_block : Metrics.span
+val span_encode_fanout : Metrics.span
+val span_codetable_build : Metrics.span

@@ -1,0 +1,110 @@
+(* Reporters over a frozen record.  The JSON form is hand-rolled (the repo
+   carries no JSON dependency) and embeds as one object, e.g. the
+   "telemetry" key of BENCH_encoding.json; the human form is what the CLI's
+   --stats flag prints to stderr. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json (f : Metrics.frozen) =
+  let b = Buffer.create 1024 in
+  let p fmt = Printf.bprintf b fmt in
+  let sep_iter items emit =
+    List.iteri (fun i x ->
+        if i > 0 then p ",";
+        emit x)
+      items
+  in
+  p "{";
+  p "\"counters\": {";
+  sep_iter f.Metrics.counters (fun (name, _, total) ->
+      p "\"%s\": %d" (json_escape name) total);
+  p "}, ";
+  p "\"histograms\": {";
+  sep_iter f.Metrics.histograms (fun (name, _, buckets) ->
+      p "\"%s\": {" (json_escape name);
+      (* zero buckets are elided: the label set is large and sparse *)
+      sep_iter
+        (List.filter (fun (_, n) -> n > 0) buckets)
+        (fun (label, n) -> p "\"%s\": %d" (json_escape label) n);
+      p "}");
+  p "}, ";
+  p "\"spans\": {";
+  sep_iter f.Metrics.spans (fun (path, r) ->
+      p "\"%s\": {\"count\": %d, \"total_ns\": %.0f, \"max_ns\": %.0f}"
+        (json_escape path) r.Metrics.span_count r.Metrics.total_ns
+        r.Metrics.max_ns);
+  p "}";
+  p "}";
+  Buffer.contents b
+
+let human_ns v =
+  if v >= 1e9 then Printf.sprintf "%.2f s" (v /. 1e9)
+  else if v >= 1e6 then Printf.sprintf "%.2f ms" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.2f us" (v /. 1e3)
+  else Printf.sprintf "%.0f ns" v
+
+let stability_header = function
+  | Metrics.Stable -> "stable (workload-derived, order-independent)"
+  | Metrics.Runtime -> "runtime (cache/scheduling/time-dependent)"
+
+let pp_human fmt (f : Metrics.frozen) =
+  let counters_of cls =
+    List.filter (fun (_, s, _) -> s = cls) f.Metrics.counters
+  in
+  List.iter
+    (fun cls ->
+      match counters_of cls with
+      | [] -> ()
+      | cs ->
+          Format.fprintf fmt "telemetry counters — %s@." (stability_header cls);
+          List.iter
+            (fun (name, _, total) ->
+              Format.fprintf fmt "  %-28s %12d@." name total)
+            cs)
+    [ Metrics.Stable; Metrics.Runtime ];
+  List.iter
+    (fun (name, _, buckets) ->
+      match List.filter (fun (_, n) -> n > 0) buckets with
+      | [] -> ()
+      | live ->
+          Format.fprintf fmt "telemetry histogram — %s@." name;
+          List.iter
+            (fun (label, n) -> Format.fprintf fmt "  %-28s %12d@." label n)
+            live)
+    f.Metrics.histograms;
+  if f.Metrics.spans <> [] then begin
+    Format.fprintf fmt
+      "telemetry spans — path, calls, total, max (children indent under \
+       parents)@.";
+    List.iter
+      (fun (path, r) ->
+        (* the sorted paths put parents right before children; indent by
+           nesting depth and show only the leaf segment *)
+        let depth =
+          String.fold_left (fun d c -> if c = '/' then d + 1 else d) 0 path
+        in
+        let leaf =
+          match String.rindex_opt path '/' with
+          | None -> path
+          | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+        in
+        Format.fprintf fmt "  %s%-*s %8d %12s %12s@."
+          (String.make (2 * depth) ' ')
+          (max 1 (28 - (2 * depth)))
+          leaf r.Metrics.span_count
+          (human_ns r.Metrics.total_ns)
+          (human_ns r.Metrics.max_ns))
+      f.Metrics.spans
+  end

@@ -1,0 +1,18 @@
+(** Reporters over a {!Metrics.frozen} record. *)
+
+(** [to_json f] renders the record as one JSON object
+    [{"counters": {name: total, ...},
+      "histograms": {name: {label: count, ...}, ...},
+      "spans": {path: {"count": n, "total_ns": t, "max_ns": m}, ...}}] —
+    zero histogram buckets are elided.  Embeds verbatim into larger
+    hand-rolled JSON documents (see [BENCH_encoding.json], schema
+    documented in EXPERIMENTS.md). *)
+val to_json : Metrics.frozen -> string
+
+(** [pp_human fmt f] prints counters grouped by stability class, live
+    histogram buckets, then the span tree (children indented under their
+    parent path, with call count, total and max wall time). *)
+val pp_human : Format.formatter -> Metrics.frozen -> unit
+
+(** [human_ns ns] pretty-prints a nanosecond quantity (["1.23 ms"]). *)
+val human_ns : float -> string

@@ -1,0 +1,45 @@
+The bench harness in fast mode writes BENCH_encoding.json into the working
+directory; EXPERIMENTS.md documents the schema.  This smoke test pins the
+top-level shape and that the embedded telemetry is live (counters moved,
+spans recorded) without depending on any timing value.
+
+  $ POWERCODE_FAST=1 ../bench/main.exe > /dev/null
+
+  $ jq -r '.schema' BENCH_encoding.json
+  powercode-bench-encoding/2
+
+  $ jq -r '.mode' BENCH_encoding.json
+  fast
+
+  $ jq -r 'keys | sort | .[]' BENCH_encoding.json
+  block_size_k
+  chain_encode_256
+  mode
+  schema
+  telemetry
+  workloads
+
+  $ jq -r '.telemetry | keys | sort | .[]' BENCH_encoding.json
+  counters
+  histograms
+  spans
+
+  $ jq -r '.workloads | length > 0' BENCH_encoding.json
+  true
+
+Telemetry must actually have recorded the encoding work:
+
+  $ jq -r '.telemetry.counters["encode.blocks"] > 0' BENCH_encoding.json
+  true
+
+  $ jq -r '.telemetry.counters["chain.streams"] > 0' BENCH_encoding.json
+  true
+
+  $ jq -r '.telemetry.histograms["encode.tau_selected"] | length > 0' BENCH_encoding.json
+  true
+
+  $ jq -r '.telemetry.spans | length > 0' BENCH_encoding.json
+  true
+
+  $ jq -r '.telemetry.spans["pipeline.evaluate"].count >= 1' BENCH_encoding.json
+  true

@@ -1,0 +1,123 @@
+(* Differential fuzz between the sequential (POWERCODE_SEQ=1) and parallel
+   encode paths.  The same random corpus must produce (a) bit-identical
+   encoded images and (b) identical telemetry totals for every Stable
+   metric — counters are sharded sums, so worker scheduling must not leak
+   into them.  Runtime metrics (cache hits, pool task counts, idle time)
+   describe how the run executed and legitimately differ between the two
+   paths; the stability class on each metric (see Telemetry.Registry) is
+   exactly the contract this test enforces. *)
+
+module Metrics = Telemetry.Metrics
+module Bitmat = Bitutil.Bitmat
+module PE = Powercode.Program_encoder
+
+let force_sequential b = Unix.putenv "POWERCODE_SEQ" (if b then "1" else "0")
+
+let random_matrix ~seed ~rows =
+  let state = ref seed in
+  let words =
+    Array.init rows (fun _ ->
+        state := !state lxor (!state lsl 13);
+        state := !state lxor (!state lsr 7);
+        state := !state lxor (!state lsl 17);
+        !state land 0xffffffff)
+  in
+  Bitmat.of_words ~width:32 words
+
+(* large enough that every corpus entry takes the pool fan-out path *)
+let big_rows = (PE.parallel_threshold_bits / 32) + 100
+
+let corpus =
+  [
+    (7919, PE.default_config ());
+    (104729, PE.default_config ~k:7 ());
+    (1299709, PE.default_config ~k:3 ());
+  ]
+
+let stable_counters (f : Metrics.frozen) =
+  List.filter_map
+    (fun (name, st, v) -> if st = Metrics.Stable then Some (name, v) else None)
+    f.Metrics.counters
+
+let stable_histograms (f : Metrics.frozen) =
+  List.filter_map
+    (fun (name, st, buckets) ->
+      if st = Metrics.Stable then Some (name, buckets) else None)
+    f.Metrics.histograms
+
+(* one pass over the corpus under fresh telemetry; returns the images and
+   the Stable slice of the frozen record *)
+let run_corpus () =
+  Metrics.reset ();
+  let images =
+    List.map
+      (fun (seed, config) ->
+        let m = random_matrix ~seed ~rows:big_rows in
+        (PE.encode_block config m).PE.encoded |> Bitmat.words)
+      corpus
+  in
+  let frozen = Metrics.freeze () in
+  (images, stable_counters frozen, stable_histograms frozen)
+
+let with_telemetry f =
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ();
+      force_sequential false)
+    f
+
+let counters_t = Alcotest.(list (pair string int))
+let histograms_t = Alcotest.(list (pair string (list (pair string int))))
+
+let test_images_and_stable_totals_match () =
+  with_telemetry @@ fun () ->
+  force_sequential true;
+  let images_seq, counters_seq, histograms_seq = run_corpus () in
+  force_sequential false;
+  let images_par, counters_par, histograms_par = run_corpus () in
+  List.iteri
+    (fun i (seq, par) ->
+      let seed, config = List.nth corpus i in
+      Alcotest.(check (array int))
+        (Printf.sprintf "image seed=%d k=%d" seed config.PE.k)
+        seq par)
+    (List.combine images_seq images_par);
+  Alcotest.check counters_t "stable counter totals" counters_seq counters_par;
+  Alcotest.check histograms_t "stable histogram totals" histograms_seq
+    histograms_par
+
+let test_stable_totals_are_live () =
+  (* guard against the equality above passing vacuously: the corpus must
+     actually move the Stable counters *)
+  with_telemetry @@ fun () ->
+  force_sequential false;
+  let _, counters, histograms = run_corpus () in
+  let total name = List.assoc name counters in
+  Alcotest.(check int) "encode.blocks" (List.length corpus)
+    (total "encode.blocks");
+  Alcotest.(check int) "encode.lines" (32 * List.length corpus)
+    (total "encode.lines");
+  Alcotest.(check int) "chain.streams" (32 * List.length corpus)
+    (total "chain.streams");
+  Alcotest.(check bool) "chain.code_blocks > 0" true
+    (total "chain.code_blocks" > 0);
+  let taus = List.assoc "encode.tau_selected" histograms in
+  let observed = List.fold_left (fun s (_, n) -> s + n) 0 taus in
+  Alcotest.(check int)
+    "every (line, code block) selected one tau"
+    (total "chain.code_blocks")
+    observed
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "seq vs parallel",
+        [
+          Alcotest.test_case "images and stable telemetry match" `Quick
+            test_images_and_stable_totals_match;
+          Alcotest.test_case "stable totals are live" `Quick
+            test_stable_totals_are_live;
+        ] );
+    ]

@@ -1,6 +1,7 @@
 module Subset = Powercode.Subset
 module Solver = Powercode.Solver
 module Boolfun = Powercode.Boolfun
+module Blockword = Powercode.Blockword
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -93,6 +94,54 @@ let test_identity_alone_is_lossless_but_not_optimal () =
   let t = Solver.totals ~subset_mask:mask ~k:5 () in
   check_int "identity-only RTN = TTN" t.Solver.ttn t.Solver.rtn
 
+(* Independent oracle for the solver and the subset claim: re-derive the
+   optimal code for every word by brute force over the full (code, tau)
+   space, validating each candidate with the decoder equations
+   (Blockword.decode) instead of the solver's constraint-mask scan.  A
+   standalone block passes its first bit through, so only codes agreeing
+   with the word on bit 0 are admissible. *)
+let brute_force_min ~subset_mask ~k word =
+  let best = ref max_int in
+  for code = 0 to (1 lsl k) - 1 do
+    if code land 1 = word land 1 then
+      List.iter
+        (fun tau ->
+          if Boolfun.mask_mem tau subset_mask then
+            let decoded =
+              Blockword.decode ~k ~tau ~code ~seed_original:(word land 1 = 1)
+            in
+            if decoded = word then
+              best := min !best (Blockword.transitions ~k code))
+        Boolfun.all
+  done;
+  !best
+
+let test_solver_matches_brute_force_oracle () =
+  List.iter
+    (fun k ->
+      for word = 0 to (1 lsl k) - 1 do
+        let full = brute_force_min ~subset_mask:Boolfun.full_mask ~k word in
+        let eight =
+          brute_force_min ~subset_mask:Subset.paper_eight_mask ~k word
+        in
+        let solved = Solver.solve ~k word in
+        let solved8 =
+          Solver.solve ~subset_mask:Subset.paper_eight_mask ~k word
+        in
+        check_int
+          (Printf.sprintf "k=%d word=%d: solver = oracle, 16 functions" k word)
+          full solved.Solver.code_transitions;
+        check_int
+          (Printf.sprintf "k=%d word=%d: solver = oracle, paper eight" k word)
+          eight solved8.Solver.code_transitions;
+        check_int
+          (Printf.sprintf "k=%d word=%d: paper eight attains the 16-function \
+                           optimum"
+             k word)
+          full eight
+      done)
+    [ 2; 3; 4; 5; 6; 7 ]
+
 let test_requirements_nonempty () =
   let reqs = Subset.requirements ~kmax:7 in
   check_bool "has requirements" true (List.length reqs > 0);
@@ -120,6 +169,11 @@ let () =
           Alcotest.test_case "named members" `Quick test_paper_eight_membership;
           Alcotest.test_case "optimal for k<=7" `Quick
             test_achieves_optimal_all_k;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "solver matches brute-force decode oracle" `Quick
+            test_solver_matches_brute_force_oracle;
         ] );
       ( "minimality",
         [

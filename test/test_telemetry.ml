@@ -1,0 +1,224 @@
+(* The telemetry registry IS the metric schema: every name the system can
+   emit is declared in Telemetry.Registry and pinned here, so adding,
+   renaming or reclassifying a metric is a deliberate, reviewed change.
+   The rest exercises the Metrics contract: disabled recording is a no-op,
+   totals sum over domains, spans nest into paths, freeze/reset behave. *)
+
+module Metrics = Telemetry.Metrics
+module Tel = Telemetry.Registry
+module Boolfun = Powercode.Boolfun
+
+let kind_str = function
+  | Metrics.Counter -> "counter"
+  | Metrics.Histogram -> "histogram"
+  | Metrics.Span -> "span"
+
+let stability_str = function
+  | Metrics.Stable -> "stable"
+  | Metrics.Runtime -> "runtime"
+
+(* (name, kind, stability), sorted by name — the full schema *)
+let expected_schema =
+  [
+    ("blockword.memo_hits", "counter", "runtime");
+    ("blockword.memo_misses", "counter", "runtime");
+    ("chain.code_blocks", "counter", "stable");
+    ("chain.decodes", "counter", "stable");
+    ("chain.streams", "counter", "stable");
+    ("codetable.build", "span", "runtime");
+    ("codetable.hits", "counter", "runtime");
+    ("codetable.misses", "counter", "runtime");
+    ("cpu.instructions", "counter", "stable");
+    ("encode.block", "span", "runtime");
+    ("encode.block_bits", "histogram", "stable");
+    ("encode.blocks", "counter", "stable");
+    ("encode.fanout", "span", "runtime");
+    ("encode.lines", "counter", "stable");
+    ("encode.plan", "span", "runtime");
+    ("encode.tau_selected", "histogram", "stable");
+    ("icache.accesses", "counter", "stable");
+    ("icache.hits", "counter", "stable");
+    ("icache.misses", "counter", "stable");
+    ("icache.refill_words", "counter", "stable");
+    ("parpool.chunks", "counter", "runtime");
+    ("parpool.idle_ns", "counter", "runtime");
+    ("parpool.jobs", "counter", "runtime");
+    ("parpool.seq_fallbacks", "counter", "runtime");
+    ("pipeline.count", "span", "runtime");
+    ("pipeline.evaluate", "span", "runtime");
+    ("pipeline.evaluations", "counter", "stable");
+    ("pipeline.fetches", "counter", "stable");
+    ("pipeline.images", "counter", "stable");
+    ("pipeline.plan", "span", "runtime");
+    ("pipeline.profile", "span", "runtime");
+    ("plan.blocks_considered", "counter", "stable");
+    ("plan.blocks_encoded", "counter", "stable");
+    ("plan.blocks_skipped", "counter", "stable");
+    ("plan.tt_entries", "counter", "stable");
+    ("solver.codes_scanned", "counter", "runtime");
+    ("solver.words_solved", "counter", "runtime");
+    ("subset.masks_tested", "counter", "runtime");
+    ("subset.requirements", "counter", "runtime");
+  ]
+
+let schema_t = Alcotest.(list (triple string string string))
+
+let test_schema_pinned () =
+  let actual =
+    List.map
+      (fun (name, kind, st, _doc) -> (name, kind_str kind, stability_str st))
+      (Metrics.registered ())
+  in
+  Alcotest.check schema_t "registered metrics" expected_schema actual
+
+let test_every_metric_documented () =
+  List.iter
+    (fun (name, _, _, doc) ->
+      Alcotest.(check bool) (name ^ " has a doc string") true (doc <> ""))
+    (Metrics.registered ())
+
+let test_tau_names_match_boolfun () =
+  for i = 0 to 15 do
+    Alcotest.(check string)
+      (Printf.sprintf "tau bucket %d" i)
+      (Boolfun.name (Boolfun.of_index i))
+      Tel.tau_names.(i)
+  done
+
+let test_duplicate_name_raises () =
+  Alcotest.check_raises "duplicate registration"
+    (Invalid_argument "Telemetry.Metrics: duplicate metric name encode.blocks")
+    (fun () -> ignore (Metrics.counter ~doc:"dup" "encode.blocks"))
+
+(* ---- recording behaviour ---------------------------------------------- *)
+
+let total_of frozen name =
+  let _, _, v =
+    List.find (fun (n, _, _) -> n = name) frozen.Metrics.counters
+  in
+  v
+
+let with_clean_telemetry f =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    f
+
+let test_disabled_is_noop () =
+  Metrics.reset ();
+  Metrics.set_enabled false;
+  Metrics.incr Tel.cpu_instructions;
+  Metrics.observe Tel.tau_selected 3;
+  let v = Metrics.with_span Tel.span_evaluate (fun () -> 42) in
+  Alcotest.(check int) "with_span passes the value through" 42 v;
+  let f = Metrics.freeze () in
+  Alcotest.(check int) "counter untouched" 0 (total_of f "cpu.instructions");
+  Alcotest.(check int) "no spans recorded" 0 (List.length f.Metrics.spans)
+
+let test_counter_totals_and_reset () =
+  with_clean_telemetry @@ fun () ->
+  Metrics.incr Tel.cpu_instructions;
+  Metrics.add Tel.cpu_instructions 41;
+  Alcotest.(check int) "direct total" 42
+    (Metrics.counter_total Tel.cpu_instructions);
+  let before = Metrics.freeze () in
+  Metrics.add Tel.cpu_instructions 8;
+  let after = Metrics.freeze () in
+  Alcotest.(check int) "freeze is a snapshot" 42
+    (total_of before "cpu.instructions");
+  Alcotest.(check int) "later freeze sees the new value" 50
+    (total_of after "cpu.instructions");
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0
+    (Metrics.counter_total Tel.cpu_instructions)
+
+let test_histogram_clamps () =
+  with_clean_telemetry @@ fun () ->
+  Metrics.observe Tel.tau_selected (-5);
+  Metrics.observe Tel.tau_selected 99;
+  Metrics.observe Tel.tau_selected 6;
+  let f = Metrics.freeze () in
+  let _, _, buckets =
+    List.find (fun (n, _, _) -> n = "encode.tau_selected") f.Metrics.histograms
+  in
+  Alcotest.(check int) "16 buckets" 16 (List.length buckets);
+  Alcotest.(check int) "low clamps to bucket 0" 1 (List.assoc "0" buckets);
+  Alcotest.(check int) "high clamps to bucket 15" 1 (List.assoc "1" buckets);
+  Alcotest.(check int) "in range" 1 (List.assoc "x^y" buckets)
+
+let test_log2_bucket () =
+  List.iter
+    (fun (v, b) ->
+      Alcotest.(check int) (Printf.sprintf "log2_bucket %d" v) b
+        (Metrics.log2_bucket v))
+    [ (0, 0); (1, 0); (2, 1); (3, 1); (4, 2); (1024, 10); (1025, 10) ]
+
+let test_spans_nest_into_paths () =
+  with_clean_telemetry @@ fun () ->
+  Metrics.with_span Tel.span_evaluate (fun () ->
+      Metrics.with_span Tel.span_profile (fun () -> ()));
+  Metrics.with_span Tel.span_evaluate (fun () -> ());
+  let f = Metrics.freeze () in
+  let paths = List.map fst f.Metrics.spans in
+  Alcotest.(check (list string))
+    "paths"
+    [ "pipeline.evaluate"; "pipeline.evaluate/pipeline.profile" ]
+    paths;
+  let outer = List.assoc "pipeline.evaluate" f.Metrics.spans in
+  let inner = List.assoc "pipeline.evaluate/pipeline.profile" f.Metrics.spans in
+  Alcotest.(check int) "outer count" 2 outer.Metrics.span_count;
+  Alcotest.(check int) "inner count" 1 inner.Metrics.span_count;
+  Alcotest.(check bool) "outer covers inner" true
+    (outer.Metrics.total_ns >= inner.Metrics.total_ns)
+
+let test_span_records_on_raise () =
+  with_clean_telemetry @@ fun () ->
+  (try Metrics.with_span Tel.span_count (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let f = Metrics.freeze () in
+  let st = List.assoc "pipeline.count" f.Metrics.spans in
+  Alcotest.(check int) "recorded despite raise" 1 st.Metrics.span_count
+
+let test_multi_domain_sum () =
+  with_clean_telemetry @@ fun () ->
+  let bump () =
+    for _ = 1 to 1000 do
+      Metrics.incr Tel.cpu_instructions
+    done
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn bump) in
+  bump ();
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "sharded sum over domains" 5000
+    (Metrics.counter_total Tel.cpu_instructions)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "schema is pinned" `Quick test_schema_pinned;
+          Alcotest.test_case "every metric documented" `Quick
+            test_every_metric_documented;
+          Alcotest.test_case "tau names match Boolfun" `Quick
+            test_tau_names_match_boolfun;
+          Alcotest.test_case "duplicate name raises" `Quick
+            test_duplicate_name_raises;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop;
+          Alcotest.test_case "totals, freeze, reset" `Quick
+            test_counter_totals_and_reset;
+          Alcotest.test_case "histogram clamps" `Quick test_histogram_clamps;
+          Alcotest.test_case "log2 buckets" `Quick test_log2_bucket;
+          Alcotest.test_case "spans nest into paths" `Quick
+            test_spans_nest_into_paths;
+          Alcotest.test_case "span records on raise" `Quick
+            test_span_records_on_raise;
+          Alcotest.test_case "multi-domain sum" `Quick test_multi_domain_sum;
+        ] );
+    ]
