@@ -1,0 +1,202 @@
+(* Regression gate: diff a fresh BENCH_encoding.json against the committed
+   bench/baseline.json.
+
+     dune exec bench/compare.exe -- [--baseline FILE] [--current FILE]
+                                    [--time-band PCT]
+
+   Comparison policy (the whole point of the tool):
+     - deterministic results — evaluations (transition counts, coverage,
+       TT usage) and the per-bitline attribution — must match EXACTLY;
+       these are machine-independent, so any drift is a behaviour change.
+     - wall-clock figures (workloads[].*_ns_per_insn, chain_encode_256)
+       only need to stay within +/- time-band percent of the baseline;
+       CI machines vary widely, so the default band is generous.
+     - the telemetry section is ignored: Bechamel picks repetition counts
+       by wall-clock quota, so those counters are machine-dependent.
+
+   Exit codes: 0 = within policy, 1 = regression, 2 = incomparable
+   (missing/bad file, or the two runs used different schema/mode/settings).
+   Regression lines go to stdout without numeric values (stable for cram);
+   the numbers go to stderr. *)
+
+let baseline_path = ref "bench/baseline.json"
+let current_path = ref "BENCH_encoding.json"
+let time_band = ref 300.0
+
+let args =
+  [
+    ("--baseline", Arg.Set_string baseline_path, "FILE committed baseline json");
+    ("--current", Arg.Set_string current_path, "FILE freshly generated json");
+    ( "--time-band",
+      Arg.Set_float time_band,
+      "PCT allowed wall-clock drift, percent (default 300)" );
+  ]
+
+let usage = "compare [--baseline FILE] [--current FILE] [--time-band PCT]"
+
+let die_incomparable msg =
+  print_endline ("bench compare: incomparable (" ^ msg ^ ")");
+  exit 2
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> die_incomparable msg
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+
+let load path =
+  match Json_min.of_string (read_file path) with
+  | v -> v
+  | exception Json_min.Parse_error msg ->
+      die_incomparable (path ^ ": " ^ msg)
+
+(* ---- classification --------------------------------------------------- *)
+
+type rule = Ignore | Exact | Band
+
+let banded_leaves =
+  [
+    "encode_ns_per_insn"; "decode_ns_per_insn"; "evaluate_ns_per_insn";
+    "builder_ns"; "seed_style_ns"; "speedup";
+  ]
+
+let classify path =
+  match path with
+  | "telemetry" :: _ -> Ignore
+  (* settings are preconditions (checked up front); domains only warns *)
+  | "settings" :: _ -> Ignore
+  | _ -> (
+      match List.rev path with
+      | leaf :: _ when List.mem leaf banded_leaves -> Band
+      | _ -> Exact)
+
+(* ---- comparison ------------------------------------------------------- *)
+
+let exact_checked = ref 0
+let band_checked = ref 0
+let regressions = ref 0
+
+let show_path path = String.concat "." (List.rev path)
+
+let fail ~kind rpath detail =
+  incr regressions;
+  Printf.printf "regression: %s (%s)\n" (show_path rpath) kind;
+  Printf.eprintf "  %s: %s\n" (show_path rpath) detail
+
+let feq a b =
+  a = b || Float.abs (a -. b) <= 1e-9 *. Float.max (Float.abs a) (Float.abs b)
+
+(* Arrays of {"name": ...} objects (evaluations, attribution) index by name
+   in paths, so a reordered baseline reads sensibly. *)
+let element_label i v =
+  match Option.bind (Json_min.member "name" v) Json_min.to_string_opt with
+  | Some name -> Printf.sprintf "[%s]" name
+  | None -> Printf.sprintf "[%d]" i
+
+let rec walk rpath (b : Json_min.t) (c : Json_min.t) =
+  match classify (List.rev rpath) with
+  | Ignore -> ()
+  | rule -> (
+      match (b, c) with
+      | Json_min.Obj bf, Json_min.Obj cf ->
+          List.iter
+            (fun (key, bv) ->
+              match List.assoc_opt key cf with
+              | Some cv -> walk (key :: rpath) bv cv
+              | None ->
+                  fail ~kind:"structure" (key :: rpath) "missing in current")
+            bf;
+          List.iter
+            (fun (key, _) ->
+              if List.assoc_opt key bf = None then
+                fail ~kind:"structure" (key :: rpath)
+                  "new field not in baseline (regenerate bench/baseline.json)")
+            cf
+      | Json_min.Arr bl, Json_min.Arr cl ->
+          if List.length bl <> List.length cl then
+            fail ~kind:"structure" rpath
+              (Printf.sprintf "length %d -> %d (regenerate bench/baseline.json)"
+                 (List.length bl) (List.length cl))
+          else
+            List.iteri
+              (fun i (bv, cv) -> walk (element_label i bv :: rpath) bv cv)
+              (List.combine bl cl)
+      | Json_min.Num x, Json_min.Num y -> (
+          match rule with
+          | Band ->
+              incr band_checked;
+              let limit = Float.abs x *. (!time_band /. 100.0) in
+              if Float.abs (y -. x) > limit then
+                fail ~kind:"band" rpath
+                  (Printf.sprintf "%.2f -> %.2f (allowed +/-%.0f%%)" x y
+                     !time_band)
+          | _ ->
+              incr exact_checked;
+              if not (feq x y) then
+                fail ~kind:"exact" rpath (Printf.sprintf "%.4f -> %.4f" x y))
+      | Json_min.Str x, Json_min.Str y ->
+          incr exact_checked;
+          if x <> y then
+            fail ~kind:"exact" rpath (Printf.sprintf "%S -> %S" x y)
+      | Json_min.Bool x, Json_min.Bool y ->
+          incr exact_checked;
+          if x <> y then
+            fail ~kind:"exact" rpath (Printf.sprintf "%b -> %b" x y)
+      | Json_min.Null, Json_min.Null -> ()
+      | _ -> fail ~kind:"structure" rpath "value kind changed")
+
+(* ---- preconditions ---------------------------------------------------- *)
+
+let get_str doc key =
+  Option.bind (Json_min.member key doc) Json_min.to_string_opt
+
+let setting doc key =
+  Option.bind
+    (Option.bind (Json_min.member "settings" doc) (Json_min.member key))
+    (fun v ->
+      match v with
+      | Json_min.Bool b -> Some (string_of_bool b)
+      | Json_min.Num f -> Some (Printf.sprintf "%g" f)
+      | Json_min.Str s -> Some s
+      | _ -> None)
+
+let require_same what a b =
+  if a <> b then
+    die_incomparable
+      (Printf.sprintf "%s: %s vs %s" what
+         (Option.value a ~default:"<absent>")
+         (Option.value b ~default:"<absent>"))
+
+let () =
+  Arg.parse args
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    usage;
+  let base = load !baseline_path in
+  let cur = load !current_path in
+  require_same "schema" (get_str base "schema") (get_str cur "schema");
+  require_same "mode" (get_str base "mode") (get_str cur "mode");
+  require_same "settings.powercode_fast"
+    (setting base "powercode_fast")
+    (setting cur "powercode_fast");
+  require_same "settings.powercode_seq"
+    (setting base "powercode_seq")
+    (setting cur "powercode_seq");
+  (if setting base "domains" <> setting cur "domains" then
+     Printf.eprintf
+       "note: domain count differs (%s vs %s); results are \
+        order-independent, continuing\n"
+       (Option.value (setting base "domains") ~default:"<absent>")
+       (Option.value (setting cur "domains") ~default:"<absent>"));
+  walk [] base cur;
+  if !regressions > 0 then begin
+    Printf.printf "bench compare: %d regression(s)\n" !regressions;
+    exit 1
+  end
+  else begin
+    Printf.printf "bench compare: OK (exact=%d banded=%d, time band +/-%.0f%%)\n"
+      !exact_checked !band_checked !time_band;
+    exit 0
+  end

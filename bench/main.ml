@@ -170,7 +170,8 @@ let fig6 () =
   List.iter
     (fun w ->
       let name = w.Workloads.name in
-      let r = Pipeline.Evaluate.evaluate_workload w in
+      (* attribution feeds the per-bitline section of BENCH_encoding.json *)
+      let r = Pipeline.Evaluate.evaluate_workload ~attribution:true w in
       fig6_reports := (name, r) :: !fig6_reports;
       let _, ptr, ppcts = List.find (fun (n, _, _) -> n = name) paper_fig6 in
       Format.printf "%-5s %10.2f %8.1f |" name
@@ -584,12 +585,15 @@ let ablation_compiler () =
 
 (* ---- Extension: workloads beyond the paper's six ---------------------------- *)
 
+let extended_reports = ref []
+
 let extended_workloads () =
   section "Extension: additional DSP kernels (FIR / IIR / DCT)";
   Format.printf "%-5s %10s | %s@." "bench" "#TR" "reduction k=4/5/6/7";
   List.iter
     (fun w ->
-      let r = Pipeline.Evaluate.evaluate_workload w in
+      let r = Pipeline.Evaluate.evaluate_workload ~attribution:true w in
+      extended_reports := (w.Workloads.name, r) :: !extended_reports;
       Format.printf "%-5s %10d |" w.Workloads.name
         r.Pipeline.Evaluate.baseline_transitions;
       List.iter
@@ -863,9 +867,55 @@ let bench_encoding_json () =
   let oc = open_out "BENCH_encoding.json" in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"powercode-bench-encoding/2\",\n";
+  p "  \"schema\": \"powercode-bench-encoding/3\",\n";
   p "  \"mode\": \"%s\",\n" (if fast then "fast" else "full");
+  (* run conditions, so a regression gate can refuse apples-to-oranges
+     diffs (bench/compare.ml) *)
+  p "  \"settings\": {\"powercode_fast\": %b, \"powercode_seq\": %b, \"domains\": %d},\n"
+    fast
+    (Powercode.Parpool.sequential_mode ())
+    (Powercode.Parpool.worker_count () + 1);
   p "  \"block_size_k\": 5,\n";
+  (* deterministic evaluation results (Figure 6 + extended workloads):
+     transition counts are machine-independent, unlike the timings below *)
+  let evaluations = List.rev !fig6_reports @ List.rev !extended_reports in
+  p "  \"evaluations\": [\n";
+  let nev = List.length evaluations in
+  List.iteri
+    (fun i (name, (r : Pipeline.Evaluate.report)) ->
+      p "    {\"name\": \"%s\", \"instructions\": %d, " name
+        r.Pipeline.Evaluate.instructions;
+      p "\"baseline_transitions\": %d, \"businvert_transitions\": %d, "
+        r.Pipeline.Evaluate.baseline_transitions
+        r.Pipeline.Evaluate.businvert_transitions;
+      p "\"coverage_pct\": %.4f, \"runs\": [" r.Pipeline.Evaluate.coverage_pct;
+      List.iteri
+        (fun j (run : Pipeline.Evaluate.encoded_run) ->
+          p "%s{\"k\": %d, \"transitions\": %d, \"reduction_pct\": %.4f, \"tt_used\": %d, \"blocks_encoded\": %d}"
+            (if j > 0 then ", " else "")
+            run.Pipeline.Evaluate.k run.Pipeline.Evaluate.transitions
+            run.Pipeline.Evaluate.reduction_pct run.Pipeline.Evaluate.tt_used
+            run.Pipeline.Evaluate.blocks_encoded)
+        r.Pipeline.Evaluate.runs;
+      p "]}%s\n" (if i = nev - 1 then "" else ","))
+    evaluations;
+  p "  ],\n";
+  (* per-bitline / per-block attribution, exact by construction (sums are
+     pinned to the aggregate transition counts by test/test_trace.ml) *)
+  let attributions =
+    List.filter_map
+      (fun (name, (r : Pipeline.Evaluate.report)) ->
+        Option.map
+          (fun s -> Trace.Attribution.to_json ~name s)
+          r.Pipeline.Evaluate.attribution)
+      evaluations
+  in
+  p "  \"attribution\": [\n";
+  let natt = List.length attributions in
+  List.iteri
+    (fun i json -> p "    %s%s\n" json (if i = natt - 1 then "" else ","))
+    attributions;
+  p "  ],\n";
   (match !chain256_measurement with
   | Some (new_ns, old_ns) ->
       p "  \"chain_encode_256\": {\n";

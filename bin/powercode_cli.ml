@@ -5,7 +5,8 @@
      subset    - minimal transformation-set analysis (paper section 5.2)
      encode    - assemble a .s file, encode its hot blocks, report savings
      simulate  - assemble and run a .s file, print its output
-     evaluate  - full Figure 6 style evaluation of a named benchmark
+     evaluate  - full Figure 6 style evaluation of named benchmarks
+     trace     - record a fetch-path trace (VCD / Perfetto) + attribution
      cost      - hardware overhead sheet (paper section 7.2)                   *)
 
 open Cmdliner
@@ -50,6 +51,73 @@ let subset_arg =
     & opt subset_conv Powercode.Subset.paper_eight_mask
     & info [ "subset" ] ~docv:"SET"
         ~doc:"Transformation set: all, eight (paper), or minimal (six).")
+
+(* ---- tracing helpers ------------------------------------------------------- *)
+
+let write_text_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* Progress goes to stderr so stdout stays machine-readable. *)
+let export_trace path ~encoded_names =
+  let events = Trace.Collector.events () in
+  let doc =
+    if Filename.check_suffix path ".vcd" then
+      Trace.Vcd.to_string ~encoded_names events
+    else Trace.Perfetto.to_string ~encoded_names events
+  in
+  write_text_file path doc;
+  let dropped = Trace.Collector.dropped () in
+  if dropped > 0 then
+    Format.eprintf
+      "trace: ring wrapped, %d oldest events dropped (raise --capacity)@."
+      dropped;
+  Format.eprintf "trace: wrote %s@." path
+
+(* Run [f] with the collector recording, then export to [trace_out] (by
+   suffix: .vcd -> VCD, anything else -> Chrome trace-event JSON).  Spans
+   only flow into the trace while telemetry is collecting, so collection is
+   forced on for the window (and restored after). *)
+let with_trace ?capacity trace_out ~encoded_names f =
+  match trace_out with
+  | None -> f ()
+  | Some path ->
+      Trace.Collector.start ?capacity ();
+      let had_stats = Telemetry.Metrics.enabled () in
+      Telemetry.Metrics.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.Collector.stop ();
+          if not had_stats then Telemetry.Metrics.set_enabled false;
+          export_trace path ~encoded_names;
+          Trace.Collector.clear ())
+        f
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Record the fetch-path event trace and write it to $(docv) — a \
+           VCD waveform dump if the name ends in .vcd (GTKWave/Surfer), \
+           otherwise Chrome trace-event JSON (ui.perfetto.dev).")
+
+let default_encoded_names = [ "k4"; "k5"; "k6"; "k7" ]
+
+let man_observability =
+  [
+    `S "OBSERVABILITY";
+    `P
+      "$(b,--stats) collects telemetry (counters, histograms, timing spans) \
+       and prints the report to stderr.  $(b,--trace-out) $(i,FILE) records \
+       the structured fetch-path event trace and exports it as a VCD \
+       waveform dump ($(i,.vcd) suffix) or Chrome trace-event JSON \
+       (any other suffix).  The $(b,trace) subcommand adds the per-bitline \
+       transition attribution tables.  See EXPERIMENTS.md, 'Reading the \
+       traces'.";
+  ]
 
 (* ---- tables ---------------------------------------------------------------- *)
 
@@ -221,7 +289,7 @@ let restore_cmd =
 
 (* ---- simulate ------------------------------------------------------------------ *)
 
-let simulate path max_instructions stats =
+let simulate path max_instructions trace_out stats =
   with_stats stats @@ fun () ->
   match load_program path with
   | exception e ->
@@ -231,6 +299,9 @@ let simulate path max_instructions stats =
       in
       `Error (false, msg)
   | program ->
+      (* A plain simulation has no encoded images: the trace carries the
+         baseline bus waveform (and icache pulses when a cache is modelled). *)
+      with_trace trace_out ~encoded_names:[] @@ fun () ->
       let state = Machine.Cpu.create_state () in
       let result = Machine.Cpu.run ~max_instructions program state in
       print_string (Machine.Cpu.output state);
@@ -246,63 +317,183 @@ let simulate_cmd =
       & info [ "max-instructions" ] ~docv:"N" ~doc:"Instruction budget.")
   in
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Assemble/compile and run a program")
-    Term.(ret (const simulate $ file_arg $ max_arg $ stats_arg))
+    (Cmd.info "simulate" ~doc:"Assemble/compile and run a program"
+       ~man:man_observability)
+    Term.(ret (const simulate $ file_arg $ max_arg $ trace_out_arg $ stats_arg))
 
 (* ---- evaluate ------------------------------------------------------------------- *)
 
-let evaluate name scaled verify csv stats =
-  with_stats stats @@ fun () ->
-  let set =
-    (if scaled then Workloads.scaled else Workloads.paper_sized)
-    @ Workloads.extended
+let workload_set scaled =
+  (if scaled then Workloads.scaled else Workloads.paper_sized)
+  @ Workloads.extended
+
+let resolve_benchmarks set names =
+  let missing =
+    List.filter (fun n -> match Workloads.by_name set n with
+      | _ -> false
+      | exception Not_found -> true) names
   in
-  match Workloads.by_name set name with
-  | exception Not_found ->
-      `Error
-        ( false,
-          "unknown benchmark " ^ name
-          ^ " (mmul, sor, ej, fft, tri, lu, fir, iir, dct)" )
-  | w ->
-      let report = Pipeline.Evaluate.evaluate_workload ~verify w in
-      if csv then begin
-        print_endline "bench,k,baseline_transitions,transitions,reduction_pct,coverage_pct";
-        List.iter
-          (fun (run : Pipeline.Evaluate.encoded_run) ->
-            Printf.printf "%s,%d,%d,%d,%.2f,%.2f\n"
-              report.Pipeline.Evaluate.name run.Pipeline.Evaluate.k
-              report.Pipeline.Evaluate.baseline_transitions
-              run.Pipeline.Evaluate.transitions
-              run.Pipeline.Evaluate.reduction_pct
-              report.Pipeline.Evaluate.coverage_pct)
-          report.Pipeline.Evaluate.runs
-      end
-      else Format.printf "%a@." Pipeline.Evaluate.pp_report report;
+  match missing with
+  | n :: _ ->
+      Error
+        ("unknown benchmark " ^ n ^ " (mmul, sor, ej, fft, tri, lu, fir, iir, dct)")
+  | [] -> Ok (List.map (Workloads.by_name set) names)
+
+let evaluate names scaled verify trace_out csv stats =
+  with_stats stats @@ fun () ->
+  match resolve_benchmarks (workload_set scaled) names with
+  | Error msg -> `Error (false, msg)
+  | Ok ws ->
+      with_trace trace_out ~encoded_names:default_encoded_names @@ fun () ->
+      if csv then
+        print_endline
+          "bench,k,baseline_transitions,transitions,reduction_pct,coverage_pct";
+      (* With --stats over several benchmarks, print the per-workload
+         telemetry window (snapshot delta) after each one. *)
+      let deltas = stats && List.length ws > 1 in
+      List.iter
+        (fun w ->
+          let before =
+            if deltas then Some (Telemetry.Metrics.freeze ()) else None
+          in
+          let report = Pipeline.Evaluate.evaluate_workload ~verify w in
+          (match before with
+          | Some b ->
+              Format.eprintf "--- %s ---@." w.Workloads.name;
+              Format.eprintf "%a@?" Telemetry.Report.pp_human
+                (Telemetry.Metrics.diff ~before:b
+                   ~after:(Telemetry.Metrics.freeze ()))
+          | None -> ());
+          if csv then
+            List.iter
+              (fun (run : Pipeline.Evaluate.encoded_run) ->
+                Printf.printf "%s,%d,%d,%d,%.2f,%.2f\n"
+                  report.Pipeline.Evaluate.name run.Pipeline.Evaluate.k
+                  report.Pipeline.Evaluate.baseline_transitions
+                  run.Pipeline.Evaluate.transitions
+                  run.Pipeline.Evaluate.reduction_pct
+                  report.Pipeline.Evaluate.coverage_pct)
+              report.Pipeline.Evaluate.runs
+          else Format.printf "%a@." Pipeline.Evaluate.pp_report report)
+        ws;
       `Ok ()
 
+let scaled_arg =
+  Arg.(value & flag & info [ "scaled" ] ~doc:"Use the small test sizes.")
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ] ~doc:"Push every fetch through the decoder model.")
+
 let evaluate_cmd =
+  let names_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"BENCH"
+          ~doc:
+            "Benchmark names (one or more): mmul sor ej fft tri lu fir iir \
+             dct.  With --stats and several benchmarks, a per-benchmark \
+             telemetry delta is printed after each.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV rows.")
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Figure 6 style evaluation of benchmarks"
+       ~man:man_observability)
+    Term.(
+      ret (const evaluate $ names_arg $ scaled_arg $ verify_arg
+           $ trace_out_arg $ csv_arg $ stats_arg))
+
+(* ---- trace --------------------------------------------------------------------- *)
+
+let trace name scaled verify vcd_out perfetto_out capacity stats =
+  with_stats stats @@ fun () ->
+  match resolve_benchmarks (workload_set scaled) [ name ] with
+  | Error msg -> `Error (false, msg)
+  | Ok [ w ] | Ok (w :: _) ->
+      Trace.Collector.start ~capacity ();
+      let had_stats = Telemetry.Metrics.enabled () in
+      Telemetry.Metrics.set_enabled true;
+      let finally () =
+        Trace.Collector.stop ();
+        if not had_stats then Telemetry.Metrics.set_enabled false;
+        List.iter
+          (fun (path, render) ->
+            match path with
+            | None -> ()
+            | Some path ->
+                write_text_file path (render (Trace.Collector.events ()));
+                Format.eprintf "trace: wrote %s@." path)
+          [
+            ( vcd_out,
+              fun evs ->
+                Trace.Vcd.to_string ~encoded_names:default_encoded_names evs );
+            ( perfetto_out,
+              fun evs ->
+                Trace.Perfetto.to_string ~encoded_names:default_encoded_names
+                  evs );
+          ];
+        let dropped = Trace.Collector.dropped () in
+        if dropped > 0 then
+          Format.eprintf
+            "trace: ring wrapped, %d oldest events dropped (raise --capacity)@."
+            dropped;
+        Trace.Collector.clear ()
+      in
+      Fun.protect ~finally @@ fun () ->
+      let report =
+        Pipeline.Evaluate.evaluate_workload ~verify ~attribution:true w
+      in
+      Format.printf "%a@." Pipeline.Evaluate.pp_report report;
+      (match report.Pipeline.Evaluate.attribution with
+      | Some summary ->
+          Format.printf "%a@." (Trace.Attribution.pp_text ?max_blocks:None)
+            summary
+      | None -> ());
+      `Ok ()
+  | Ok [] -> assert false
+
+let trace_cmd =
   let name_arg =
     Arg.(
       required
       & pos 0 (some string) None
       & info [] ~docv:"BENCH" ~doc:"Benchmark name: mmul sor ej fft tri lu.")
   in
-  let scaled_arg =
-    Arg.(value & flag & info [ "scaled" ] ~doc:"Use the small test sizes.")
-  in
-  let verify_arg =
+  let vcd_arg =
     Arg.(
-      value & flag
-      & info [ "verify" ] ~doc:"Push every fetch through the decoder model.")
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE"
+          ~doc:"Write the bus waveforms as a VCD dump (GTKWave/Surfer).")
   in
-  let csv_arg =
-    Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV rows.")
+  let perfetto_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:"Write spans + transition counters as Chrome trace-event JSON.")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt int Trace.Collector.default_capacity
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:
+            "Event ring capacity; a long run keeps its last $(docv) events \
+             (exports are the suffix window; attribution is always exact).")
   in
   Cmd.v
-    (Cmd.info "evaluate" ~doc:"Figure 6 style evaluation of a benchmark")
+    (Cmd.info "trace"
+       ~doc:
+         "Evaluate one benchmark with fetch-path tracing and per-bitline \
+          attribution"
+       ~man:man_observability)
     Term.(
-      ret (const evaluate $ name_arg $ scaled_arg $ verify_arg $ csv_arg
-           $ stats_arg))
+      ret (const trace $ name_arg $ scaled_arg $ verify_arg $ vcd_arg
+           $ perfetto_arg $ capacity_arg $ stats_arg))
 
 (* ---- disasm ------------------------------------------------------------------- *)
 
@@ -356,5 +547,5 @@ let () =
        (Cmd.group info
           [
             tables_cmd; subset_cmd; encode_cmd; restore_cmd; simulate_cmd;
-            evaluate_cmd; disasm_cmd; cost_cmd;
+            evaluate_cmd; trace_cmd; disasm_cmd; cost_cmd;
           ]))

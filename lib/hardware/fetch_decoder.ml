@@ -76,7 +76,12 @@ let fetch t ~pc =
   if pc < 0 || pc >= Array.length t.image then
     raise (Decode_error (Printf.sprintf "fetch outside image: %d" pc));
   let stored = t.image.(pc) in
-  match Bbit.lookup t.bbit ~pc with
+  let probe = Bbit.lookup t.bbit ~pc in
+  if Trace.Collector.enabled () then
+    Trace.Collector.emit
+      (Trace.Event.Bbit_probe
+         { time = Trace.Collector.now (); pc; hit = probe <> None });
+  match probe with
   | Some tt_base ->
       if t.is_active then
         raise (Decode_error "entered an encoded block while decoding another");
@@ -108,6 +113,17 @@ let fetch t ~pc =
                (Printf.sprintf "non-sequential fetch %d inside encoded block (expected %d)"
                   pc t.expected_pc));
         let decoded = decode_word t stored in
+        if Trace.Collector.enabled () then begin
+          let entry = Tt.read t.tt t.entry_idx in
+          Trace.Collector.emit
+            (Trace.Event.Decode
+               {
+                 time = Trace.Collector.now ();
+                 pc;
+                 entry = t.entry_idx;
+                 taus = Array.copy entry.Tt.tau_indices;
+               })
+        end;
         t.expected_pc <- pc + 1;
         let prev_stored = stored and prev_decoded = decoded in
         advance_entry t;

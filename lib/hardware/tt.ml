@@ -40,7 +40,10 @@ let write t ~index entry =
     entry.tau_indices;
   if entry.ct < 0 then invalid_arg "Tt.write: negative CT";
   t.slots.(index) <- Some entry;
-  t.writes <- t.writes + 1
+  t.writes <- t.writes + 1;
+  if Trace.Collector.enabled () then
+    Trace.Collector.emit
+      (Trace.Event.Tt_program { time = Trace.Collector.now (); index })
 
 let read t index =
   if index < 0 || index >= t.capacity then

@@ -89,6 +89,9 @@ let run ?(max_instructions = max_int / 2) ?on_fetch ?mmio program state =
   in
   let insns = Isa.Program.insns program in
   let n = Array.length insns in
+  (* Bus words for the tracer; the array is a cached field of the program,
+     so this is a pointer copy, not an encode. *)
+  let bus_words = Isa.Program.words program in
   let g r = state.regs.(Isa.Reg.to_int r) in
   let gset r v =
     let i = Isa.Reg.to_int r in
@@ -105,6 +108,10 @@ let run ?(max_instructions = max_int / 2) ?on_fetch ?mmio program state =
     if pc < 0 || pc >= n then
       raise (Trap (Printf.sprintf "pc %d outside program of %d instructions" pc n));
     if !count >= max_instructions then raise (Trap "instruction budget exceeded");
+    (* Tick the trace clock before the fetch hook, so events the hook (or
+       anything below it) emits are stamped with this fetch's tick. *)
+    if Trace.Collector.enabled () then
+      Trace.Collector.fetch ~pc ~word:(Array.unsafe_get bus_words pc);
     (match on_fetch with Some hook -> hook ~pc | None -> ());
     incr count;
     let next = ref (pc + 1) in

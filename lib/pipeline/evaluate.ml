@@ -18,6 +18,7 @@ type report = {
   runs : encoded_run list;
   coverage_pct : float;
   output : string;
+  attribution : Trace.Attribution.summary option;
 }
 
 exception Verification_failed of { pc : int; expected : int; got : int }
@@ -39,7 +40,7 @@ type selection = [ `Hot_blocks | `Hot_loops ]
 
 let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
     ?(optimal_chain = false) ?(selection = `Hot_blocks) ?(verify = false)
-    ~name program =
+    ?(attribution = false) ~name program =
   Metrics.with_span Tel.span_evaluate @@ fun () ->
   Metrics.incr Tel.pipeline_evaluations;
   let subset_mask =
@@ -126,6 +127,27 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
     else [||]
   in
   let verified = Array.make nimg 0 in
+  (* pc -> basic-block index and block-entry flag, for attribution and for
+     Block_entry trace events (O(1) per fetch) *)
+  let npc = Array.length words in
+  let pc_block = Array.make npc (-1) in
+  let pc_is_start = Array.make npc false in
+  Array.iteri
+    (fun bi (b : Cfg.Block.t) ->
+      if b.Cfg.Block.start < npc then pc_is_start.(b.Cfg.Block.start) <- true;
+      for pc = b.Cfg.Block.start to min (npc - 1) (b.Cfg.Block.start + b.Cfg.Block.len - 1) do
+        pc_block.(pc) <- bi
+      done)
+    blocks;
+  let attr =
+    if attribution then
+      Some
+        (Trace.Attribution.create
+           ~labels:(Array.of_list (List.map (fun k -> "k" ^ string_of_int k) ks))
+           ~block_starts:(Array.map (fun (b : Cfg.Block.t) -> b.Cfg.Block.start) blocks)
+           ~block_of_pc:(fun pc -> if pc >= 0 && pc < npc then pc_block.(pc) else -1))
+    else None
+  in
   let first = ref true in
   let on_fetch ~pc =
     let w = Array.unsafe_get words pc in
@@ -146,6 +168,22 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
           + popcount32 (e lxor Array.unsafe_get prevs v));
         Array.unsafe_set prevs v e
       done
+    end;
+    (* Attribution and trace events share one fresh per-fetch word array;
+       the ring retains it, so it must not be a reused scratch buffer. *)
+    let tracing = Trace.Collector.enabled () in
+    if tracing || attr <> None then begin
+      let enc = Array.init nimg (fun v -> (Array.unsafe_get images v).(pc)) in
+      (match attr with
+      | Some a -> Trace.Attribution.record a ~pc ~baseline:w ~encoded:enc
+      | None -> ());
+      if tracing then begin
+        let time = Trace.Collector.now () in
+        Trace.Collector.emit (Trace.Event.Bus { time; pc; encoded = enc });
+        if pc < npc && pc_is_start.(pc) then
+          Trace.Collector.emit
+            (Trace.Event.Block_entry { time; pc; block = pc_block.(pc) })
+      end
     end;
     ignore (Buspower.Businvert.encode businvert w);
     if verify then
@@ -196,11 +234,13 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
     runs;
     coverage_pct;
     output = Machine.Cpu.output state;
+    attribution = Option.map Trace.Attribution.summarize attr;
   }
 
-let evaluate_workload ?ks ?verify w =
+let evaluate_workload ?ks ?verify ?attribution w =
   let compiled = Workloads.compile w in
-  evaluate ?ks ?verify ~name:w.Workloads.name compiled.Minic.Compile.program
+  evaluate ?ks ?verify ?attribution ~name:w.Workloads.name
+    compiled.Minic.Compile.program
 
 let pp_report fmt r =
   Format.fprintf fmt "%-5s insns=%d coverage=%.1f%% TR=%d businvert=%d@."

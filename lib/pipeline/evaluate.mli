@@ -30,6 +30,11 @@ type report = {
   runs : encoded_run list;
   coverage_pct : float;  (** share of fetches inside encoded blocks *)
   output : string;  (** program output, for determinism checks *)
+  attribution : Trace.Attribution.summary option;
+      (** per-bitline / per-block transition breakdown; [Some] iff the
+          [attribution] flag was set.  Its totals equal
+          [baseline_transitions] and each run's [transitions] bit-exactly
+          (streaming accumulators over the same fetch stream). *)
 }
 
 exception Verification_failed of { pc : int; expected : int; got : int }
@@ -41,9 +46,14 @@ exception Verification_failed of { pc : int; expected : int; got : int }
 type selection = [ `Hot_blocks | `Hot_loops ]
 
 (** [evaluate ?ks ?tt_capacity ?subset_mask ?optimal_chain ?selection
-    ?verify ~name program] — defaults: [ks = [4;5;6;7]],
+    ?verify ?attribution ~name program] — defaults: [ks = [4;5;6;7]],
     [tt_capacity = 16], the paper's eight transformations, greedy chaining,
-    [`Hot_blocks], no per-fetch verification. *)
+    [`Hot_blocks], no per-fetch verification, no attribution.
+    [attribution = true] additionally maintains
+    {!Trace.Attribution} accumulators over the counting run and returns
+    their summary in the report.  Independently of these flags, the
+    counting run emits [Bus] and [Block_entry] events into
+    {!Trace.Collector} whenever that collector is recording. *)
 val evaluate :
   ?ks:int list ->
   ?tt_capacity:int ->
@@ -51,13 +61,15 @@ val evaluate :
   ?optimal_chain:bool ->
   ?selection:selection ->
   ?verify:bool ->
+  ?attribution:bool ->
   name:string ->
   Isa.Program.t ->
   report
 
-(** [evaluate_workload ?ks ?verify w] compiles and evaluates a benchmark. *)
+(** [evaluate_workload ?ks ?verify ?attribution w] compiles and evaluates a
+    benchmark. *)
 val evaluate_workload :
-  ?ks:int list -> ?verify:bool -> Workloads.t -> report
+  ?ks:int list -> ?verify:bool -> ?attribution:bool -> Workloads.t -> report
 
 (** [pp_report] prints one Figure 6 style column group. *)
 val pp_report : Format.formatter -> report -> unit

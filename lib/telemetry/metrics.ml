@@ -121,6 +121,15 @@ let log2_bucket v =
 let span_table : (string, span_stat) Hashtbl.t = Hashtbl.create 32
 let span_mutex = Mutex.create ()
 
+(* Optional per-exit observer (the trace collector's Perfetto bridge).
+   Called outside the span mutex, from whichever domain ran the span, and
+   only while collection is enabled. *)
+let span_hook :
+    (path:string -> start_ns:float -> stop_ns:float -> unit) option Atomic.t =
+  Atomic.make None
+
+let set_span_hook h = Atomic.set span_hook h
+
 (* Each domain tracks its open-span path; the stack stores full paths so
    entering a child is one concatenation. *)
 let stack_key : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
@@ -154,7 +163,10 @@ let with_span sp f =
       ~finally:(fun () ->
         let elapsed = Float.max 0.0 (now_ns () -. t0) in
         Domain.DLS.set stack_key stack;
-        record_span path elapsed)
+        record_span path elapsed;
+        match Atomic.get span_hook with
+        | Some hook -> hook ~path ~start_ns:t0 ~stop_ns:(t0 +. elapsed)
+        | None -> ())
       f
   end
 
@@ -203,6 +215,63 @@ let freeze () =
             :: acc)
           span_table []
         |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+  in
+  { counters; histograms; spans }
+
+(* Delta between two snapshots of one process: what a bounded phase (one
+   workload of a multi-workload run) recorded.  Metrics registered after
+   [before] was taken subtract from zero.  A span's [max_ns] is the running
+   maximum, not a window maximum, so the delta keeps [after]'s value. *)
+let diff ~(before : frozen) ~(after : frozen) =
+  let counter_before name =
+    match List.find_opt (fun (n, _, _) -> n = name) before.counters with
+    | Some (_, _, v) -> v
+    | None -> 0
+  in
+  let counters =
+    List.map
+      (fun (name, st, v) -> (name, st, v - counter_before name))
+      after.counters
+  in
+  let hist_before name =
+    match List.find_opt (fun (n, _, _) -> n = name) before.histograms with
+    | Some (_, _, buckets) -> buckets
+    | None -> []
+  in
+  let histograms =
+    List.map
+      (fun (name, st, buckets) ->
+        let old = hist_before name in
+        ( name,
+          st,
+          List.map
+            (fun (label, n) ->
+              let n0 =
+                match List.assoc_opt label old with Some v -> v | None -> 0
+              in
+              (label, n - n0))
+            buckets ))
+      after.histograms
+  in
+  let span_before path =
+    match List.assoc_opt path before.spans with
+    | Some r -> (r.span_count, r.total_ns)
+    | None -> (0, 0.0)
+  in
+  let spans =
+    List.filter_map
+      (fun (path, r) ->
+        let c0, t0 = span_before path in
+        if r.span_count = c0 then None
+        else
+          Some
+            ( path,
+              {
+                span_count = r.span_count - c0;
+                total_ns = r.total_ns -. t0;
+                max_ns = r.max_ns;
+              } ))
+      after.spans
   in
   { counters; histograms; spans }
 

@@ -111,6 +111,24 @@ type frozen = {
 val freeze : unit -> frozen
 val reset : unit -> unit
 
+(** [diff ~before ~after] is the per-metric delta between two snapshots of
+    one process — what a bounded phase recorded, e.g. one workload of a
+    multi-workload run (the CLI's per-benchmark [--stats] deltas).
+    Counters and histogram buckets subtract; spans keep only paths whose
+    count moved, with [max_ns] taken from [after] (the running maximum is
+    not recoverable per window). *)
+val diff : before:frozen -> after:frozen -> frozen
+
+(** {1 Span hook}
+
+    [set_span_hook (Some f)] invokes [f ~path ~start_ns ~stop_ns] at every
+    span exit (after the aggregate is recorded, from the recording domain,
+    only while collection is enabled).  The trace collector uses this to
+    turn aggregate-only spans into individual intervals for the Perfetto
+    exporter.  [set_span_hook None] unhooks. *)
+val set_span_hook :
+  (path:string -> start_ns:float -> stop_ns:float -> unit) option -> unit
+
 (** [registered ()] lists every registered metric as
     [(name, kind, stability, doc)], sorted by name — the schema surface the
     registry tests assert against. *)

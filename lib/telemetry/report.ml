@@ -59,7 +59,23 @@ let stability_header = function
   | Metrics.Stable -> "stable (workload-derived, order-independent)"
   | Metrics.Runtime -> "runtime (cache/scheduling/time-dependent)"
 
+(* Did the window record anything at all?  Distinguishes "collection was
+   never enabled" (or an empty delta) from a legitimately quiet report, so
+   --stats never prints pages of zeros without saying why. *)
+let has_data (f : Metrics.frozen) =
+  List.exists (fun (_, _, v) -> v <> 0) f.Metrics.counters
+  || List.exists
+       (fun (_, _, buckets) -> List.exists (fun (_, n) -> n <> 0) buckets)
+       f.Metrics.histograms
+  || f.Metrics.spans <> []
+
 let pp_human fmt (f : Metrics.frozen) =
+  if not (has_data f) then
+    Format.fprintf fmt
+      "telemetry: nothing recorded — collection was disabled or no \
+       instrumented work ran in this window (enable with --stats or \
+       Telemetry.Metrics.set_enabled).@."
+  else
   let counters_of cls =
     List.filter (fun (_, s, _) -> s = cls) f.Metrics.counters
   in

@@ -11,7 +11,10 @@ val to_json : Metrics.frozen -> string
 
 (** [pp_human fmt f] prints counters grouped by stability class, live
     histogram buckets, then the span tree (children indented under their
-    parent path, with call count, total and max wall time). *)
+    parent path, with call count, total and max wall time).  A record with
+    no recorded data (all zeros, no spans — collection was disabled, or an
+    empty {!Metrics.diff} window) prints a one-line notice instead of
+    empty tables. *)
 val pp_human : Format.formatter -> Metrics.frozen -> unit
 
 (** [human_ns ns] pretty-prints a nanosecond quantity (["1.23 ms"]). *)

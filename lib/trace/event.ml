@@ -1,0 +1,20 @@
+type t =
+  | Fetch of { time : int; pc : int; word : int }
+  | Bus of { time : int; pc : int; encoded : int array }
+  | Block_entry of { time : int; pc : int; block : int }
+  | Bbit_probe of { time : int; pc : int; hit : bool }
+  | Decode of { time : int; pc : int; entry : int; taus : int array }
+  | Tt_program of { time : int; index : int }
+  | Icache of { time : int; pc : int; hit : bool }
+  | Span of { path : string; tid : int; start_ns : float; stop_ns : float }
+
+let time = function
+  | Fetch { time; _ }
+  | Bus { time; _ }
+  | Block_entry { time; _ }
+  | Bbit_probe { time; _ }
+  | Decode { time; _ }
+  | Tt_program { time; _ }
+  | Icache { time; _ } ->
+      Some time
+  | Span _ -> None

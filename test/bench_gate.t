@@ -1,0 +1,44 @@
+The bench regression gate: a fresh fast-mode run must match the committed
+bench/baseline.json on every deterministic figure (transition counts,
+coverage, TT usage, per-bitline attribution); wall-clock figures only have
+to stay inside the band, which is set absurdly wide here because this test
+cares about the exact comparisons, not this machine's speed.  stderr is
+dropped throughout: it carries machine-dependent numbers (timing details,
+domain-count notes).
+
+  $ POWERCODE_FAST=1 ../bench/main.exe > /dev/null
+
+  $ ../bench/compare.exe --baseline ../bench/baseline.json --time-band 100000 2> /dev/null
+  bench compare: OK (exact=3767 banded=21, time band +/-100000%)
+
+A single flipped transition count anywhere is a regression (exit 1), and
+the offending path is named:
+
+  $ jq '.evaluations[0].runs[0].transitions += 1' BENCH_encoding.json > tampered.json
+
+  $ ../bench/compare.exe --baseline ../bench/baseline.json --current tampered.json --time-band 100000 2> /dev/null
+  regression: evaluations.[mmul].runs.[0].transitions (exact)
+  bench compare: 1 regression(s)
+  [1]
+
+Attribution drift is caught the same way:
+
+  $ jq '.attribution[1].per_line[0].baseline += 1' BENCH_encoding.json > tampered2.json
+
+  $ ../bench/compare.exe --baseline ../bench/baseline.json --current tampered2.json --time-band 100000 2> /dev/null
+  regression: attribution.[sor].per_line.[0].baseline (exact)
+  bench compare: 1 regression(s)
+  [1]
+
+Runs made under different settings are refused outright (exit 2), never
+silently diffed:
+
+  $ jq '.mode = "full"' BENCH_encoding.json > othermode.json
+
+  $ ../bench/compare.exe --baseline ../bench/baseline.json --current othermode.json 2> /dev/null
+  bench compare: incomparable (mode: fast vs full)
+  [2]
+
+  $ ../bench/compare.exe --baseline ../bench/baseline.json --current missing.json 2> /dev/null
+  bench compare: incomparable (missing.json: No such file or directory)
+  [2]

@@ -6,18 +6,65 @@ spans recorded) without depending on any timing value.
   $ POWERCODE_FAST=1 ../bench/main.exe > /dev/null
 
   $ jq -r '.schema' BENCH_encoding.json
-  powercode-bench-encoding/2
+  powercode-bench-encoding/3
 
   $ jq -r '.mode' BENCH_encoding.json
   fast
 
   $ jq -r 'keys | sort | .[]' BENCH_encoding.json
+  attribution
   block_size_k
   chain_encode_256
+  evaluations
   mode
   schema
+  settings
   telemetry
   workloads
+
+The settings header records the run conditions the regression gate
+(bench/compare.exe) refuses to diff across:
+
+  $ jq -r '.settings | keys | sort | .[]' BENCH_encoding.json
+  domains
+  powercode_fast
+  powercode_seq
+
+  $ jq -r '.settings.powercode_fast' BENCH_encoding.json
+  true
+
+Evaluations carry the deterministic Figure 6 results (paper suite plus the
+extended DSP kernels), one runs[] entry per block size:
+
+  $ jq -r '.evaluations | length' BENCH_encoding.json
+  9
+
+  $ jq -r '[.evaluations[].runs | length == 4] | all' BENCH_encoding.json
+  true
+
+Per-bitline attribution must sum bit-exactly to the aggregate transition
+counts, for the baseline and for every k:
+
+  $ jq -r '.attribution | length' BENCH_encoding.json
+  9
+
+  $ jq -r '[.attribution[] | .totals.baseline == ([.per_line[].baseline] | add)] | all' BENCH_encoding.json
+  true
+
+  $ jq -r '[.attribution[] | .totals.k4 == ([.per_line[].k4] | add)] | all' BENCH_encoding.json
+  true
+
+  $ jq -r '[.attribution[] | .totals.k7 == ([.per_line[].k7] | add)] | all' BENCH_encoding.json
+  true
+
+  $ jq -r '[.evaluations[].baseline_transitions] == [.attribution[].totals.baseline]' BENCH_encoding.json
+  true
+
+  $ jq -r '[.evaluations[].runs[0].transitions] == [.attribution[].totals.k4]' BENCH_encoding.json
+  true
+
+  $ jq -r '[.attribution[] | .per_line | length == 32] | all' BENCH_encoding.json
+  true
 
   $ jq -r '.telemetry | keys | sort | .[]' BENCH_encoding.json
   counters

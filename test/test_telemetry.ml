@@ -182,6 +182,58 @@ let test_span_records_on_raise () =
   let st = List.assoc "pipeline.count" f.Metrics.spans in
   Alcotest.(check int) "recorded despite raise" 1 st.Metrics.span_count
 
+let test_diff_window () =
+  with_clean_telemetry @@ fun () ->
+  Metrics.add Tel.cpu_instructions 10;
+  Metrics.observe Tel.tau_selected 6;
+  Metrics.with_span Tel.span_evaluate (fun () -> ());
+  let before = Metrics.freeze () in
+  Metrics.add Tel.cpu_instructions 32;
+  Metrics.observe Tel.tau_selected 6;
+  Metrics.observe Tel.tau_selected 6;
+  Metrics.with_span Tel.span_evaluate (fun () -> ());
+  Metrics.with_span Tel.span_count (fun () -> ());
+  let after = Metrics.freeze () in
+  let d = Metrics.diff ~before ~after in
+  Alcotest.(check int) "counter delta" 32 (total_of d "cpu.instructions");
+  Alcotest.(check int) "untouched counter delta" 0 (total_of d "encode.blocks");
+  let _, _, buckets =
+    List.find (fun (n, _, _) -> n = "encode.tau_selected") d.Metrics.histograms
+  in
+  Alcotest.(check int) "histogram bucket delta" 2 (List.assoc "x^y" buckets);
+  let paths = List.map fst d.Metrics.spans in
+  Alcotest.(check (list string))
+    "only spans with new samples" [ "pipeline.count"; "pipeline.evaluate" ]
+    (List.sort compare paths);
+  let ev = List.assoc "pipeline.evaluate" d.Metrics.spans in
+  Alcotest.(check int) "span count delta" 1 ev.Metrics.span_count
+
+let test_diff_empty_window () =
+  with_clean_telemetry @@ fun () ->
+  Metrics.add Tel.cpu_instructions 7;
+  let before = Metrics.freeze () in
+  let after = Metrics.freeze () in
+  let d = Metrics.diff ~before ~after in
+  Alcotest.(check int) "no counter movement" 0 (total_of d "cpu.instructions");
+  Alcotest.(check int) "no spans" 0 (List.length d.Metrics.spans)
+
+let test_span_hook_fires () =
+  with_clean_telemetry @@ fun () ->
+  let seen = ref [] in
+  Metrics.set_span_hook
+    (Some
+       (fun ~path ~start_ns ~stop_ns ->
+         seen := (path, stop_ns >= start_ns) :: !seen));
+  Fun.protect ~finally:(fun () -> Metrics.set_span_hook None) @@ fun () ->
+  Metrics.with_span Tel.span_evaluate (fun () ->
+      Metrics.with_span Tel.span_profile (fun () -> ()));
+  Alcotest.(check (list (pair string bool)))
+    "hook saw both span exits, innermost first, with ordered timestamps"
+    [
+      ("pipeline.evaluate/pipeline.profile", true); ("pipeline.evaluate", true);
+    ]
+    (List.rev !seen)
+
 let test_multi_domain_sum () =
   with_clean_telemetry @@ fun () ->
   let bump () =
@@ -219,6 +271,11 @@ let () =
             test_spans_nest_into_paths;
           Alcotest.test_case "span records on raise" `Quick
             test_span_records_on_raise;
+          Alcotest.test_case "diff isolates a window" `Quick test_diff_window;
+          Alcotest.test_case "diff of identical snapshots is empty" `Quick
+            test_diff_empty_window;
+          Alcotest.test_case "span hook fires at exit" `Quick
+            test_span_hook_fires;
           Alcotest.test_case "multi-domain sum" `Quick test_multi_domain_sum;
         ] );
     ]

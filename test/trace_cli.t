@@ -1,0 +1,86 @@
+Tracing through the CLI.  --trace-out on evaluate records the fetch stream
+and writes a waveform (extension picks the format); the dedicated trace
+subcommand additionally prints the per-bitline attribution tables.  All
+transition counts are deterministic, so they are pinned exactly here; only
+wall-clock telemetry is kept out of this test.
+
+  $ ../bin/powercode_cli.exe evaluate tri --scaled --trace-out tri.vcd
+  tri   insns=7046 coverage=68.7% TR=58339 businvert=55687
+    k=4: transitions=48515 reduction=16.8% tt=16 blocks=5
+    k=5: transitions=47859 reduction=18.0% tt=16 blocks=5
+    k=6: transitions=44963 reduction=22.9% tt=16 blocks=5
+    k=7: transitions=46123 reduction=20.9% tt=16 blocks=6
+  
+  trace: wrote tri.vcd
+
+The dump declares the 32-bit baseline bus, one 32-bit wire per encoded
+image, and 1-bit pulse wires for the events that occurred:
+
+  $ grep '^\$var' tri.vcd
+  $var wire 32 ! baseline $end
+  $var wire 32 " k4 $end
+  $var wire 32 # k5 $end
+  $var wire 32 $ k6 $end
+  $var wire 32 % k7 $end
+  $var wire 1 & block_entry $end
+  $var wire 1 ' tt_program $end
+
+  $ grep -c '^\$timescale 1 ns' tri.vcd
+  1
+
+Ticks are fetch numbers; the profile pass and the counting pass both fetch
+every dynamic instruction, so the timeline spans 2x7046 ticks:
+
+  $ grep -c '^#' tri.vcd
+  14092
+
+A .json suffix selects the Chrome trace-event (Perfetto) exporter:
+
+  $ ../bin/powercode_cli.exe evaluate tri --scaled --trace-out tri.json > /dev/null
+  trace: wrote tri.json
+
+  $ jq -r '.traceEvents | length > 100' tri.json
+  true
+
+  $ jq -r '[.traceEvents[].ph] | unique | sort | .[]' tri.json
+  C
+  M
+  X
+  i
+
+  $ jq -r '[.traceEvents[] | select(.ph=="C") | .name] | unique | sort | .[]' tri.json
+  transitions.baseline
+  transitions.k4
+  transitions.k5
+  transitions.k6
+  transitions.k7
+
+The telemetry spans ride along as "X" duration events:
+
+  $ jq -r '[.traceEvents[] | select(.ph=="X") | .name] | any(. == "pipeline.evaluate")' tri.json
+  true
+
+The counter tracks are cumulative, so the final baseline sample covers both
+passes over the program (2 x 58339 plus the seam between the runs):
+
+  $ jq -r '[.traceEvents[] | select(.ph=="C" and .name=="transitions.baseline") | .args.transitions] | max' tri.json
+  116681
+
+The trace subcommand writes both formats at once and prints the attribution
+tables; the totals row repeats the aggregate transition counts bit-exactly:
+
+  $ ../bin/powercode_cli.exe trace tri --scaled --vcd t.vcd --perfetto t.json > report.txt
+  trace: wrote t.vcd
+  trace: wrote t.json
+
+  $ grep -c 'per-bitline bus transitions (7046 fetches)' report.txt
+  1
+
+  $ grep -E '^ *total' report.txt
+   total        58339        48515        47859        44963        46123
+
+  $ grep -c 'per-block bus transitions (largest first)' report.txt
+  1
+
+  $ grep '^\$var' t.vcd | wc -l
+  7
