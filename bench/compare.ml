@@ -15,24 +15,32 @@
        by wall-clock quota, so those counters are machine-dependent.
 
    Exit codes: 0 = within policy, 1 = regression, 2 = incomparable
-   (missing/bad file, or the two runs used different schema/mode/settings).
+   (missing/bad file, different schema/mode/settings, or a whole top-level
+   section absent on either side — every absent section is named first).
    Regression lines go to stdout without numeric values (stable for cram);
-   the numbers go to stderr. *)
+   the numbers go to stderr, as does the history.jsonl trend summary. *)
 
 let baseline_path = ref "bench/baseline.json"
 let current_path = ref "BENCH_encoding.json"
+let history_path = ref "bench/history.jsonl"
 let time_band = ref 300.0
 
 let args =
   [
     ("--baseline", Arg.Set_string baseline_path, "FILE committed baseline json");
     ("--current", Arg.Set_string current_path, "FILE freshly generated json");
+    ( "--history",
+      Arg.Set_string history_path,
+      "FILE append-only run log (history.jsonl); trend summary when it \
+       holds two or more entries" );
     ( "--time-band",
       Arg.Set_float time_band,
       "PCT allowed wall-clock drift, percent (default 300)" );
   ]
 
-let usage = "compare [--baseline FILE] [--current FILE] [--time-band PCT]"
+let usage =
+  "compare [--baseline FILE] [--current FILE] [--history FILE] \
+   [--time-band PCT]"
 
 let die_incomparable msg =
   print_endline ("bench compare: incomparable (" ^ msg ^ ")");
@@ -148,6 +156,75 @@ let rec walk rpath (b : Json_min.t) (c : Json_min.t) =
       | Json_min.Null, Json_min.Null -> ()
       | _ -> fail ~kind:"structure" rpath "value kind changed")
 
+(* ---- section inventory ------------------------------------------------ *)
+
+(* A file missing a whole top-level section is a schema mismatch, not a
+   regression: the two runs came from different harness versions, so a
+   field-by-field diff would drown the real signal.  Name every absent
+   section on both sides, then refuse (exit 2). *)
+let check_sections base cur =
+  let keys = function
+    | Json_min.Obj fields -> List.map fst fields
+    | _ -> die_incomparable "top level is not an object"
+  in
+  let bkeys = keys base and ckeys = keys cur in
+  let missing_in l = List.filter (fun k -> not (List.mem k l)) in
+  let gone = missing_in ckeys bkeys in
+  let added = missing_in bkeys ckeys in
+  List.iter
+    (fun k -> Printf.printf "section missing in current: %s\n" k)
+    gone;
+  List.iter
+    (fun k ->
+      Printf.printf
+        "section missing in baseline: %s (regenerate bench/baseline.json)\n" k)
+    added;
+  if gone <> [] || added <> [] then
+    die_incomparable "top-level sections differ"
+
+(* ---- trend summary ----------------------------------------------------- *)
+
+(* The harness appends one JSON line per run; once two entries exist,
+   summarise first -> last.  Machine-dependent numbers, so everything goes
+   to stderr (cram drops it).  A missing or short file is not an error. *)
+let trend_summary () =
+  match open_in !history_path with
+  | exception Sys_error _ -> ()
+  | ic ->
+      let entries = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             match Json_min.of_string line with
+             | v -> entries := v :: !entries
+             | exception Json_min.Parse_error _ -> ()
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let entries = List.rev !entries in
+      let n = List.length entries in
+      if n >= 2 then begin
+        let first = List.hd entries and last = List.nth entries (n - 1) in
+        let num doc key =
+          match Json_min.member key doc with
+          | Some (Json_min.Num f) -> Some f
+          | _ -> None
+        in
+        Printf.eprintf "history: %d runs in %s\n" n !history_path;
+        List.iter
+          (fun (label, key) ->
+            match (num first key, num last key) with
+            | Some a, Some b ->
+                Printf.eprintf "  %s: %.2f -> %.2f (first -> last)\n" label a b
+            | _ -> ())
+          [
+            ("wall_s", "wall_s");
+            ("mean_reduction_k4_pct", "mean_reduction_k4_pct");
+            ("mean_net_savings_k4_pct", "mean_net_savings_k4_pct");
+          ]
+      end
+
 (* ---- preconditions ---------------------------------------------------- *)
 
 let get_str doc key =
@@ -190,7 +267,9 @@ let () =
         order-independent, continuing\n"
        (Option.value (setting base "domains") ~default:"<absent>")
        (Option.value (setting cur "domains") ~default:"<absent>"));
+  check_sections base cur;
   walk [] base cur;
+  trend_summary ();
   if !regressions > 0 then begin
     Printf.printf "bench compare: %d regression(s)\n" !regressions;
     exit 1

@@ -170,8 +170,12 @@ let fig6 () =
   List.iter
     (fun w ->
       let name = w.Workloads.name in
-      (* attribution feeds the per-bitline section of BENCH_encoding.json *)
-      let r = Pipeline.Evaluate.evaluate_workload ~attribution:true w in
+      (* attribution feeds the per-bitline section of BENCH_encoding.json;
+         the ledger feeds its energy section and the ledger printout below *)
+      let r =
+        Pipeline.Evaluate.evaluate_workload ~attribution:true
+          ~ledger:Ledger.Model.on_chip w
+      in
       fig6_reports := (name, r) :: !fig6_reports;
       let _, ptr, ppcts = List.find (fun (n, _, _) -> n = name) paper_fig6 in
       Format.printf "%-5s %10.2f %8.1f |" name
@@ -592,7 +596,10 @@ let extended_workloads () =
   Format.printf "%-5s %10s | %s@." "bench" "#TR" "reduction k=4/5/6/7";
   List.iter
     (fun w ->
-      let r = Pipeline.Evaluate.evaluate_workload ~attribution:true w in
+      let r =
+        Pipeline.Evaluate.evaluate_workload ~attribution:true
+          ~ledger:Ledger.Model.on_chip w
+      in
       extended_reports := (w.Workloads.name, r) :: !extended_reports;
       Format.printf "%-5s %10d |" w.Workloads.name
         r.Pipeline.Evaluate.baseline_transitions;
@@ -605,6 +612,22 @@ let extended_workloads () =
   Format.printf
     "=> the technique generalises beyond the paper's suite to the DSP \
      kernels its introduction motivates.@."
+
+(* ---- Energy ledger: net savings after charging the overheads ---------------- *)
+
+let energy_ledger () =
+  section "Energy ledger: net savings after overheads (on-chip model)";
+  let reports = List.rev !fig6_reports @ List.rev !extended_reports in
+  List.iter
+    (fun (_, (r : Pipeline.Evaluate.report)) ->
+      match r.Pipeline.Evaluate.ledger with
+      | Some sheet -> Format.printf "%a@." Ledger.Sheet.pp sheet
+      | None -> ())
+    reports;
+  Format.printf
+    "=> the bus savings survive the support hardware on the small block \
+     sizes; `powercode report` renders the full dashboard, and the ledger \
+     section of BENCH_encoding.json carries the itemized counts.@."
 
 (* ---- Bechamel micro-benchmarks -------------------------------------------------------- *)
 
@@ -867,7 +890,7 @@ let bench_encoding_json () =
   let oc = open_out "BENCH_encoding.json" in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"powercode-bench-encoding/3\",\n";
+  p "  \"schema\": \"powercode-bench-encoding/4\",\n";
   p "  \"mode\": \"%s\",\n" (if fast then "fast" else "full");
   (* run conditions, so a regression gate can refuse apples-to-oranges
      diffs (bench/compare.ml) *)
@@ -916,6 +939,21 @@ let bench_encoding_json () =
     (fun i json -> p "    %s%s\n" json (if i = natt - 1 then "" else ","))
     attributions;
   p "  ],\n";
+  (* itemized energy ledgers (schema /4): integer event counts priced under
+     the on-chip model; conservation against the evaluations section is
+     machine-checked by Pipeline.Evaluate and test/test_ledger.ml *)
+  let ledgers =
+    List.filter_map
+      (fun (_, (r : Pipeline.Evaluate.report)) ->
+        Option.map Ledger.Sheet.to_json r.Pipeline.Evaluate.ledger)
+      evaluations
+  in
+  p "  \"ledger\": [\n";
+  let nled = List.length ledgers in
+  List.iteri
+    (fun i json -> p "    %s%s\n" json (if i = nled - 1 then "" else ","))
+    ledgers;
+  p "  ],\n";
   (match !chain256_measurement with
   | Some (new_ns, old_ns) ->
       p "  \"chain_encode_256\": {\n";
@@ -944,6 +982,61 @@ let bench_encoding_json () =
   close_out oc;
   Format.printf "Wrote %s@." (Filename.concat (Sys.getcwd ()) "BENCH_encoding.json")
 
+(* ---- run history: one JSON line per harness run ----------------------------- *)
+
+let run_start = Unix.gettimeofday ()
+
+(* Append-only trend log next to the committed baseline ($POWERCODE_HISTORY
+   overrides; falls back to ./history.jsonl when no bench/ directory is in
+   sight, e.g. under the cram sandbox).  bench/compare.exe summarises the
+   trend once the file holds two or more entries. *)
+let history_path () =
+  match Sys.getenv_opt "POWERCODE_HISTORY" with
+  | Some p -> p
+  | None ->
+      if Sys.file_exists "bench" && Sys.is_directory "bench" then
+        "bench/history.jsonl"
+      else "history.jsonl"
+
+let append_history () =
+  let fast = Sys.getenv_opt "POWERCODE_FAST" = Some "1" in
+  let evaluations = List.rev !fig6_reports @ List.rev !extended_reports in
+  let mean f =
+    let xs = List.filter_map f evaluations in
+    if xs = [] then 0.0
+    else List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  let k4_reduction (_, (r : Pipeline.Evaluate.report)) =
+    match r.Pipeline.Evaluate.runs with
+    | run :: _ -> Some run.Pipeline.Evaluate.reduction_pct
+    | [] -> None
+  in
+  let k4_net (_, (r : Pipeline.Evaluate.report)) =
+    match r.Pipeline.Evaluate.ledger with
+    | Some sheet -> (
+        match sheet.Ledger.Sheet.entries with
+        | e :: _ -> Some (Ledger.Sheet.net_savings_pct sheet e)
+        | [] -> None)
+    | None -> None
+  in
+  let path = history_path () in
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  Printf.fprintf oc
+    "{\"schema\": \"powercode-bench-encoding/4\", \"mode\": \"%s\", \
+     \"powercode_seq\": %b, \"domains\": %d, \"wall_s\": %.2f, \"benches\": \
+     %d, \"mean_reduction_k4_pct\": %.4f, \"mean_net_savings_k4_pct\": \
+     %.4f}\n"
+    (if fast then "fast" else "full")
+    (Powercode.Parpool.sequential_mode ())
+    (Powercode.Parpool.worker_count () + 1)
+    (Unix.gettimeofday () -. run_start)
+    (List.length evaluations)
+    (mean k4_reduction) (mean k4_net);
+  close_out oc;
+  Format.printf "Appended run record to %s@." path
+
 (* ---- main ------------------------------------------------------------------------------ *)
 
 let () =
@@ -970,7 +1063,9 @@ let () =
   storage_invariance ();
   address_bus ();
   extended_workloads ();
+  energy_ledger ();
   bechamel_suite ();
   telemetry_report ();
   bench_encoding_json ();
+  append_history ();
   Format.printf "@.Done.@."

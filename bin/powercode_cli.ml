@@ -7,6 +7,7 @@
      simulate  - assemble and run a .s file, print its output
      evaluate  - full Figure 6 style evaluation of named benchmarks
      trace     - record a fetch-path trace (VCD / Perfetto) + attribution
+     report    - itemized energy-ledger dashboard (Markdown or HTML)
      cost      - hardware overhead sheet (paper section 7.2)                   *)
 
 open Cmdliner
@@ -51,6 +52,37 @@ let subset_arg =
     & opt subset_conv Powercode.Subset.paper_eight_mask
     & info [ "subset" ] ~docv:"SET"
         ~doc:"Transformation set: all, eight (paper), or minimal (six).")
+
+(* ---- energy model helpers -------------------------------------------------- *)
+
+let set_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "set" ] ~docv:"FIELD=VALUE"
+        ~doc:
+          "Override one energy-model parameter (repeatable).  Fields: \
+           capacitance_per_line_f, vdd_v, tt_read_j, bbit_probe_j, \
+           gate_toggle_j, table_write_j.")
+
+(* Preset name + --set overrides -> the priced model the ledger charges. *)
+let resolve_model name sets =
+  match Ledger.Model.by_name name with
+  | None -> Error ("unknown energy model " ^ name ^ " (use on-chip|off-chip)")
+  | Some model ->
+      List.fold_left
+        (fun acc spec ->
+          Result.bind acc (fun m ->
+              match String.index_opt spec '=' with
+              | None -> Error ("--set expects FIELD=VALUE, got " ^ spec)
+              | Some i ->
+                  let field = String.sub spec 0 i in
+                  let v =
+                    String.sub spec (i + 1) (String.length spec - i - 1)
+                  in
+                  (match float_of_string_opt v with
+                  | None -> Error ("--set " ^ field ^ ": not a number: " ^ v)
+                  | Some v -> Ledger.Model.override m field v)))
+        (Ok model) sets
 
 (* ---- tracing helpers ------------------------------------------------------- *)
 
@@ -339,44 +371,59 @@ let resolve_benchmarks set names =
         ("unknown benchmark " ^ n ^ " (mmul, sor, ej, fft, tri, lu, fir, iir, dct)")
   | [] -> Ok (List.map (Workloads.by_name set) names)
 
-let evaluate names scaled verify trace_out csv stats =
+let evaluate names scaled verify trace_out csv energy sets stats =
   with_stats stats @@ fun () ->
-  match resolve_benchmarks (workload_set scaled) names with
+  (* --energy asks for the ledger explicitly; --stats implies the on-chip
+     preset so the telemetry view comes with its energy account. *)
+  let ledger_model =
+    match energy with
+    | Some name -> Result.map Option.some (resolve_model name sets)
+    | None ->
+        if stats then Result.map Option.some (resolve_model "on-chip" sets)
+        else Ok None
+  in
+  match ledger_model with
   | Error msg -> `Error (false, msg)
-  | Ok ws ->
-      with_trace trace_out ~encoded_names:default_encoded_names @@ fun () ->
-      if csv then
-        print_endline
-          "bench,k,baseline_transitions,transitions,reduction_pct,coverage_pct";
-      (* With --stats over several benchmarks, print the per-workload
-         telemetry window (snapshot delta) after each one. *)
-      let deltas = stats && List.length ws > 1 in
-      List.iter
-        (fun w ->
-          let before =
-            if deltas then Some (Telemetry.Metrics.freeze ()) else None
-          in
-          let report = Pipeline.Evaluate.evaluate_workload ~verify w in
-          (match before with
-          | Some b ->
-              Format.eprintf "--- %s ---@." w.Workloads.name;
-              Format.eprintf "%a@?" Telemetry.Report.pp_human
-                (Telemetry.Metrics.diff ~before:b
-                   ~after:(Telemetry.Metrics.freeze ()))
-          | None -> ());
+  | Ok ledger -> (
+      match resolve_benchmarks (workload_set scaled) names with
+      | Error msg -> `Error (false, msg)
+      | Ok ws ->
+          with_trace trace_out ~encoded_names:default_encoded_names
+          @@ fun () ->
           if csv then
-            List.iter
-              (fun (run : Pipeline.Evaluate.encoded_run) ->
-                Printf.printf "%s,%d,%d,%d,%.2f,%.2f\n"
-                  report.Pipeline.Evaluate.name run.Pipeline.Evaluate.k
-                  report.Pipeline.Evaluate.baseline_transitions
-                  run.Pipeline.Evaluate.transitions
-                  run.Pipeline.Evaluate.reduction_pct
-                  report.Pipeline.Evaluate.coverage_pct)
-              report.Pipeline.Evaluate.runs
-          else Format.printf "%a@." Pipeline.Evaluate.pp_report report)
-        ws;
-      `Ok ()
+            print_endline
+              "bench,k,baseline_transitions,transitions,reduction_pct,coverage_pct";
+          (* With --stats over several benchmarks, print the per-workload
+             telemetry window (snapshot delta) after each one. *)
+          let deltas = stats && List.length ws > 1 in
+          List.iter
+            (fun w ->
+              let before =
+                if deltas then Some (Telemetry.Metrics.freeze ()) else None
+              in
+              let report =
+                Pipeline.Evaluate.evaluate_workload ~verify ?ledger w
+              in
+              (match before with
+              | Some b ->
+                  Format.eprintf "--- %s ---@." w.Workloads.name;
+                  Format.eprintf "%a@?" Telemetry.Report.pp_human
+                    (Telemetry.Metrics.diff ~before:b
+                       ~after:(Telemetry.Metrics.freeze ()))
+              | None -> ());
+              if csv then
+                List.iter
+                  (fun (run : Pipeline.Evaluate.encoded_run) ->
+                    Printf.printf "%s,%d,%d,%d,%.2f,%.2f\n"
+                      report.Pipeline.Evaluate.name run.Pipeline.Evaluate.k
+                      report.Pipeline.Evaluate.baseline_transitions
+                      run.Pipeline.Evaluate.transitions
+                      run.Pipeline.Evaluate.reduction_pct
+                      report.Pipeline.Evaluate.coverage_pct)
+                  report.Pipeline.Evaluate.runs
+              else Format.printf "%a@." Pipeline.Evaluate.pp_report report)
+            ws;
+          `Ok ())
 
 let scaled_arg =
   Arg.(value & flag & info [ "scaled" ] ~doc:"Use the small test sizes.")
@@ -399,12 +446,104 @@ let evaluate_cmd =
   let csv_arg =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV rows.")
   in
+  let energy_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "energy" ] ~docv:"MODEL"
+          ~doc:
+            "Attach an itemized energy ledger priced under $(docv): on-chip \
+             or off-chip.  --stats implies on-chip unless overridden.")
+  in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Figure 6 style evaluation of benchmarks"
        ~man:man_observability)
     Term.(
       ret (const evaluate $ names_arg $ scaled_arg $ verify_arg
-           $ trace_out_arg $ csv_arg $ stats_arg))
+           $ trace_out_arg $ csv_arg $ energy_arg $ set_arg $ stats_arg))
+
+(* ---- report -------------------------------------------------------------------- *)
+
+let paper_bench_names = [ "mmul"; "sor"; "ej"; "fft"; "tri"; "lu" ]
+
+let report names scaled format out energy sets stats =
+  with_stats stats @@ fun () ->
+  let names = if names = [] then paper_bench_names else names in
+  match resolve_model energy sets with
+  | Error msg -> `Error (false, msg)
+  | Ok model -> (
+      match resolve_benchmarks (workload_set scaled) names with
+      | Error msg -> `Error (false, msg)
+      | Ok ws ->
+          let sheets =
+            List.filter_map
+              (fun w ->
+                (Pipeline.Evaluate.evaluate_workload ~ledger:model w)
+                  .Pipeline.Evaluate.ledger)
+              ws
+          in
+          let doc =
+            match format with
+            | `Md -> Ledger.Render.markdown sheets
+            | `Html -> Ledger.Render.html sheets
+          in
+          (match out with
+          | None -> print_string doc
+          | Some path ->
+              write_text_file path doc;
+              Format.eprintf "report: wrote %s@." path);
+          `Ok ())
+
+let report_cmd =
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"BENCH"
+          ~doc:
+            "Benchmark names; defaults to the paper's six (mmul sor ej fft \
+             tri lu).  Extended kernels fir iir dct may be added.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("md", `Md); ("html", `Html) ]) `Md
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: md (GitHub-flavoured Markdown) or html \
+                (single self-contained page).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the dashboard to $(docv) instead of stdout.")
+  in
+  let energy_arg =
+    Arg.(
+      value & opt string "on-chip"
+      & info [ "energy" ] ~docv:"MODEL"
+          ~doc:"Energy model preset: on-chip or off-chip.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Itemized energy-ledger dashboard: overview, per-component tables \
+          and break-even analysis"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Evaluates each benchmark with the energy ledger attached and \
+              renders one self-contained dashboard: a Figure-6/7-style \
+              overview (bus-transition reduction and net energy savings), an \
+              itemized per-benchmark component table (TT reads, BBIT probes, \
+              gate toggles, reprogramming), and the break-even analysis — \
+              how many fetches amortize one reprogramming of the tables.  \
+              See EXPERIMENTS.md, 'Reading the energy ledger'.";
+         ])
+    Term.(
+      ret (const report $ names_arg $ scaled_arg $ format_arg $ out_arg
+           $ energy_arg $ set_arg $ stats_arg))
 
 (* ---- trace --------------------------------------------------------------------- *)
 
@@ -547,5 +686,5 @@ let () =
        (Cmd.group info
           [
             tables_cmd; subset_cmd; encode_cmd; restore_cmd; simulate_cmd;
-            evaluate_cmd; trace_cmd; disasm_cmd; cost_cmd;
+            evaluate_cmd; report_cmd; trace_cmd; disasm_cmd; cost_cmd;
           ]))

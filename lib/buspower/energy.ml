@@ -6,10 +6,16 @@ let off_chip = { capacitance_per_line_f = 30e-12; vdd_v = 3.3 }
 let per_transition m = 0.5 *. m.capacitance_per_line_f *. m.vdd_v *. m.vdd_v
 let of_transitions m n = per_transition m *. float_of_int n
 
+(* Exact zero is dimensionless ("0 J", not "0 pJ"); each suffix covers
+   [1, 1000) of its unit so a value never prints as e.g. "0.81 nJ" when it
+   is 810 pJ.  Anything below a femtojoule falls through to fJ rather than
+   printing a sub-millesimal pJ figure. *)
 let pp_joules fmt j =
   let abs = Float.abs j in
   let value, unit_ =
-    if abs < 1e-9 then (j *. 1e12, "pJ")
+    if abs = 0.0 then (j, "J")
+    else if abs < 1e-12 then (j *. 1e15, "fJ")
+    else if abs < 1e-9 then (j *. 1e12, "pJ")
     else if abs < 1e-6 then (j *. 1e9, "nJ")
     else if abs < 1e-3 then (j *. 1e6, "uJ")
     else if abs < 1.0 then (j *. 1e3, "mJ")

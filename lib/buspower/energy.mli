@@ -23,5 +23,9 @@ val per_transition : t -> float
 (** [of_transitions m n] is total joules for [n] transitions. *)
 val of_transitions : t -> int -> float
 
-(** [pp_joules] renders with an engineering suffix (pJ/nJ/uJ/mJ/J). *)
+(** [pp_joules] renders with an engineering suffix (fJ/pJ/nJ/uJ/mJ/J).
+    Exact zero prints ["0 J"]; each suffix covers [1, 1000) of its unit
+    (e.g. [1e-9] is ["1 nJ"], not ["1000 pJ"]); magnitudes below [1e-12]
+    use fJ.  Negative values keep the sign and pick the suffix by
+    magnitude.  Boundaries are pinned by [test/test_buspower.ml]. *)
 val pp_joules : Format.formatter -> float -> unit

@@ -1,0 +1,67 @@
+type t = {
+  bus : Buspower.Energy.t;
+  tt_read_j : float;
+  bbit_probe_j : float;
+  gate_toggle_j : float;
+  table_write_j : float;
+}
+
+(* A 16-entry SRAM read in a 0.18 um process costs a couple of picojoules;
+   the fully-associative BBIT probe is of the same order; a single 2-input
+   gate output toggle sits three orders below; a peripheral SRAM write is
+   slightly dearer than a read. *)
+let on_chip =
+  {
+    bus = Buspower.Energy.on_chip;
+    tt_read_j = 2.0e-12;
+    bbit_probe_j = 1.0e-12;
+    gate_toggle_j = 5.0e-15;
+    table_write_j = 3.0e-12;
+  }
+
+let off_chip = { on_chip with bus = Buspower.Energy.off_chip }
+
+let by_name = function
+  | "on-chip" | "on_chip" -> Some on_chip
+  | "off-chip" | "off_chip" -> Some off_chip
+  | _ -> None
+
+let field_names =
+  [
+    "capacitance_per_line_f"; "vdd_v"; "tt_read_j"; "bbit_probe_j";
+    "gate_toggle_j"; "table_write_j";
+  ]
+
+let override m field value =
+  match field with
+  | "capacitance_per_line_f" ->
+      Ok { m with bus = { m.bus with Buspower.Energy.capacitance_per_line_f = value } }
+  | "vdd_v" -> Ok { m with bus = { m.bus with Buspower.Energy.vdd_v = value } }
+  | "tt_read_j" -> Ok { m with tt_read_j = value }
+  | "bbit_probe_j" -> Ok { m with bbit_probe_j = value }
+  | "gate_toggle_j" -> Ok { m with gate_toggle_j = value }
+  | "table_write_j" -> Ok { m with table_write_j = value }
+  | _ ->
+      Error
+        (Printf.sprintf "unknown energy parameter %s (use %s)" field
+           (String.concat "|" field_names))
+
+let pp fmt m =
+  Format.fprintf fmt
+    "bus %.3g pF @@ %.2f V (%a/transition), TT read %a, BBIT probe %a, gate \
+     toggle %a, table write %a"
+    (m.bus.Buspower.Energy.capacitance_per_line_f *. 1e12)
+    m.bus.Buspower.Energy.vdd_v Buspower.Energy.pp_joules
+    (Buspower.Energy.per_transition m.bus)
+    Buspower.Energy.pp_joules m.tt_read_j Buspower.Energy.pp_joules
+    m.bbit_probe_j Buspower.Energy.pp_joules m.gate_toggle_j
+    Buspower.Energy.pp_joules m.table_write_j
+
+let to_json m =
+  Printf.sprintf
+    "{\"capacitance_per_line_f\": %.6e, \"vdd_v\": %.6e, \
+     \"per_transition_j\": %.6e, \"tt_read_j\": %.6e, \"bbit_probe_j\": \
+     %.6e, \"gate_toggle_j\": %.6e, \"table_write_j\": %.6e}"
+    m.bus.Buspower.Energy.capacitance_per_line_f m.bus.Buspower.Energy.vdd_v
+    (Buspower.Energy.per_transition m.bus)
+    m.tt_read_j m.bbit_probe_j m.gate_toggle_j m.table_write_j

@@ -1,0 +1,210 @@
+module Metrics = Telemetry.Metrics
+module Tel = Telemetry.Registry
+
+let joules j = Format.asprintf "%a" Buspower.Energy.pp_joules j
+
+let pct p = Printf.sprintf "%.2f%%" p
+
+let reduction_pct ~base ~enc =
+  if base = 0 then 0.0
+  else 100.0 *. (1.0 -. (float_of_int enc /. float_of_int base))
+
+(* A neutral table shape both renderers share, so the Markdown and HTML
+   dashboards can never disagree on content. *)
+type table = { title : string; header : string list; rows : string list list }
+
+let ks_of (s : Sheet.t) = List.map (fun e -> e.Sheet.k) s.Sheet.entries
+
+let overview_tables (sheets : Sheet.t list) =
+  match sheets with
+  | [] -> []
+  | first :: _ ->
+      let ks = ks_of first in
+      let khead = List.map (fun k -> Printf.sprintf "k=%d" k) ks in
+      let bus_rows =
+        List.map
+          (fun (s : Sheet.t) ->
+            s.Sheet.name
+            :: string_of_int s.Sheet.fetches
+            :: joules (Sheet.energy s.Sheet.baseline_bus)
+            :: List.map
+                 (fun (e : Sheet.entry) ->
+                   pct
+                     (reduction_pct ~base:s.Sheet.baseline_bus.Sheet.count
+                        ~enc:e.Sheet.encoded_bus.Sheet.count))
+                 s.Sheet.entries)
+          sheets
+      in
+      let net_rows =
+        List.map
+          (fun (s : Sheet.t) ->
+            s.Sheet.name
+            :: List.map
+                 (fun (e : Sheet.entry) -> pct (Sheet.net_savings_pct s e))
+                 s.Sheet.entries)
+          sheets
+      in
+      [
+        {
+          title = "Bus-transition reduction (Figure 6/7 view)";
+          header = "bench" :: "fetches" :: "baseline bus" :: khead;
+          rows = bus_rows;
+        };
+        {
+          title = "Net energy savings (bus savings minus all overheads)";
+          header = "bench" :: khead;
+          rows = net_rows;
+        };
+      ]
+
+let component_table (s : Sheet.t) =
+  {
+    title = Printf.sprintf "%s — itemized (%d fetches)" s.Sheet.name s.Sheet.fetches;
+    header =
+      [
+        "k"; "encoded bus"; "TT reads"; "BBIT probes"; "gate toggles";
+        "reprogram"; "overhead"; "net savings"; "net %";
+      ];
+    rows =
+      List.map
+        (fun (e : Sheet.entry) ->
+          [
+            string_of_int e.Sheet.k;
+            Printf.sprintf "%s (%d tr)"
+              (joules (Sheet.energy e.Sheet.encoded_bus))
+              e.Sheet.encoded_bus.Sheet.count;
+            Printf.sprintf "%s (%d)"
+              (joules (Sheet.energy e.Sheet.tt_reads))
+              e.Sheet.tt_reads.Sheet.count;
+            Printf.sprintf "%s (%d)"
+              (joules (Sheet.energy e.Sheet.bbit_probes))
+              e.Sheet.bbit_probes.Sheet.count;
+            Printf.sprintf "%s (%d)"
+              (joules (Sheet.energy e.Sheet.gate_toggles))
+              e.Sheet.gate_toggles.Sheet.count;
+            Printf.sprintf "%s (%d wr)"
+              (joules (Sheet.energy e.Sheet.reprogram_writes))
+              e.Sheet.reprogram_writes.Sheet.count;
+            joules (Sheet.overhead_j e);
+            joules (Sheet.net_savings_j s e);
+            pct (Sheet.net_savings_pct s e);
+          ])
+        s.Sheet.entries;
+  }
+
+let break_even_table (sheets : Sheet.t list) =
+  {
+    title = "Break-even: fetches needed to amortize one table reprogramming";
+    header =
+      [ "bench"; "k"; "reprogram"; "net gain/fetch"; "break-even"; "fetches";
+        "verdict" ];
+    rows =
+      List.concat_map
+        (fun (s : Sheet.t) ->
+          List.map
+            (fun (e : Sheet.entry) ->
+              let gain =
+                if s.Sheet.fetches = 0 then 0.0
+                else
+                  (Sheet.energy s.Sheet.baseline_bus
+                  -. Sheet.energy e.Sheet.encoded_bus
+                  -. Sheet.recurring_overhead_j e)
+                  /. float_of_int s.Sheet.fetches
+              in
+              let be, verdict =
+                match Sheet.break_even_fetches s e with
+                | None -> ("never", "never pays off")
+                | Some n ->
+                    ( string_of_int n,
+                      if n <= s.Sheet.fetches then "amortized"
+                      else "needs a longer run" )
+              in
+              [
+                s.Sheet.name; string_of_int e.Sheet.k;
+                joules (Sheet.energy e.Sheet.reprogram_writes); joules gain;
+                be; string_of_int s.Sheet.fetches; verdict;
+              ])
+            s.Sheet.entries)
+        sheets;
+  }
+
+let all_tables sheets =
+  overview_tables sheets
+  @ List.map component_table sheets
+  @ [ break_even_table sheets ]
+
+let title = "powercode energy ledger"
+
+let model_line = function
+  | [] -> "no benchmarks evaluated"
+  | (s : Sheet.t) :: _ -> Format.asprintf "Model: %a" Model.pp s.Sheet.model
+
+(* ---- markdown --------------------------------------------------------- *)
+
+let markdown sheets =
+  Metrics.incr Tel.ledger_reports;
+  let b = Buffer.create 4096 in
+  let p fmt = Printf.bprintf b fmt in
+  p "# %s\n\n%s\n" title (model_line sheets);
+  List.iter
+    (fun t ->
+      p "\n## %s\n\n" t.title;
+      p "| %s |\n" (String.concat " | " t.header);
+      p "|%s|\n"
+        (String.concat "|" (List.map (fun _ -> "---") t.header));
+      List.iter (fun row -> p "| %s |\n" (String.concat " | " row)) t.rows)
+    (all_tables sheets);
+  p
+    "\nNet savings charge every overhead component: TT SRAM reads, BBIT \
+     probes, decode-gate toggles and the one-time table-programming writes \
+     (see EXPERIMENTS.md, \"Reading the energy ledger\").\n";
+  Buffer.contents b
+
+(* ---- html ------------------------------------------------------------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let html sheets =
+  Metrics.incr Tel.ledger_reports;
+  let b = Buffer.create 8192 in
+  let p fmt = Printf.bprintf b fmt in
+  p "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n";
+  p "<title>%s</title>\n<style>\n" (escape title);
+  p
+    "body{font-family:system-ui,sans-serif;margin:2em;color:#1b1b1b}\n\
+     h1{border-bottom:2px solid #444}\n\
+     table{border-collapse:collapse;margin:1em 0}\n\
+     th,td{border:1px solid #999;padding:0.3em 0.6em;text-align:right}\n\
+     th{background:#eee}\n\
+     td:first-child,th:first-child{text-align:left}\n\
+     caption{caption-side:top;font-weight:bold;text-align:left;padding:0.3em 0}\n";
+  p "</style>\n</head>\n<body>\n<h1>%s</h1>\n<p>%s</p>\n" (escape title)
+    (escape (model_line sheets));
+  List.iter
+    (fun t ->
+      p "<table>\n<caption>%s</caption>\n<thead>\n<tr>" (escape t.title);
+      List.iter (fun h -> p "<th>%s</th>" (escape h)) t.header;
+      p "</tr>\n</thead>\n<tbody>\n";
+      List.iter
+        (fun row ->
+          p "<tr>";
+          List.iter (fun c -> p "<td>%s</td>" (escape c)) row;
+          p "</tr>\n")
+        t.rows;
+      p "</tbody>\n</table>\n")
+    (all_tables sheets);
+  p
+    "<p>Net savings charge every overhead component: TT SRAM reads, BBIT \
+     probes, decode-gate toggles and the one-time table-programming \
+     writes.</p>\n";
+  p "</body>\n</html>\n";
+  Buffer.contents b

@@ -1,0 +1,17 @@
+(** Self-contained energy-ledger dashboards over a set of {!Sheet}s.
+
+    Both renderers produce one document with the same four parts: the
+    model parameters, a Figure-6/7-style overview (bus-transition reduction
+    and {e net} energy savings per benchmark and block size), an itemized
+    per-benchmark component table, and the break-even analysis (how many
+    fetches amortize one reprogramming of the tables).
+
+    Output is deterministic for deterministic sheets — wall-clock never
+    appears — so cram tests pin it verbatim. *)
+
+(** [markdown sheets] — GitHub-flavoured Markdown. *)
+val markdown : Sheet.t list -> string
+
+(** [html sheets] — a single self-contained HTML page (inline CSS, no
+    external assets). *)
+val html : Sheet.t list -> string

@@ -1,0 +1,70 @@
+(** The finished energy ledger of one benchmark run: an itemized,
+    per-component account of where the joules went, for the baseline image
+    and for each encoded block size.
+
+    Every {!item} stores the {e integer} event count next to the per-event
+    energy; joules are always derived as [count * unit_j] at the moment
+    they are read.  Because integer counts add exactly, any sum of itemized
+    counts multiplied once equals the total multiplied once {e bit-exactly}
+    — the conservation invariants ([test/test_ledger.ml]) rely on this, so
+    never pre-round or pre-sum energies when constructing a sheet. *)
+
+type item = { count : int; unit_j : float }
+
+(** [energy it] is [count * unit_j] joules. *)
+val energy : item -> float
+
+(** Per block size: the encoded bus plus every overhead component. *)
+type entry = {
+  k : int;
+  encoded_bus : item;  (** bus-line transitions of the encoded image *)
+  tt_reads : item;  (** TT SRAM reads (fetches inside encoded blocks) *)
+  bbit_probes : item;  (** BBIT probes (non-sequential fetches) *)
+  gate_toggles : item;  (** decode-gate output toggles while active *)
+  reprogram_writes : item;  (** one-time TT + BBIT programming writes *)
+}
+
+type t = {
+  name : string;
+  model : Model.t;
+  fetches : int;  (** dynamic fetches accounted *)
+  baseline_bus : item;  (** bus-line transitions of the baseline image *)
+  entries : entry list;  (** one per evaluated block size, in [ks] order *)
+}
+
+(** [overhead_j e] — every component except the encoded bus:
+    TT reads + BBIT probes + gate toggles + reprogramming. *)
+val overhead_j : entry -> float
+
+(** [recurring_overhead_j e] — {!overhead_j} minus the one-time
+    reprogramming term; the per-activation running cost. *)
+val recurring_overhead_j : entry -> float
+
+(** [net_savings_j t e] = baseline bus − encoded bus − overhead.  Positive
+    means the paper's headline claim holds for this configuration. *)
+val net_savings_j : t -> entry -> float
+
+(** [net_savings_pct t e] — {!net_savings_j} over the baseline bus energy,
+    in percent (0 when the baseline is empty). *)
+val net_savings_pct : t -> entry -> float
+
+(** [break_even_fetches t e] — how many dynamic fetches amortize one
+    reprogramming of the tables: the smallest [n] with
+    [n * (per-fetch bus saving − per-fetch recurring overhead) >=
+    reprogramming energy].  [Some 0] when the tables cost nothing to
+    program; [None] when the per-fetch balance is not positive (the
+    encoding never pays for itself under this model). *)
+val break_even_fetches : t -> entry -> int option
+
+(** Aligned text table: one row per block size with every component,
+    net savings and break-even. *)
+val pp : Format.formatter -> t -> unit
+
+(** One JSON object
+    [{"name", "fetches", "model": {...}, "baseline_bus": {...},
+      "entries": [{"k", components..., "overhead_j", "net_savings_j",
+                   "net_savings_pct", "break_even_fetches"}, ...]}];
+    items render as [{"count", "unit_j", "joules"}];
+    [break_even_fetches] is a number or [null].
+    Embeds into [BENCH_encoding.json] (schema /4). *)
+val to_json : t -> string

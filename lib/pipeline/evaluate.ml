@@ -19,6 +19,7 @@ type report = {
   coverage_pct : float;
   output : string;
   attribution : Trace.Attribution.summary option;
+  ledger : Ledger.Sheet.t option;
 }
 
 exception Verification_failed of { pc : int; expected : int; got : int }
@@ -40,7 +41,7 @@ type selection = [ `Hot_blocks | `Hot_loops ]
 
 let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
     ?(optimal_chain = false) ?(selection = `Hot_blocks) ?(verify = false)
-    ?(attribution = false) ~name program =
+    ?(attribution = false) ?ledger ~name program =
   Metrics.with_span Tel.span_evaluate @@ fun () ->
   Metrics.incr Tel.pipeline_evaluations;
   let subset_mask =
@@ -139,6 +140,43 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
         pc_block.(pc) <- bi
       done)
     blocks;
+  (* per-image map of pcs stored encoded (a block's head may be covered
+     only partially when the TT ran short, so extents come from the
+     encoding actually patched into the image, not the candidate body) *)
+  let meter =
+    match ledger with
+    | None -> None
+    | Some model ->
+        let encoded_pc =
+          Array.of_list
+            (List.map
+               (fun (_, plan, _) ->
+                 let map = Array.make npc false in
+                 List.iter
+                   (fun p ->
+                     match p.Powercode.Program_encoder.encoding with
+                     | None -> ()
+                     | Some enc ->
+                         let start =
+                           p.Powercode.Program_encoder.cand.start_index
+                         in
+                         let len =
+                           Bitutil.Bitmat.rows
+                             enc.Powercode.Program_encoder.encoded
+                         in
+                         for pc = start to min (npc - 1) (start + len - 1) do
+                           map.(pc) <- true
+                         done)
+                   plan.Powercode.Program_encoder.placements;
+                 map)
+               systems)
+        in
+        Some
+          (Ledger.Meter.create ~name ~model
+             ~ks:(Array.of_list (List.map (fun (k, _, _) -> k) systems))
+             ~encoded_region:(fun ~image ~pc ->
+               pc >= 0 && pc < npc && encoded_pc.(image).(pc)))
+  in
   let attr =
     if attribution then
       Some
@@ -172,10 +210,13 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
     (* Attribution and trace events share one fresh per-fetch word array;
        the ring retains it, so it must not be a reused scratch buffer. *)
     let tracing = Trace.Collector.enabled () in
-    if tracing || attr <> None then begin
+    if tracing || attr <> None || meter <> None then begin
       let enc = Array.init nimg (fun v -> (Array.unsafe_get images v).(pc)) in
       (match attr with
       | Some a -> Trace.Attribution.record a ~pc ~baseline:w ~encoded:enc
+      | None -> ());
+      (match meter with
+      | Some m -> Ledger.Meter.record m ~pc ~baseline:w ~encoded:enc
       | None -> ());
       if tracing then begin
         let time = Trace.Collector.now () in
@@ -226,6 +267,39 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
         })
       systems
   in
+  let ledger_sheet =
+    match meter with
+    | None -> None
+    | Some m ->
+        (* Conservation: the meter accumulates bus transitions independently
+           of the aggregate counting run above; any disagreement means one
+           side is broken, and a ledger built on it would lie. *)
+        if Ledger.Meter.baseline_transitions m <> !baseline_total then
+          failwith
+            (Printf.sprintf
+               "Pipeline.Evaluate: ledger baseline transitions %d <> counting \
+                run %d"
+               (Ledger.Meter.baseline_transitions m)
+               !baseline_total);
+        List.iteri
+          (fun v _ ->
+            if Ledger.Meter.encoded_transitions m v <> totals.(v) then
+              failwith
+                (Printf.sprintf
+                   "Pipeline.Evaluate: ledger image %d transitions %d <> \
+                    counting run %d"
+                   v
+                   (Ledger.Meter.encoded_transitions m v)
+                   totals.(v)))
+          systems;
+        let reprogram_writes =
+          Array.of_list
+            (List.map
+               (fun (_, _, s) -> Hardware.Reprogram.programming_writes s)
+               systems)
+        in
+        Some (Ledger.Meter.finalize m ~reprogram_writes)
+  in
   {
     name;
     instructions = result.Machine.Cpu.instructions;
@@ -235,11 +309,12 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
     coverage_pct;
     output = Machine.Cpu.output state;
     attribution = Option.map Trace.Attribution.summarize attr;
+    ledger = ledger_sheet;
   }
 
-let evaluate_workload ?ks ?verify ?attribution w =
+let evaluate_workload ?ks ?verify ?attribution ?ledger w =
   let compiled = Workloads.compile w in
-  evaluate ?ks ?verify ?attribution ~name:w.Workloads.name
+  evaluate ?ks ?verify ?attribution ?ledger ~name:w.Workloads.name
     compiled.Minic.Compile.program
 
 let pp_report fmt r =
@@ -251,4 +326,7 @@ let pp_report fmt r =
       Format.fprintf fmt
         "  k=%d: transitions=%d reduction=%.1f%% tt=%d blocks=%d@." run.k
         run.transitions run.reduction_pct run.tt_used run.blocks_encoded)
-    r.runs
+    r.runs;
+  match r.ledger with
+  | Some sheet -> Format.fprintf fmt "%a@." Ledger.Sheet.pp sheet
+  | None -> ()

@@ -35,6 +35,12 @@ type report = {
           [attribution] flag was set.  Its totals equal
           [baseline_transitions] and each run's [transitions] bit-exactly
           (streaming accumulators over the same fetch stream). *)
+  ledger : Ledger.Sheet.t option;
+      (** itemized energy account; [Some] iff a [ledger] model was passed.
+          Its bus-transition counts are accumulated independently by
+          {!Ledger.Meter} and checked against the aggregate counting run
+          before the report is returned — a mismatch raises rather than
+          returning an inconsistent ledger. *)
 }
 
 exception Verification_failed of { pc : int; expected : int; got : int }
@@ -48,12 +54,15 @@ type selection = [ `Hot_blocks | `Hot_loops ]
 (** [evaluate ?ks ?tt_capacity ?subset_mask ?optimal_chain ?selection
     ?verify ?attribution ~name program] — defaults: [ks = [4;5;6;7]],
     [tt_capacity = 16], the paper's eight transformations, greedy chaining,
-    [`Hot_blocks], no per-fetch verification, no attribution.
+    [`Hot_blocks], no per-fetch verification, no attribution, no ledger.
     [attribution = true] additionally maintains
     {!Trace.Attribution} accumulators over the counting run and returns
-    their summary in the report.  Independently of these flags, the
-    counting run emits [Bus] and [Block_entry] events into
-    {!Trace.Collector} whenever that collector is recording. *)
+    their summary in the report.  [ledger = model] runs a {!Ledger.Meter}
+    over the same fetch stream (TT reads, BBIT probes, gate toggles, bus
+    transitions), charges the reprogramming writes of each built decode
+    system, and returns the priced {!Ledger.Sheet}.  Independently of
+    these flags, the counting run emits [Bus] and [Block_entry] events
+    into {!Trace.Collector} whenever that collector is recording. *)
 val evaluate :
   ?ks:int list ->
   ?tt_capacity:int ->
@@ -62,14 +71,20 @@ val evaluate :
   ?selection:selection ->
   ?verify:bool ->
   ?attribution:bool ->
+  ?ledger:Ledger.Model.t ->
   name:string ->
   Isa.Program.t ->
   report
 
-(** [evaluate_workload ?ks ?verify ?attribution w] compiles and evaluates a
-    benchmark. *)
+(** [evaluate_workload ?ks ?verify ?attribution ?ledger w] compiles and
+    evaluates a benchmark. *)
 val evaluate_workload :
-  ?ks:int list -> ?verify:bool -> ?attribution:bool -> Workloads.t -> report
+  ?ks:int list ->
+  ?verify:bool ->
+  ?attribution:bool ->
+  ?ledger:Ledger.Model.t ->
+  Workloads.t ->
+  report
 
 (** [pp_report] prints one Figure 6 style column group. *)
 val pp_report : Format.formatter -> report -> unit

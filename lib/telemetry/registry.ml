@@ -99,6 +99,23 @@ let pipeline_images =
   counter ~doc:"Encoded images whose transitions one evaluate run counted"
     "pipeline.images"
 
+(* ---- energy ledger (stable) ------------------------------------------- *)
+
+let ledger_meters =
+  counter ~doc:"Ledger meters created (one per metered evaluate run)"
+    "ledger.meters"
+
+let ledger_fetches =
+  counter ~doc:"Dynamic fetches accounted by ledger meters" "ledger.fetches"
+
+let ledger_entries =
+  counter ~doc:"(benchmark, k) ledger entries finalized into sheets"
+    "ledger.entries"
+
+let ledger_reports =
+  counter ~doc:"Ledger dashboards rendered (Markdown or HTML)"
+    "ledger.reports"
+
 (* ---- caches and search spaces (runtime: depend on cache warmth) ------- *)
 
 let codetable_hits =

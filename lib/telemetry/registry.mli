@@ -41,6 +41,17 @@ val pipeline_evaluations : Metrics.counter
 val pipeline_fetches : Metrics.counter
 val pipeline_images : Metrics.counter
 
+(** {1 Energy ledger — stable}
+
+    Stable: ledger counts derive from the fetch stream and the plan, both
+    deterministic for a given workload, so sequential and parallel runs
+    report identical totals. *)
+
+val ledger_meters : Metrics.counter
+val ledger_fetches : Metrics.counter
+val ledger_entries : Metrics.counter
+val ledger_reports : Metrics.counter
+
 (** {1 Caches and search spaces — runtime} *)
 
 val codetable_hits : Metrics.counter

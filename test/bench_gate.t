@@ -9,7 +9,7 @@ domain-count notes).
   $ POWERCODE_FAST=1 ../bench/main.exe > /dev/null
 
   $ ../bench/compare.exe --baseline ../bench/baseline.json --time-band 100000 2> /dev/null
-  bench compare: OK (exact=3767 banded=21, time band +/-100000%)
+  bench compare: OK (exact=4586 banded=21, time band +/-100000%)
 
 A single flipped transition count anywhere is a regression (exit 1), and
 the offending path is named:
@@ -30,6 +30,15 @@ Attribution drift is caught the same way:
   bench compare: 1 regression(s)
   [1]
 
+Ledger drift is a regression like any other deterministic figure:
+
+  $ jq '.ledger[0].entries[0].tt_reads.count += 1' BENCH_encoding.json > tampered3.json
+
+  $ ../bench/compare.exe --baseline ../bench/baseline.json --current tampered3.json --time-band 100000 2> /dev/null
+  regression: ledger.[mmul].entries.[0].tt_reads.count (exact)
+  bench compare: 1 regression(s)
+  [1]
+
 Runs made under different settings are refused outright (exit 2), never
 silently diffed:
 
@@ -42,3 +51,36 @@ silently diffed:
   $ ../bench/compare.exe --baseline ../bench/baseline.json --current missing.json 2> /dev/null
   bench compare: incomparable (missing.json: No such file or directory)
   [2]
+
+A file missing a whole top-level section is a harness-version mismatch, not
+a regression; every absent section is named, then the diff is refused:
+
+  $ jq 'del(.ledger)' BENCH_encoding.json > noledger.json
+
+  $ ../bench/compare.exe --baseline ../bench/baseline.json --current noledger.json --time-band 100000 2> /dev/null
+  section missing in current: ledger
+  bench compare: incomparable (top-level sections differ)
+  [2]
+
+  $ jq 'del(.ledger) | del(.attribution)' ../bench/baseline.json > oldbase.json
+
+  $ ../bench/compare.exe --baseline oldbase.json --time-band 100000 2> /dev/null
+  section missing in baseline: attribution (regenerate bench/baseline.json)
+  section missing in baseline: ledger (regenerate bench/baseline.json)
+  bench compare: incomparable (top-level sections differ)
+  [2]
+
+Once the history log holds two or more entries, the gate summarises the
+trend (first -> last) on stderr — the figures are machine-dependent, so
+only the header line is pinned here:
+
+  $ POWERCODE_FAST=1 ../bench/main.exe > /dev/null 2>&1 && wc -l < history.jsonl | tr -d ' '
+  2
+
+  $ ../bench/compare.exe --baseline ../bench/baseline.json --history history.jsonl --time-band 100000 2>&1 > /dev/null | head -1
+  history: 2 runs in history.jsonl
+
+A short or missing history is silently skipped, never an error:
+
+  $ ../bench/compare.exe --baseline ../bench/baseline.json --history nohistory.jsonl --time-band 100000 2> /dev/null
+  bench compare: OK (exact=4586 banded=21, time band +/-100000%)

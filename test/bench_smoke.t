@@ -6,7 +6,7 @@ spans recorded) without depending on any timing value.
   $ POWERCODE_FAST=1 ../bench/main.exe > /dev/null
 
   $ jq -r '.schema' BENCH_encoding.json
-  powercode-bench-encoding/3
+  powercode-bench-encoding/4
 
   $ jq -r '.mode' BENCH_encoding.json
   fast
@@ -16,6 +16,7 @@ spans recorded) without depending on any timing value.
   block_size_k
   chain_encode_256
   evaluations
+  ledger
   mode
   schema
   settings
@@ -65,6 +66,66 @@ counts, for the baseline and for every k:
 
   $ jq -r '[.attribution[] | .per_line | length == 32] | all' BENCH_encoding.json
   true
+
+The energy ledger (schema /4) carries one sheet per evaluation; its integer
+bus-transition counts must agree with the evaluations section exactly —
+Pipeline.Evaluate refuses to emit a ledger that disagrees with the counting
+run, so these are double-checks against serialization bugs:
+
+  $ jq -r '.ledger | length' BENCH_encoding.json
+  9
+
+  $ jq -r '[.ledger[].entries | length == 4] | all' BENCH_encoding.json
+  true
+
+  $ jq -r '[.evaluations[].name] == [.ledger[].name]' BENCH_encoding.json
+  true
+
+  $ jq -r '[.evaluations[].instructions] == [.ledger[].fetches]' BENCH_encoding.json
+  true
+
+  $ jq -r '[.evaluations[].baseline_transitions] == [.ledger[].baseline_bus.count]' BENCH_encoding.json
+  true
+
+  $ jq -r '[.evaluations[].runs[0].transitions] == [.ledger[].entries[0].encoded_bus.count]' BENCH_encoding.json
+  true
+
+  $ jq -r '[.evaluations[].runs[3].transitions] == [.ledger[].entries[3].encoded_bus.count]' BENCH_encoding.json
+  true
+
+  $ jq -r '[.ledger[].entries[] | .break_even_fetches == null or .break_even_fetches >= 0] | all' BENCH_encoding.json
+  true
+
+  $ jq -r '.ledger[0].model | keys | sort | .[]' BENCH_encoding.json
+  bbit_probe_j
+  capacitance_per_line_f
+  gate_toggle_j
+  per_transition_j
+  table_write_j
+  tt_read_j
+  vdd_v
+
+Each run also appends one line to the history log (history.jsonl here; in
+the repository it lands in bench/, which is gitignored):
+
+  $ wc -l < history.jsonl | tr -d ' '
+  1
+
+  $ jq -r '.schema' history.jsonl
+  powercode-bench-encoding/4
+
+  $ jq -r '.benches' history.jsonl
+  9
+
+  $ jq -r 'keys | sort | .[]' history.jsonl
+  benches
+  domains
+  mean_net_savings_k4_pct
+  mean_reduction_k4_pct
+  mode
+  powercode_seq
+  schema
+  wall_s
 
   $ jq -r '.telemetry | keys | sort | .[]' BENCH_encoding.json
   counters

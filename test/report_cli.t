@@ -1,0 +1,112 @@
+The report subcommand renders the energy-ledger dashboard.  Ledger counts
+are deterministic (they derive from the fetch stream and the plan), so the
+Markdown output is pinned verbatim for one benchmark.
+
+  $ ../bin/powercode_cli.exe report --scaled mmul
+  # powercode energy ledger
+  
+  Model: bus 0.5 pF @ 1.80 V (810 fJ/transition), TT read 2 pJ, BBIT probe 1 pJ, gate toggle 5 fJ, table write 3 pJ
+  
+  ## Bus-transition reduction (Figure 6/7 view)
+  
+  | bench | fetches | baseline bus | k=4 | k=5 | k=6 | k=7 |
+  |---|---|---|---|---|---|---|
+  | mmul | 57774 | 347 nJ | 43.64% | 30.06% | 25.83% | 25.76% |
+  
+  ## Net energy savings (bus savings minus all overheads)
+  
+  | bench | k=4 | k=5 | k=6 | k=7 |
+  |---|---|---|---|---|
+  | mmul | 12.95% | -1.65% | -6.98% | -7.47% |
+  
+  ## mmul — itemized (57774 fetches)
+  
+  | k | encoded bus | TT reads | BBIT probes | gate toggles | reprogram | overhead | net savings | net % |
+  |---|---|---|---|---|---|---|---|---|
+  | 4 | 196 nJ (241415 tr) | 102 nJ (51168) | 2.23 nJ (2226) | 1.88 nJ (375636) | 63 pJ (21 wr) | 107 nJ | 44.9 nJ | 12.95% |
+  | 5 | 243 nJ (299591 tr) | 106 nJ (52896) | 2.23 nJ (2226) | 1.95 nJ (389316) | 63 pJ (21 wr) | 110 nJ | -5.71 nJ | -1.65% |
+  | 6 | 257 nJ (317735 tr) | 110 nJ (54768) | 2.23 nJ (2226) | 2.02 nJ (404868) | 63 pJ (21 wr) | 114 nJ | -24.2 nJ | -6.98% |
+  | 7 | 258 nJ (318023 tr) | 111 nJ (55488) | 2.23 nJ (2226) | 2.05 nJ (410052) | 66 pJ (22 wr) | 115 nJ | -25.9 nJ | -7.47% |
+  
+  ## Break-even: fetches needed to amortize one table reprogramming
+  
+  | bench | k | reprogram | net gain/fetch | break-even | fetches | verdict |
+  |---|---|---|---|---|---|---|
+  | mmul | 4 | 63 pJ | 779 fJ | 81 | 57774 | amortized |
+  | mmul | 5 | 63 pJ | -97.8 fJ | never | 57774 | never pays off |
+  | mmul | 6 | 63 pJ | -418 fJ | never | 57774 | never pays off |
+  | mmul | 7 | 66 pJ | -448 fJ | never | 57774 | never pays off |
+  
+  Net savings charge every overhead component: TT SRAM reads, BBIT probes, decode-gate toggles and the one-time table-programming writes (see EXPERIMENTS.md, "Reading the energy ledger").
+
+With no benchmark arguments the dashboard covers the paper's six, each with
+its own itemized table, and the break-even analysis carries one verdict per
+(benchmark, k) pair:
+
+  $ ../bin/powercode_cli.exe report --scaled > six.md
+
+  $ grep -c '^## ' six.md
+  9
+
+  $ for b in mmul sor ej fft tri lu; do grep -c "^## $b " six.md; done
+  1
+  1
+  1
+  1
+  1
+  1
+
+  $ grep -cE 'amortized|needs a longer run|never pays off' six.md
+  24
+
+The HTML rendering is one self-contained page: a doctype, inline style
+only, balanced table markup, no external assets.
+
+  $ ../bin/powercode_cli.exe report --scaled --format html -o page.html
+  report: wrote page.html
+
+  $ head -c 15 page.html
+  <!DOCTYPE html>
+
+  $ grep -c '</html>' page.html
+  1
+
+  $ test $(grep -o '<table>' page.html | wc -l) -eq $(grep -o '</table>' page.html | wc -l) && echo balanced
+  balanced
+
+  $ test $(grep -o '<tr>' page.html | wc -l) -eq $(grep -o '</tr>' page.html | wc -l) && echo balanced
+  balanced
+
+  $ grep -o '<table>' page.html | wc -l | tr -d ' '
+  9
+
+  $ grep -cE 'https?://|<script|<link' page.html
+  0
+  [1]
+
+The off-chip preset drives the bus term three decades up; --set overrides a
+single parameter:
+
+  $ ../bin/powercode_cli.exe report --scaled mmul --energy off-chip | grep '^Model:'
+  Model: bus 30 pF @ 3.30 V (163 pJ/transition), TT read 2 pJ, BBIT probe 1 pJ, gate toggle 5 fJ, table write 3 pJ
+
+  $ ../bin/powercode_cli.exe report --scaled mmul --set tt_read_j=4e-12 | grep '^Model:'
+  Model: bus 0.5 pF @ 1.80 V (810 fJ/transition), TT read 4 pJ, BBIT probe 1 pJ, gate toggle 5 fJ, table write 3 pJ
+
+Bad arguments are refused with a non-zero exit, never a half-written
+dashboard:
+
+  $ ../bin/powercode_cli.exe report --scaled nosuch 2> /dev/null
+  [124]
+
+  $ ../bin/powercode_cli.exe report --scaled mmul --energy lunar 2> /dev/null
+  [124]
+
+  $ ../bin/powercode_cli.exe report --scaled mmul --format yaml 2> /dev/null
+  [124]
+
+  $ ../bin/powercode_cli.exe report --scaled mmul --set tt_read_j 2> /dev/null
+  [124]
+
+  $ ../bin/powercode_cli.exe report --scaled mmul --set tt_read_j=fast 2> /dev/null
+  [124]

@@ -180,6 +180,153 @@ let test_energy_pp () =
   check_string "mJ" "mJ" (suffix 2.0e-3);
   check_string "J" " J" (suffix 3.0)
 
+(* Every suffix boundary, pinned verbatim: exact zero is dimensionless, each
+   unit covers [1, 1000) of itself, sub-femtojoule magnitudes fall into fJ,
+   and the sign rides along untouched. *)
+let test_energy_pp_boundaries () =
+  let pj j = Format.asprintf "%a" Energy.pp_joules j in
+  check_string "exact zero" "0 J" (pj 0.0);
+  check_string "below a femtojoule" "0.1 fJ" (pj 1e-16);
+  check_string "fJ lower edge" "1 fJ" (pj 1e-15);
+  check_string "gate-toggle preset" "5 fJ" (pj 5e-15);
+  check_string "fJ upper edge" "999 fJ" (pj 9.99e-13);
+  check_string "pJ lower edge" "1 pJ" (pj 1e-12);
+  check_string "pJ upper range" "810 pJ" (pj 0.81e-9);
+  check_string "nJ lower edge" "1 nJ" (pj 1e-9);
+  check_string "uJ lower edge" "1 uJ" (pj 1e-6);
+  check_string "mJ lower edge" "1 mJ" (pj 1e-3);
+  check_string "J lower edge" "1 J" (pj 1.0);
+  check_string "negative keeps sign" "-2.5 nJ" (pj (-2.5e-9))
+
+(* ---- differential: count_stream vs brute-force per-word oracles -------------- *)
+
+(* The oracles model the bus as a bool array per line and count flips by
+   elementwise comparison — deliberately naive and structurally unlike the
+   bit-twiddled accumulators they check. *)
+
+let bits_of ~width w = Array.init width (fun i -> (w lsr i) land 1 = 1)
+
+let flips a b =
+  let n = ref 0 in
+  Array.iteri (fun i x -> if x <> b.(i) then incr n) a;
+  !n
+
+let oracle_businvert ~width words =
+  let prev_bus = ref (bits_of ~width 0) in
+  let prev_inv = ref false in
+  let started = ref false in
+  let total = ref 0 in
+  Array.iter
+    (fun w ->
+      let plain = bits_of ~width w in
+      let invert = 2 * flips plain !prev_bus > width in
+      let bus = if invert then Array.map not plain else plain in
+      if !started then begin
+        total := !total + flips bus !prev_bus;
+        if invert <> !prev_inv then incr total
+      end;
+      prev_bus := bus;
+      prev_inv := invert;
+      started := true)
+    words;
+  !total
+
+let oracle_t0 ~width addrs =
+  let prev_addr = ref 0 in
+  let prev_bus = ref (bits_of ~width 0) in
+  let prev_inc = ref false in
+  let started = ref false in
+  let total = ref 0 in
+  Array.iter
+    (fun a ->
+      if not !started then begin
+        prev_addr := a;
+        prev_bus := bits_of ~width a;
+        prev_inc := false;
+        started := true
+      end
+      else begin
+        let sequential = a = !prev_addr + 1 in
+        let bus = if sequential then !prev_bus else bits_of ~width a in
+        total := !total + flips bus !prev_bus;
+        if sequential <> !prev_inc then incr total;
+        prev_addr := a;
+        prev_bus := bus;
+        prev_inc := sequential
+      end)
+    addrs;
+  !total
+
+let oracle_gray ~width addrs =
+  (* reflected-Gray bit i is binary bit i xor binary bit i+1 *)
+  let gray_bits a =
+    Array.init width (fun i ->
+        (a lsr i) land 1 <> (a lsr (i + 1)) land 1)
+  in
+  let total = ref 0 in
+  Array.iteri
+    (fun i a ->
+      if i > 0 then total := !total + flips (gray_bits a) (gray_bits addrs.(i - 1)))
+    addrs;
+  !total
+
+let xorshift_stream seed n mask =
+  let st = ref seed in
+  Array.init n (fun _ ->
+      st := !st lxor (!st lsl 13);
+      st := !st lxor (!st lsr 7);
+      st := !st lxor (!st lsl 17);
+      !st land mask)
+
+let diff_streams width =
+  let mask = (1 lsl width) - 1 in
+  [
+    ("sequential", Array.init 200 (fun i -> i land mask));
+    ("loop 20..29", Array.init 300 (fun i -> 20 + (i mod 10)));
+    ("constant", Array.make 50 (0x5a land mask));
+    ("seeded 1", xorshift_stream 7919 250 mask);
+    ("seeded 2", xorshift_stream 104729 250 mask);
+    ("seeded 3", xorshift_stream 31337 250 mask);
+  ]
+
+let test_diff_businvert () =
+  List.iter
+    (fun width ->
+      List.iter
+        (fun (label, words) ->
+          check_int
+            (Printf.sprintf "businvert w=%d %s" width label)
+            (oracle_businvert ~width words)
+            (Businvert.count_stream ~width words))
+        (diff_streams width))
+    [ 8; 16 ]
+
+let test_diff_t0 () =
+  List.iter
+    (fun width ->
+      List.iter
+        (fun (label, addrs) ->
+          check_int
+            (Printf.sprintf "t0 w=%d %s" width label)
+            (oracle_t0 ~width addrs)
+            (T0.count_stream ~width addrs))
+        (diff_streams width))
+    [ 8; 16 ]
+
+let test_diff_gray () =
+  List.iter
+    (fun width ->
+      List.iter
+        (fun (label, addrs) ->
+          check_int
+            (Printf.sprintf "gray w=%d %s" width label)
+            (oracle_gray ~width addrs)
+            (Buspower.Gray.count_stream ~width addrs))
+        (diff_streams width))
+    (* Gray codes of width-w addresses stay within w bits, but give the bus
+       one spare line anyway so the oracle's bit window always covers it *)
+    [ 9; 17 ]
+
 let () =
   Alcotest.run "buspower"
     [
@@ -221,5 +368,13 @@ let () =
         [
           Alcotest.test_case "model" `Quick test_energy_model;
           Alcotest.test_case "pretty printing" `Quick test_energy_pp;
+          Alcotest.test_case "pp_joules boundaries" `Quick
+            test_energy_pp_boundaries;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "businvert vs oracle" `Quick test_diff_businvert;
+          Alcotest.test_case "t0 vs oracle" `Quick test_diff_t0;
+          Alcotest.test_case "gray vs oracle" `Quick test_diff_gray;
         ] );
     ]

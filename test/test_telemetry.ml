@@ -40,6 +40,10 @@ let expected_schema =
     ("icache.hits", "counter", "stable");
     ("icache.misses", "counter", "stable");
     ("icache.refill_words", "counter", "stable");
+    ("ledger.entries", "counter", "stable");
+    ("ledger.fetches", "counter", "stable");
+    ("ledger.meters", "counter", "stable");
+    ("ledger.reports", "counter", "stable");
     ("parpool.chunks", "counter", "runtime");
     ("parpool.idle_ns", "counter", "runtime");
     ("parpool.jobs", "counter", "runtime");
