@@ -8,6 +8,7 @@
      evaluate  - full Figure 6 style evaluation of named benchmarks
      trace     - record a fetch-path trace (VCD / Perfetto) + attribution
      report    - itemized energy-ledger dashboard (Markdown or HTML)
+     fault     - seeded fault-injection campaign over the hardened fetch path
      cost      - hardware overhead sheet (paper section 7.2)                   *)
 
 open Cmdliner
@@ -634,6 +635,103 @@ let trace_cmd =
       ret (const trace $ name_arg $ scaled_arg $ verify_arg $ vcd_arg
            $ perfetto_arg $ capacity_arg $ stats_arg))
 
+(* ---- fault --------------------------------------------------------------------- *)
+
+let all_bench_names = paper_bench_names @ [ "fir"; "iir"; "dct" ]
+
+let fault seed injections ks names format out stats =
+  with_stats stats @@ fun () ->
+  if injections < 0 then `Error (false, "--injections must be non-negative")
+  else if List.exists (fun k -> k < 2 || k > 10) ks then
+    `Error (false, "--ks values must be in 2..10")
+  else begin
+    let names = if names = [] then all_bench_names else names in
+    (* Campaigns always use the scaled sizes: hundreds of injected runs. *)
+    match resolve_benchmarks (Workloads.scaled @ Workloads.extended) names with
+    | Error msg -> `Error (false, msg)
+    | Ok ws ->
+        let report =
+          Fault.Campaign.run { Fault.Campaign.seed; injections; ks; benches = ws }
+        in
+        let doc =
+          match format with
+          | `Md -> Fault.Campaign.to_markdown report
+          | `Json -> Fault.Campaign.to_json report
+        in
+        (match out with
+        | None -> print_string doc
+        | Some path ->
+            write_text_file path doc;
+            Format.eprintf "fault: wrote %s@." path);
+        `Ok ()
+  end
+
+let fault_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Campaign RNG seed; the report is a pure function of it.")
+  in
+  let injections_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "injections" ] ~docv:"N"
+          ~doc:
+            "Total single-upset experiments, spread round-robin over every \
+             (benchmark, k) pair.")
+  in
+  let ks_arg =
+    Arg.(
+      value
+      & opt (list int) [ 4; 5; 6; 7 ]
+      & info [ "ks" ] ~docv:"K,K,..." ~doc:"Code block sizes to campaign over.")
+  in
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"BENCH"
+          ~doc:"Benchmark names; defaults to all nine (mmul sor ej fft tri \
+                lu fir iir dct).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("md", `Md); ("json", `Json) ]) `Md
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Report format: md (Markdown) or json (stable machine schema).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the report to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:
+         "Seeded fault-injection campaign through the hardened fetch path"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Injects single-event upsets — stored image bit flips, \
+              transient bus glitches, Transformation Table field flips \
+              (tau / E / CT), BBIT tag and base flips — into freshly built \
+              decode systems and runs each benchmark through the hardened \
+              fetch path under a cycle cap.  Every injection is classified \
+              into exactly one outcome: masked, corrupted (decoded-image \
+              damage with Hamming-distance and propagation-extent stats), \
+              recovered (parity detection plus identity-decode fallback \
+              with baseline-identical output), sdc, trap, or hang.  The \
+              whole campaign is bit-reproducible from the seed.  See \
+              EXPERIMENTS.md, 'Fault campaigns'.";
+         ])
+    Term.(
+      ret (const fault $ seed_arg $ injections_arg $ ks_arg $ names_arg
+           $ format_arg $ out_arg $ stats_arg))
+
 (* ---- disasm ------------------------------------------------------------------- *)
 
 let disasm path =
@@ -686,5 +784,6 @@ let () =
        (Cmd.group info
           [
             tables_cmd; subset_cmd; encode_cmd; restore_cmd; simulate_cmd;
-            evaluate_cmd; report_cmd; trace_cmd; disasm_cmd; cost_cmd;
+            evaluate_cmd; report_cmd; trace_cmd; fault_cmd; disasm_cmd;
+            cost_cmd;
           ]))

@@ -1,0 +1,71 @@
+(** Seeded fault-injection campaigns over the benchmark suite.
+
+    A campaign runs [injections] single-upset experiments round-robin over
+    every (benchmark, block size) pair: rebuild a pristine decode system
+    from the shared plan, draw one {!Model.target} from the campaign RNG,
+    inject it, and run the program through the hardened fetch path under a
+    cycle cap.  Each experiment lands in exactly one outcome class, and
+    the whole campaign is a pure function of the seed — bit-identical
+    across runs and across [POWERCODE_SEQ=1]. *)
+
+(** Decoded-image damage measured by a strict address-order sweep of the
+    corrupted stored state against the pristine raw words. *)
+type corruption = {
+  hamming_bits : int;  (** flipped decoded bits, summed over words *)
+  words_corrupted : int;
+  regions_hit : int;  (** encoded regions containing a corrupted word *)
+  bitlines : int;  (** distinct bus bitlines touched (OR of word diffs) *)
+  max_extent : int;
+      (** widest first-to-last corrupted span inside any one region *)
+}
+
+type outcome =
+  | Masked  (** architecturally and statically invisible *)
+  | Corrupted of corruption
+      (** decoded image differs but the run's output did not *)
+  | Recovered of { detections : int; fallbacks : int }
+      (** parity caught the upset; identity-decode fallback reproduced the
+          baseline output exactly *)
+  | Sdc  (** silent data corruption: wrong program output *)
+  | Trap of { cause : string }  (** typed fault or machine trap *)
+  | Hang of { limit : int }  (** hit the campaign cycle cap *)
+
+val outcome_class : outcome -> string
+
+(** The six class slugs in reporting order. *)
+val classes : string list
+
+type record = {
+  id : int;  (** injection index, 0-based *)
+  bench : string;
+  k : int;
+  target : string;  (** {!Model.label} slug *)
+  outcome : outcome;
+}
+
+type report = {
+  seed : int;
+  requested : int;
+  ks : int list;
+  benches : string list;
+  records : record list;
+  totals : (string * int) list;  (** per class, in {!classes} order *)
+}
+
+type config = {
+  seed : int;
+  injections : int;
+  ks : int list;
+  benches : Workloads.t list;
+}
+
+(** seed 42, 200 injections, k = 4..7, all nine benchmarks. *)
+val default_config : config
+
+val run : config -> report
+
+(** Stable machine-readable rendering (schema
+    ["powercode-fault-campaign/1"], fixed key order). *)
+val to_json : report -> string
+
+val to_markdown : report -> string

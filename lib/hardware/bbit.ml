@@ -3,9 +3,13 @@ type entry = { pc : int; tt_base : int }
 type t = {
   capacity : int;
   slots : entry option array;
-  (* pc -> tt_base, the associative match the hardware does in parallel *)
+  (* pc -> slot, the associative match the hardware does in parallel *)
   index : (int, int) Hashtbl.t;
+  (* one parity bit per slot, computed at write time; [corrupt] flips
+     stored fields without refreshing it *)
+  parities : int array;
   mutable writes : int;
+  mutable version : int;
 }
 
 let create ?(capacity = 16) () =
@@ -14,10 +18,18 @@ let create ?(capacity = 16) () =
     capacity;
     slots = Array.make capacity None;
     index = Hashtbl.create 16;
+    parities = Array.make capacity 0;
     writes = 0;
+    version = 0;
   }
 
 let capacity t = t.capacity
+
+let int_parity v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc lxor (v land 1)) in
+  go v 0
+
+let entry_parity e = int_parity e.pc lxor int_parity e.tt_base
 
 let write t ~slot entry =
   if slot < 0 || slot >= t.capacity then
@@ -28,16 +40,68 @@ let write t ~slot entry =
   | Some old -> Hashtbl.remove t.index old.pc
   | None -> ());
   t.slots.(slot) <- Some entry;
-  Hashtbl.replace t.index entry.pc entry.tt_base;
-  t.writes <- t.writes + 1
+  t.parities.(slot) <- entry_parity entry;
+  Hashtbl.replace t.index entry.pc slot;
+  t.writes <- t.writes + 1;
+  t.version <- t.version + 1
 
 let load t entries = List.iteri (fun slot e -> write t ~slot e) entries
 
-let lookup t ~pc = Hashtbl.find_opt t.index pc
+let lookup_slot t ~pc =
+  match Hashtbl.find_opt t.index pc with
+  | None -> None
+  | Some slot -> (
+      match t.slots.(slot) with
+      | Some e -> Some (slot, e)
+      | None -> None)
 
-let entries t =
-  Array.to_list t.slots |> List.filter_map Fun.id
+let lookup t ~pc =
+  match lookup_slot t ~pc with
+  | Some (_, e) -> Some e.tt_base
+  | None -> None
 
+let entries t = Array.to_list t.slots |> List.filter_map Fun.id
+
+let programmed t =
+  let out = ref [] in
+  Array.iteri
+    (fun i slot -> match slot with Some e -> out := (i, e) :: !out | None -> ())
+    t.slots;
+  List.rev !out
+
+let parity_ok t slot =
+  if slot < 0 || slot >= t.capacity then true
+  else
+    match t.slots.(slot) with
+    | None -> true
+    | Some e -> entry_parity e = t.parities.(slot)
+
+type upset = Pc of { bit : int } | Base of { bit : int }
+
+let corrupt t ~slot upset =
+  if slot < 0 || slot >= t.capacity then
+    invalid_arg "Bbit.corrupt: slot out of capacity";
+  match t.slots.(slot) with
+  | None -> invalid_arg "Bbit.corrupt: slot never programmed"
+  | Some e ->
+      let e' =
+        match upset with
+        | Pc { bit } ->
+            if bit < 0 || bit > 29 then invalid_arg "Bbit.corrupt: bad PC bit";
+            { e with pc = e.pc lxor (1 lsl bit) }
+        | Base { bit } ->
+            if bit < 0 || bit > 29 then
+              invalid_arg "Bbit.corrupt: bad tt_base bit";
+            { e with tt_base = e.tt_base lxor (1 lsl bit) }
+      in
+      (* the stored tag changed, so the associative match follows it — but
+         the parity bit is left stale, exactly as an SEU would *)
+      Hashtbl.remove t.index e.pc;
+      Hashtbl.replace t.index e'.pc slot;
+      t.slots.(slot) <- Some e';
+      t.version <- t.version + 1
+
+let version t = t.version
 let writes_performed t = t.writes
 
 let storage_bits t ~pc_bits ~tt_index_bits =

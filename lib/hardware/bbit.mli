@@ -25,8 +25,38 @@ val load : t -> entry list -> unit
 (** [lookup t ~pc] is the TT base for a block starting at [pc], if any. *)
 val lookup : t -> pc:int -> int option
 
+(** [lookup_slot t ~pc] is the matching slot and its entry — the hardened
+    fetch engine needs the slot identity to check the slot's parity and to
+    map a detection onto the block region it protects. *)
+val lookup_slot : t -> pc:int -> (int * entry) option
+
 (** [entries t] lists programmed entries by slot. *)
 val entries : t -> entry list
+
+(** [programmed t] lists programmed entries as [(slot, entry)], in slot
+    order. *)
+val programmed : t -> (int * entry) list
+
+(** [parity_ok t slot] — does the slot's stored parity bit (computed at
+    {!write} time) still match its fields?  [true] for unprogrammed or
+    out-of-range slots. *)
+val parity_ok : t -> int -> bool
+
+(** A single-event upset of one stored entry field: one bit of the block
+    PC tag or of the TT base index. *)
+type upset = Pc of { bit : int } | Base of { bit : int }
+
+(** [corrupt t ~slot upset] flips the named stored bit {e without}
+    refreshing the slot's parity bit.  The associative match follows the
+    corrupted tag (a flipped PC tag mis-steers or misses real block
+    heads), which is exactly the failure mode parity exists to catch.
+    Not counted as a programming write. *)
+val corrupt : t -> slot:int -> upset -> unit
+
+(** [version t] increments on every {!write} or {!corrupt} — lets the
+    fetch engine re-scrub parity only when the stored state could have
+    changed. *)
+val version : t -> int
 
 (** [writes_performed t] counts {!write} operations. *)
 val writes_performed : t -> int

@@ -1,11 +1,26 @@
+(* Firmware-known recovery metadata: the original (un-encoded) program
+   words and, per BBIT slot, the extent of the encoded region that slot's
+   entry activates.  With it the decoder can degrade gracefully: a region
+   whose table state fails parity is served raw through identity gates —
+   trading the region's power savings for architecturally-correct fetches. *)
+type recovery = { raw : int array; regions : (int * int) array }
+
 type t = {
   tt : Tt.t;
   bbit : Bbit.t;
   k : int;
   image : int array;
   width : int;
+  recovery : recovery option;
+  (* per BBIT slot: true once the slot's region fell back to identity *)
+  degraded : bool array;
+  mutable tt_detections : int;
+  mutable bbit_detections : int;
+  mutable fallbacks : int;
+  mutable scrub_version : int;
   (* sequencing state *)
   mutable is_active : bool;
+  mutable current_slot : int;
   mutable entry_idx : int;
   mutable decodes_left : int;
   mutable first_of_entry : bool;
@@ -15,17 +30,32 @@ type t = {
   mutable prev_decoded : int;
 }
 
-exception Decode_error of string
+(* Internal unwind: a parity detection mid-fetch degraded the current
+   region; the catcher serves the fetch from the raw copy. *)
+exception Degraded_region
 
-let create ~tt ~bbit ~k ~image () =
+let fault c = raise (Machine.Fault.Fault c)
+
+let create ~tt ~bbit ~k ~image ?recovery () =
   if k < 2 then invalid_arg "Fetch_decoder.create: k < 2";
+  (match recovery with
+  | Some r when Array.length r.raw <> Array.length image ->
+      invalid_arg "Fetch_decoder.create: raw/image length mismatch"
+  | _ -> ());
   {
     tt;
     bbit;
     k;
     image;
     width = 32;
+    recovery;
+    degraded = Array.make (Bbit.capacity bbit) false;
+    tt_detections = 0;
+    bbit_detections = 0;
+    fallbacks = 0;
+    scrub_version = -1;
     is_active = false;
+    current_slot = -1;
     entry_idx = 0;
     decodes_left = 0;
     first_of_entry = false;
@@ -34,100 +64,236 @@ let create ~tt ~bbit ~k ~image () =
     prev_decoded = 0;
   }
 
-let reset t =
+let deactivate t =
   t.is_active <- false;
+  t.current_slot <- -1;
   t.entry_idx <- 0;
   t.decodes_left <- 0;
   t.first_of_entry <- false;
   t.expected_pc <- -1
 
+let reset t = deactivate t
 let active t = t.is_active
+let tt_detections t = t.tt_detections
+let bbit_detections t = t.bbit_detections
+let fallback_fetches t = t.fallbacks
 
-let deactivate t = reset t
+let degraded_slots t =
+  let out = ref [] in
+  Array.iteri (fun slot d -> if d then out := slot :: !out) t.degraded;
+  List.rev !out
 
-(* Apply the per-line gates of the current TT entry. *)
-let decode_word t stored =
-  let entry = Tt.read t.tt t.entry_idx in
-  let history_word = if t.first_of_entry then t.prev_stored else t.prev_decoded in
+let region_start t slot =
+  match t.recovery with
+  | Some r when slot >= 0 && slot < Array.length r.regions ->
+      fst r.regions.(slot)
+  | _ -> -1
+
+let degrade t slot =
+  if slot >= 0 && slot < Array.length t.degraded && not t.degraded.(slot) then begin
+    t.degraded.(slot) <- true;
+    if Trace.Collector.enabled () then
+      Trace.Collector.emit
+        (Trace.Event.Fault_fallback
+           { time = Trace.Collector.now (); pc = region_start t slot });
+    if t.current_slot = slot then deactivate t
+  end
+
+let detect_tt t index =
+  t.tt_detections <- t.tt_detections + 1;
+  Telemetry.Metrics.incr Telemetry.Registry.fault_tt_parity;
+  if Trace.Collector.enabled () then
+    Trace.Collector.emit
+      (Trace.Event.Fault_detect
+         { time = Trace.Collector.now (); where = "tt"; index })
+
+let detect_bbit t slot =
+  t.bbit_detections <- t.bbit_detections + 1;
+  Telemetry.Metrics.incr Telemetry.Registry.fault_bbit_parity;
+  if Trace.Collector.enabled () then
+    Trace.Collector.emit
+      (Trace.Event.Fault_detect
+         { time = Trace.Collector.now (); where = "bbit"; index = slot })
+
+(* The fetch path's TT read: never [Invalid_argument].  An unreadable
+   entry is a typed fault; a parity mismatch degrades the current region
+   (hardened) or raises the typed parity fault (strict). *)
+let tt_entry_checked t index =
+  match Tt.read_opt t.tt index with
+  | None ->
+      fault
+        (Machine.Fault.Tt_read_invalid
+           { index; reason = "entry never programmed or out of capacity" })
+  | Some e ->
+      if Tt.parity_ok t.tt index then e
+      else begin
+        detect_tt t index;
+        match t.recovery with
+        | Some _ when t.current_slot >= 0 ->
+            degrade t t.current_slot;
+            raise Degraded_region
+        | _ -> fault (Machine.Fault.Tt_parity { index })
+      end
+
+(* The BBIT is matched associatively on every fetch, so every stored tag
+   participates in the comparison — scrubbing all slot parities models the
+   hardware check.  Re-run only when the stored state could have changed. *)
+let scrub_bbit t =
+  if t.scrub_version <> Bbit.version t.bbit then begin
+    List.iter
+      (fun (slot, _) ->
+        if (not t.degraded.(slot)) && not (Bbit.parity_ok t.bbit slot) then begin
+          detect_bbit t slot;
+          degrade t slot
+        end)
+      (Bbit.programmed t.bbit);
+    t.scrub_version <- Bbit.version t.bbit
+  end
+
+let degraded_region_of t pc =
+  match t.recovery with
+  | None -> None
+  | Some r ->
+      let found = ref (-1) in
+      Array.iteri
+        (fun slot (start, len) ->
+          if
+            !found < 0 && slot < Array.length t.degraded && t.degraded.(slot)
+            && pc >= start
+            && pc < start + len
+          then found := slot)
+        r.regions;
+      if !found >= 0 then Some !found else None
+
+let serve_raw t ~pc =
+  match t.recovery with
+  | None -> assert false
+  | Some r ->
+      t.fallbacks <- t.fallbacks + 1;
+      Telemetry.Metrics.incr Telemetry.Registry.fault_fallback_fetches;
+      let w = r.raw.(pc) in
+      (w, w)
+
+(* Apply the per-line gates of [entry] (the current TT entry). *)
+let decode_word t entry stored =
+  let history_word =
+    if t.first_of_entry then t.prev_stored else t.prev_decoded
+  in
   let out = ref 0 in
   let fns = Tt.functions t.tt in
+  let nfns = Array.length fns in
   for line = 0 to t.width - 1 do
+    let fi = entry.Tt.tau_indices.(line) in
+    if fi < 0 || fi >= nfns then
+      fault
+        (Machine.Fault.Tt_read_invalid
+           { index = t.entry_idx; reason = "gate index addresses no gate" });
     let s = stored lsr line land 1 = 1 in
     let h = history_word lsr line land 1 = 1 in
-    let f = fns.(entry.Tt.tau_indices.(line)) in
-    if Powercode.Boolfun.apply f s h then out := !out lor (1 lsl line)
+    if Powercode.Boolfun.apply fns.(fi) s h then out := !out lor (1 lsl line)
   done;
   !out
 
-let advance_entry t =
-  let entry = Tt.read t.tt t.entry_idx in
+let advance_entry t entry =
   t.decodes_left <- t.decodes_left - 1;
-  if t.decodes_left = 0 then
+  if t.decodes_left = 0 then begin
     if entry.Tt.e_bit then deactivate t
     else begin
       t.entry_idx <- t.entry_idx + 1;
-      let next = Tt.read t.tt t.entry_idx in
+      let next = tt_entry_checked t t.entry_idx in
       t.decodes_left <- next.Tt.ct;
       t.first_of_entry <- true
     end
+  end
   else t.first_of_entry <- false
 
 let fetch t ~pc =
   if pc < 0 || pc >= Array.length t.image then
-    raise (Decode_error (Printf.sprintf "fetch outside image: %d" pc));
-  let stored = t.image.(pc) in
-  let probe = Bbit.lookup t.bbit ~pc in
-  if Trace.Collector.enabled () then
-    Trace.Collector.emit
-      (Trace.Event.Bbit_probe
-         { time = Trace.Collector.now (); pc; hit = probe <> None });
-  match probe with
-  | Some tt_base ->
-      if t.is_active then
-        raise (Decode_error "entered an encoded block while decoding another");
-      (* Head instruction: stored verbatim; prime the sequencing state. *)
-      let head_entry = Tt.read t.tt tt_base in
-      t.is_active <- true;
-      t.entry_idx <- tt_base;
-      (* The head consumes one of entry 0's CT count. *)
-      t.decodes_left <- head_entry.Tt.ct - 1;
-      t.first_of_entry <- true;
-      t.expected_pc <- pc + 1;
-      t.prev_stored <- stored;
-      t.prev_decoded <- stored;
-      if t.decodes_left = 0 then
-        if head_entry.Tt.e_bit then deactivate t
-        else begin
-          t.entry_idx <- t.entry_idx + 1;
-          let next = Tt.read t.tt t.entry_idx in
-          t.decodes_left <- next.Tt.ct;
-          t.first_of_entry <- true
-        end;
-      (stored, stored)
-  | None ->
-      if not t.is_active then (stored, stored)
-      else begin
-        if pc <> t.expected_pc then
-          raise
-            (Decode_error
-               (Printf.sprintf "non-sequential fetch %d inside encoded block (expected %d)"
-                  pc t.expected_pc));
-        let decoded = decode_word t stored in
-        if Trace.Collector.enabled () then begin
-          let entry = Tt.read t.tt t.entry_idx in
+    fault
+      (Machine.Fault.Image_out_of_range { pc; limit = Array.length t.image });
+  if t.recovery <> None then scrub_bbit t;
+  match degraded_region_of t pc with
+  | Some _slot -> serve_raw t ~pc
+  | None -> (
+      let stored = t.image.(pc) in
+      try
+        let probe =
+          match Bbit.lookup_slot t.bbit ~pc with
+          | Some (slot, _) when t.degraded.(slot) -> None
+          | probe -> probe
+        in
+        if Trace.Collector.enabled () then
           Trace.Collector.emit
-            (Trace.Event.Decode
-               {
-                 time = Trace.Collector.now ();
-                 pc;
-                 entry = t.entry_idx;
-                 taus = Array.copy entry.Tt.tau_indices;
-               })
-        end;
-        t.expected_pc <- pc + 1;
-        let prev_stored = stored and prev_decoded = decoded in
-        advance_entry t;
-        t.prev_stored <- prev_stored;
-        t.prev_decoded <- prev_decoded;
-        (stored, decoded)
-      end
+            (Trace.Event.Bbit_probe
+               { time = Trace.Collector.now (); pc; hit = probe <> None });
+        match probe with
+        | Some (slot, entry) ->
+            (* Strict mode checks the matched slot's parity here; in
+               hardened mode the scrub already degraded bad slots, so the
+               match is clean by construction. *)
+            if not (Bbit.parity_ok t.bbit slot) then begin
+              detect_bbit t slot;
+              fault (Machine.Fault.Bbit_parity { slot })
+            end;
+            if t.is_active then
+              fault
+                (Machine.Fault.Decode_sequence
+                   {
+                     pc;
+                     detail = "entered an encoded block while decoding another";
+                   });
+            (* Head instruction: stored verbatim; prime the sequencing
+               state. *)
+            t.current_slot <- slot;
+            let head_entry = tt_entry_checked t entry.Bbit.tt_base in
+            t.is_active <- true;
+            t.entry_idx <- entry.Bbit.tt_base;
+            (* The head consumes one of entry 0's CT count. *)
+            t.decodes_left <- head_entry.Tt.ct - 1;
+            t.first_of_entry <- true;
+            t.expected_pc <- pc + 1;
+            t.prev_stored <- stored;
+            t.prev_decoded <- stored;
+            if t.decodes_left = 0 then begin
+              if head_entry.Tt.e_bit then deactivate t
+              else begin
+                t.entry_idx <- t.entry_idx + 1;
+                let next = tt_entry_checked t t.entry_idx in
+                t.decodes_left <- next.Tt.ct;
+                t.first_of_entry <- true
+              end
+            end;
+            (stored, stored)
+        | None ->
+            if not t.is_active then (stored, stored)
+            else begin
+              if pc <> t.expected_pc then
+                fault
+                  (Machine.Fault.Decode_sequence
+                     {
+                       pc;
+                       detail =
+                         Printf.sprintf
+                           "non-sequential fetch inside encoded block \
+                            (expected %d)"
+                           t.expected_pc;
+                     });
+              let entry = tt_entry_checked t t.entry_idx in
+              let decoded = decode_word t entry stored in
+              if Trace.Collector.enabled () then
+                Trace.Collector.emit
+                  (Trace.Event.Decode
+                     {
+                       time = Trace.Collector.now ();
+                       pc;
+                       entry = t.entry_idx;
+                       taus = Array.copy entry.Tt.tau_indices;
+                     });
+              t.expected_pc <- pc + 1;
+              let prev_stored = stored and prev_decoded = decoded in
+              advance_entry t entry;
+              t.prev_stored <- prev_stored;
+              t.prev_decoded <- prev_decoded;
+              (stored, decoded)
+            end
+      with Degraded_region -> serve_raw t ~pc)

@@ -45,9 +45,37 @@ let build ?(tt_capacity = 16) ?(bbit_capacity = 16) ?functions program plan =
        encoded_placements);
   { tt; bbit; image; k = config.Powercode.Program_encoder.k }
 
-let decoder system =
+let decoder ?recovery system =
   Fetch_decoder.create ~tt:system.tt ~bbit:system.bbit ~k:system.k
-    ~image:system.image ()
+    ~image:system.image ?recovery ()
+
+(* Words covered by the TT chain starting at [tt_base]: the CT counts of
+   the entries up to and including the E-delimited one (the head consumes
+   one of the first entry's count, and every other fetch one more). *)
+let region_length system ~tt_base =
+  let rec go idx acc =
+    let e = Tt.read system.tt idx in
+    let acc = acc + e.Tt.ct in
+    if e.Tt.e_bit then acc else go (idx + 1) acc
+  in
+  go tt_base 0
+
+let recovery system =
+  let regions =
+    Array.of_list
+      (List.map
+         (fun (e : Bbit.entry) ->
+           (e.Bbit.pc, region_length system ~tt_base:e.Bbit.tt_base))
+         (Bbit.entries system.bbit))
+  in
+  (* The raw copy is the decode of the pristine image — an address-order
+     walk, exactly what a firmware integrity pass would produce. *)
+  let dec = decoder system in
+  let raw =
+    Array.init (Array.length system.image) (fun pc ->
+        snd (Fetch_decoder.fetch dec ~pc))
+  in
+  { Fetch_decoder.raw; regions }
 
 let programming_writes system =
   Tt.writes_performed system.tt + Bbit.writes_performed system.bbit

@@ -26,8 +26,17 @@ val build :
   Powercode.Program_encoder.plan ->
   system
 
-(** [decoder system] is a fresh fetch-side decoder over the system. *)
-val decoder : system -> Fetch_decoder.t
+(** [decoder ?recovery system] is a fresh fetch-side decoder over the
+    system — strict by default; pass [recovery] (from {!recovery}, derived
+    while the system was pristine) for a gracefully-degrading one. *)
+val decoder : ?recovery:Fetch_decoder.recovery -> system -> Fetch_decoder.t
+
+(** [recovery system] derives the firmware-known degradation metadata from
+    the system's current state: per-BBIT-slot region extents from the TT
+    E/CT chains, and the raw program words from an address-order decode of
+    the image.  Call it {e before} injecting corruption — it is the
+    pristine copy the fallback path serves. *)
+val recovery : system -> Fetch_decoder.recovery
 
 (** [programming_writes system] is the total number of peripheral writes
     used to program both tables — the volume of the software-reprogramming

@@ -4,8 +4,21 @@ type t = {
   capacity : int;
   functions : Powercode.Boolfun.t array;
   slots : entry option array;
+  (* one parity bit per slot, computed at write time; [corrupt] flips
+     stored fields without refreshing it, exactly as an SEU would *)
+  parities : int array;
   mutable writes : int;
 }
+
+let int_parity v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc lxor (v land 1)) in
+  go v 0
+
+let entry_parity e =
+  let p = ref (if e.e_bit then 1 else 0) in
+  p := !p lxor int_parity e.ct;
+  Array.iter (fun i -> p := !p lxor int_parity i) e.tau_indices;
+  !p
 
 let create ?(capacity = 16) ?functions () =
   let functions =
@@ -20,7 +33,13 @@ let create ?(capacity = 16) ?functions () =
          (fun f -> Powercode.Boolfun.equal f Powercode.Boolfun.identity)
          functions)
   then invalid_arg "Tt.create: identity gate is mandatory";
-  { capacity; functions; slots = Array.make capacity None; writes = 0 }
+  {
+    capacity;
+    functions;
+    slots = Array.make capacity None;
+    parities = Array.make capacity 0;
+    writes = 0;
+  }
 
 let capacity t = t.capacity
 let functions t = Array.copy t.functions
@@ -40,6 +59,7 @@ let write t ~index entry =
     entry.tau_indices;
   if entry.ct < 0 then invalid_arg "Tt.write: negative CT";
   t.slots.(index) <- Some entry;
+  t.parities.(index) <- entry_parity entry;
   t.writes <- t.writes + 1;
   if Trace.Collector.enabled () then
     Trace.Collector.emit
@@ -51,6 +71,42 @@ let read t index =
   match t.slots.(index) with
   | Some e -> e
   | None -> invalid_arg "Tt.read: entry never programmed"
+
+let read_opt t index =
+  if index < 0 || index >= t.capacity then None else t.slots.(index)
+
+let parity_ok t index =
+  if index < 0 || index >= t.capacity then true
+  else
+    match t.slots.(index) with
+    | None -> true
+    | Some e -> entry_parity e = t.parities.(index)
+
+type upset = Tau of { line : int; bit : int } | E | Ct of { bit : int }
+
+let corrupt t ~index upset =
+  if index < 0 || index >= t.capacity then
+    invalid_arg "Tt.corrupt: index out of capacity";
+  match t.slots.(index) with
+  | None -> invalid_arg "Tt.corrupt: entry never programmed"
+  | Some e ->
+      let e' =
+        match upset with
+        | Tau { line; bit } ->
+            if line < 0 || line >= Array.length e.tau_indices then
+              invalid_arg "Tt.corrupt: line out of bus width";
+            if bit < 0 || bit >= fn_index_bits t then
+              invalid_arg "Tt.corrupt: bit outside the stored index field";
+            let taus = Array.copy e.tau_indices in
+            taus.(line) <- taus.(line) lxor (1 lsl bit);
+            { e with tau_indices = taus }
+        | E -> { e with e_bit = not e.e_bit }
+        | Ct { bit } ->
+            if bit < 0 || bit > 29 then invalid_arg "Tt.corrupt: bad CT bit";
+            { e with ct = e.ct lxor (1 lsl bit) }
+      in
+      (* the stored cell changed underneath the parity bit: no refresh *)
+      t.slots.(index) <- Some e'
 
 let index_of_function t f =
   let found = ref (-1) in

@@ -33,6 +33,29 @@ val write : t -> index:int -> entry -> unit
     Raises [Invalid_argument] when out of range or never written. *)
 val read : t -> int -> entry
 
+(** [read_opt t index] is the programmed entry, or [None] when [index] is
+    out of range or was never written — the non-aborting read the fetch
+    path uses so corrupted sequencing is classified, not crashed on. *)
+val read_opt : t -> int -> entry option
+
+(** [parity_ok t index] — does the entry's stored parity bit (computed at
+    {!write} time) still match its fields?  [true] for unprogrammed or
+    out-of-range slots (nothing to check).  Any single-bit {!corrupt} of a
+    programmed entry makes this [false] until the entry is rewritten. *)
+val parity_ok : t -> int -> bool
+
+(** A single-event upset of one stored entry field: one bit of one line's
+    gate index, the end-of-block delimiter, or one bit of the tail
+    counter. *)
+type upset = Tau of { line : int; bit : int } | E | Ct of { bit : int }
+
+(** [corrupt t ~index upset] flips the named stored bit {e without}
+    refreshing the slot's parity bit — exactly what a particle strike does
+    to the SRAM cell.  Not counted as a programming write.  Raises
+    [Invalid_argument] on unprogrammed slots or bits outside the stored
+    field widths. *)
+val corrupt : t -> index:int -> upset -> unit
+
 (** [load t ~base entries] converts encoder output (concrete
     transformations) to indices and writes consecutive entries from
     [base].  Raises [Invalid_argument] if a transformation is not a

@@ -67,7 +67,8 @@ let string_at mem addr =
   go addr;
   Buffer.contents b
 
-let run ?(max_instructions = max_int / 2) ?on_fetch ?mmio program state =
+let run ?(max_instructions = max_int / 2) ?max_cycles ?on_fetch ?fetch_word
+    ?mmio program state =
   let in_mmio addr =
     match mmio with
     | Some m -> addr >= m.base && addr < m.base + m.size
@@ -92,6 +93,32 @@ let run ?(max_instructions = max_int / 2) ?on_fetch ?mmio program state =
   (* Bus words for the tracer; the array is a cached field of the program,
      so this is a pointer copy, not an encode. *)
   let bus_words = Isa.Program.words program in
+  (* With a [fetch_word] override the executed stream is whatever the
+     (possibly corrupted) fetch path delivers, decoded word by word.  The
+     per-pc cache keys on the delivered word, so a steady image decodes each
+     pc once while transient glitches and mid-run degradation still take
+     effect. *)
+  let decode_cache =
+    match fetch_word with
+    | None -> [||]
+    | Some _ -> Array.make n (-1, Isa.Insn.Nop)
+  in
+  let insn_at pc =
+    match fetch_word with
+    | None -> insns.(pc)
+    | Some fw -> (
+        let w = fw ~pc in
+        match decode_cache.(pc) with
+        | cw, ci when cw = w -> ci
+        | _ -> (
+            match Isa.Word.decode w with
+            | i ->
+                decode_cache.(pc) <- (w, i);
+                i
+            | exception (Isa.Word.Unknown_instruction _ | Invalid_argument _)
+              ->
+                raise (Fault.Fault (Fault.Illegal_instruction { pc; word = w }))))
+  in
   let g r = state.regs.(Isa.Reg.to_int r) in
   let gset r v =
     let i = Isa.Reg.to_int r in
@@ -106,8 +133,11 @@ let run ?(max_instructions = max_int / 2) ?on_fetch ?mmio program state =
   while !running do
     let pc = state.pc in
     if pc < 0 || pc >= n then
-      raise (Trap (Printf.sprintf "pc %d outside program of %d instructions" pc n));
+      raise (Fault.Fault (Fault.Pc_out_of_range { pc; limit = n }));
     if !count >= max_instructions then raise (Trap "instruction budget exceeded");
+    (match max_cycles with
+    | Some cap when !count >= cap -> raise (Fault.Fault (Fault.Cycle_limit { limit = cap }))
+    | _ -> ());
     (* Tick the trace clock before the fetch hook, so events the hook (or
        anything below it) emits are stamped with this fetch's tick. *)
     if Trace.Collector.enabled () then
@@ -115,7 +145,7 @@ let run ?(max_instructions = max_int / 2) ?on_fetch ?mmio program state =
     (match on_fetch with Some hook -> hook ~pc | None -> ());
     incr count;
     let next = ref (pc + 1) in
-    (match insns.(pc) with
+    (match insn_at pc with
     | Isa.Insn.Add (d, s, t) | Isa.Insn.Addu (d, s, t) -> gset d (g s + g t)
     | Isa.Insn.Sub (d, s, t) | Isa.Insn.Subu (d, s, t) -> gset d (g s - g t)
     | Isa.Insn.And (d, s, t) -> gset d (g s land g t)

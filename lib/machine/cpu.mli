@@ -58,11 +58,28 @@ type mmio = {
     Syscalls: 1 print [$a0] as integer, 2 print [$f12], 4 print the
     NUL-terminated string at [$a0], 10 exit, 11 print [$a0] as a character.
 
-    Raises {!Trap} on unknown syscalls, PC escaping the program, or
-    exceeding [max_instructions] (default 2^62). *)
+    Raises {!Trap} on unknown syscalls or on exceeding [max_instructions]
+    (default 2^62, the fixed test-suite budget).  Conditions a hardened
+    fetch path must classify instead raise the typed
+    {!Machine.Fault.Fault} channel:
+
+    - the PC escaping the program is {!Fault.Pc_out_of_range};
+    - exceeding [max_cycles] (default unbounded; fault campaigns set it)
+      is {!Fault.Cycle_limit}, which campaigns classify as a hang;
+    - with [fetch_word], a delivered word that decodes to no instruction
+      is {!Fault.Illegal_instruction} — never a bare [Invalid_argument]
+      from the word decoder.
+
+    [fetch_word ~pc] overrides the instruction source: the executed
+    stream becomes whatever the (possibly corrupted or degraded) fetch
+    path delivers for each pc, decoded word by word with a per-pc cache
+    keyed on the delivered word.  Without it the program's pre-decoded
+    instructions run directly, as before. *)
 val run :
   ?max_instructions:int ->
+  ?max_cycles:int ->
   ?on_fetch:(pc:int -> unit) ->
+  ?fetch_word:(pc:int -> int) ->
   ?mmio:mmio ->
   Isa.Program.t ->
   state ->

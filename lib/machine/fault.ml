@@ -1,0 +1,44 @@
+type cause =
+  | Illegal_instruction of { pc : int; word : int }
+  | Pc_out_of_range of { pc : int; limit : int }
+  | Image_out_of_range of { pc : int; limit : int }
+  | Tt_read_invalid of { index : int; reason : string }
+  | Tt_parity of { index : int }
+  | Bbit_parity of { slot : int }
+  | Decode_sequence of { pc : int; detail : string }
+  | Cycle_limit of { limit : int }
+
+exception Fault of cause
+
+let label = function
+  | Illegal_instruction _ -> "illegal-instruction"
+  | Pc_out_of_range _ -> "pc-out-of-range"
+  | Image_out_of_range _ -> "image-out-of-range"
+  | Tt_read_invalid _ -> "tt-read-invalid"
+  | Tt_parity _ -> "tt-parity"
+  | Bbit_parity _ -> "bbit-parity"
+  | Decode_sequence _ -> "decode-sequence"
+  | Cycle_limit _ -> "cycle-limit"
+
+let to_string = function
+  | Illegal_instruction { pc; word } ->
+      Printf.sprintf "illegal instruction %08x at pc %d" (word land 0xffffffff)
+        pc
+  | Pc_out_of_range { pc; limit } ->
+      Printf.sprintf "pc %d outside program of %d instructions" pc limit
+  | Image_out_of_range { pc; limit } ->
+      Printf.sprintf "fetch address %d outside image of %d words" pc limit
+  | Tt_read_invalid { index; reason } ->
+      Printf.sprintf "TT entry %d unreadable: %s" index reason
+  | Tt_parity { index } -> Printf.sprintf "TT entry %d parity mismatch" index
+  | Bbit_parity { slot } -> Printf.sprintf "BBIT slot %d parity mismatch" slot
+  | Decode_sequence { pc; detail } ->
+      Printf.sprintf "decode sequencing violated at pc %d: %s" pc detail
+  | Cycle_limit { limit } -> Printf.sprintf "cycle cap %d exceeded" limit
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)
+
+let () =
+  Printexc.register_printer (function
+    | Fault c -> Some ("Machine.Fault.Fault: " ^ to_string c)
+    | _ -> None)

@@ -1,0 +1,39 @@
+(** The typed fault channel of the fetch path.
+
+    Everything between the instruction store and the pipeline — the cache,
+    the BBIT/TT lookups, the decode gates, the CPU's own fetch sequencing —
+    can be corrupted by a single-event upset, and a deployable encoding
+    scheme must {e classify} that corruption instead of aborting the
+    process.  Each failure mode the hardened fetch path can detect is one
+    constructor here; fault-injection campaigns ([Fault.Campaign]) catch
+    {!Fault} and map the cause to an outcome class, while ordinary runs
+    that never corrupt state never see it raised. *)
+
+type cause =
+  | Illegal_instruction of { pc : int; word : int }
+      (** the fetched (possibly corrupted) word decodes to no instruction *)
+  | Pc_out_of_range of { pc : int; limit : int }
+      (** control flow escaped the program image ([limit] instructions) *)
+  | Image_out_of_range of { pc : int; limit : int }
+      (** a fetch address outside the stored instruction image *)
+  | Tt_read_invalid of { index : int; reason : string }
+      (** a TT read that addresses no programmed entry, or an entry whose
+          fields no longer address a supported decode gate *)
+  | Tt_parity of { index : int }
+      (** TT entry failed its parity check — stored fields were upset *)
+  | Bbit_parity of { slot : int }
+      (** BBIT entry failed its parity check *)
+  | Decode_sequence of { pc : int; detail : string }
+      (** the decoder's sequencing invariants were violated (e.g. a branch
+          into the middle of an encoded block) *)
+  | Cycle_limit of { limit : int }
+      (** the run exceeded its cycle cap — corrupted control flow wedged *)
+
+exception Fault of cause
+
+(** [label c] is a short stable slug ("tt-parity", "cycle-limit", …) used
+    by campaign reports and tests; one per constructor. *)
+val label : cause -> string
+
+val to_string : cause -> string
+val pp : Format.formatter -> cause -> unit

@@ -49,7 +49,9 @@ let stream_word (t : t) w =
 
 let access (t : t) ~pc =
   if pc < 0 || pc >= Array.length t.image then
-    invalid_arg "Icache.access: pc outside image";
+    raise
+      (Fault.Fault
+         (Fault.Image_out_of_range { pc; limit = Array.length t.image }));
   t.accesses <- t.accesses + 1;
   let line_addr = pc / t.config.words_per_line in
   let index = line_addr land (t.config.lines - 1) in

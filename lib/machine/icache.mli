@@ -30,7 +30,11 @@ val create : config -> image:int array -> t
 
 (** [access t ~pc] simulates one fetch: returns the word delivered to the
     core (always [image.(pc)]) and whether it hit.  A miss streams the
-    containing line from memory, charging the memory-side bus. *)
+    containing line from memory, charging the memory-side bus.  A [pc]
+    outside the stored image — a wild branch from a corrupted instruction —
+    raises the typed {!Fault.Fault} channel
+    ({!Fault.Image_out_of_range}), so fault campaigns classify it rather
+    than crash. *)
 val access : t -> pc:int -> int * bool
 
 (** [stats t] is the running statistics. *)

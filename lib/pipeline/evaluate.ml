@@ -39,11 +39,19 @@ let candidate_of_block words profile (b : Cfg.Block.t) =
 
 type selection = [ `Hot_blocks | `Hot_loops ]
 
-let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
-    ?(optimal_chain = false) ?(selection = `Hot_blocks) ?(verify = false)
-    ?(attribution = false) ?ledger ~name program =
-  Metrics.with_span Tel.span_evaluate @@ fun () ->
-  Metrics.incr Tel.pipeline_evaluations;
+(* Everything block selection produces that both [evaluate] and the system
+   preparation below need. *)
+type context = {
+  profile : Cfg.Profile.t;
+  blocks : Cfg.Block.t array;
+  hot_blocks : Cfg.Block.t list;
+  candidates : Powercode.Program_encoder.candidate list;
+  functions : Powercode.Boolfun.t array;
+  bbit_capacity : int;
+  subset_mask : int;
+}
+
+let context ?subset_mask ?(selection = `Hot_blocks) program =
   let subset_mask =
     match subset_mask with
     | Some m -> m
@@ -71,25 +79,58 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
           hot_blocks
   in
   let candidates = List.map (candidate_of_block words profile) selected_blocks in
-  (* plans and decode systems, one per block size; the hardware's gate set
-     must match the subset the encoder drew from *)
-  let functions =
-    Array.of_list (Powercode.Boolfun.list_of_mask subset_mask)
-  in
+  (* the hardware's gate set must match the subset the encoder drew from *)
+  let functions = Array.of_list (Powercode.Boolfun.list_of_mask subset_mask) in
   let bbit_capacity = max 16 (List.length candidates) in
+  { profile; blocks; hot_blocks; candidates; functions; bbit_capacity;
+    subset_mask }
+
+type prepared = {
+  prep_k : int;
+  prep_plan : Powercode.Program_encoder.plan;
+  prep_system : Hardware.Reprogram.system;
+  rebuild : unit -> Hardware.Reprogram.system;
+}
+
+let plan_systems ~tt_capacity ~optimal_chain ctx program ks =
+  Metrics.with_span Tel.span_plan @@ fun () ->
+  List.map
+    (fun k ->
+      let config =
+        {
+          Powercode.Program_encoder.k;
+          subset_mask = ctx.subset_mask;
+          tt_capacity;
+          optimal_chain;
+        }
+      in
+      let plan = Powercode.Program_encoder.plan config ctx.candidates in
+      let build () =
+        Hardware.Reprogram.build ~tt_capacity
+          ~bbit_capacity:ctx.bbit_capacity ~functions:ctx.functions program
+          plan
+      in
+      { prep_k = k; prep_plan = plan; prep_system = build (); rebuild = build })
+    ks
+
+let prepare ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
+    ?(optimal_chain = false) ?selection program =
+  let ctx = context ?subset_mask ?selection program in
+  plan_systems ~tt_capacity ~optimal_chain ctx program ks
+
+let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
+    ?(optimal_chain = false) ?selection ?(verify = false)
+    ?(attribution = false) ?ledger ~name program =
+  Metrics.with_span Tel.span_evaluate @@ fun () ->
+  Metrics.incr Tel.pipeline_evaluations;
+  let words = Isa.Program.words program in
+  let ctx = context ?subset_mask ?selection program in
+  let { profile; blocks; hot_blocks; _ } = ctx in
+  (* plans and decode systems, one per block size *)
   let systems =
-    Metrics.with_span Tel.span_plan @@ fun () ->
     List.map
-      (fun k ->
-        let config =
-          { Powercode.Program_encoder.k; subset_mask; tt_capacity; optimal_chain }
-        in
-        let plan = Powercode.Program_encoder.plan config candidates in
-        ( k,
-          plan,
-          Hardware.Reprogram.build ~tt_capacity ~bbit_capacity ~functions
-            program plan ))
-      ks
+      (fun p -> (p.prep_k, p.prep_plan, p.prep_system))
+      (plan_systems ~tt_capacity ~optimal_chain ctx program ks)
   in
   let coverage_pct =
     match systems with

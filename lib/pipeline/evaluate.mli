@@ -51,6 +51,30 @@ exception Verification_failed of { pc : int; expected : int; got : int }
     belonging to natural loops are candidates (ranked the same way). *)
 type selection = [ `Hot_blocks | `Hot_loops ]
 
+(** One planned block size with its built decode system.  [rebuild]
+    assembles a {e fresh} system from the same plan — fault campaigns
+    corrupt a rebuilt copy per injection so upsets never leak between
+    experiments (the plan itself, the expensive part, is shared). *)
+type prepared = {
+  prep_k : int;
+  prep_plan : Powercode.Program_encoder.plan;
+  prep_system : Hardware.Reprogram.system;
+  rebuild : unit -> Hardware.Reprogram.system;
+}
+
+(** [prepare ?ks ?tt_capacity ?subset_mask ?optimal_chain ?selection
+    program] runs the profiling and planning front half of {!evaluate}
+    (same defaults, same block selection) and returns the per-[k] systems
+    without the counting run. *)
+val prepare :
+  ?ks:int list ->
+  ?tt_capacity:int ->
+  ?subset_mask:int ->
+  ?optimal_chain:bool ->
+  ?selection:selection ->
+  Isa.Program.t ->
+  prepared list
+
 (** [evaluate ?ks ?tt_capacity ?subset_mask ?optimal_chain ?selection
     ?verify ?attribution ~name program] — defaults: [ks = [4;5;6;7]],
     [tt_capacity = 16], the paper's eight transformations, greedy chaining,

@@ -86,6 +86,34 @@ let icache_refill_words =
   counter ~doc:"Words streamed from memory on I-cache refills"
     "icache.refill_words"
 
+(* ---- hardened fetch path (stable) -------------------------------------
+   Stable: injections are replayed from a seeded plan and detections derive
+   from the deterministic fetch stream, so sequential and parallel runs of
+   the same campaign report identical totals. *)
+
+let fault_injections =
+  counter ~doc:"Upsets injected into live systems by fault campaigns"
+    "fault.injections"
+
+let fault_tt_parity =
+  counter ~doc:"TT entry parity mismatches detected on the fetch path"
+    "fault.tt_parity_detected"
+
+let fault_bbit_parity =
+  counter ~doc:"BBIT slot parity mismatches detected on the fetch path"
+    "fault.bbit_parity_detected"
+
+let fault_fallback_fetches =
+  counter
+    ~doc:"Fetches served raw by the identity-decode fallback of a degraded \
+          region"
+    "fault.fallback_fetches"
+
+let fault_recoveries =
+  counter
+    ~doc:"Campaign runs where detection + fallback restored baseline output"
+    "fault.recoveries"
+
 (* ---- pipeline (stable) ------------------------------------------------ *)
 
 let pipeline_evaluations =

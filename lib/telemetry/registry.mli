@@ -35,6 +35,19 @@ val icache_hits : Metrics.counter
 val icache_misses : Metrics.counter
 val icache_refill_words : Metrics.counter
 
+(** {1 Hardened fetch path — stable}
+
+    Stable: campaign injections replay a seeded plan and parity detections
+    derive from the deterministic fetch stream, so sequential
+    ([POWERCODE_SEQ=1]) and parallel runs of the same campaign report
+    identical totals. *)
+
+val fault_injections : Metrics.counter
+val fault_tt_parity : Metrics.counter
+val fault_bbit_parity : Metrics.counter
+val fault_fallback_fetches : Metrics.counter
+val fault_recoveries : Metrics.counter
+
 (** {1 Pipeline — stable} *)
 
 val pipeline_evaluations : Metrics.counter

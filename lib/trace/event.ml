@@ -6,6 +6,9 @@ type t =
   | Decode of { time : int; pc : int; entry : int; taus : int array }
   | Tt_program of { time : int; index : int }
   | Icache of { time : int; pc : int; hit : bool }
+  | Fault_inject of { time : int; target : string }
+  | Fault_detect of { time : int; where : string; index : int }
+  | Fault_fallback of { time : int; pc : int }
   | Span of { path : string; tid : int; start_ns : float; stop_ns : float }
 
 let time = function
@@ -15,6 +18,9 @@ let time = function
   | Bbit_probe { time; _ }
   | Decode { time; _ }
   | Tt_program { time; _ }
-  | Icache { time; _ } ->
+  | Icache { time; _ }
+  | Fault_inject { time; _ }
+  | Fault_detect { time; _ }
+  | Fault_fallback { time; _ } ->
       Some time
   | Span _ -> None

@@ -26,6 +26,15 @@ type t =
       (** A Transformation Table entry was (re)programmed. *)
   | Icache of { time : int; pc : int; hit : bool }
       (** An instruction-cache lookup resolved. *)
+  | Fault_inject of { time : int; target : string }
+      (** A fault campaign injected an upset ([target] is the injection's
+          stable slug, e.g. ["tt:3:tau"]). *)
+  | Fault_detect of { time : int; where : string; index : int }
+      (** The hardened fetch path detected corrupted table state ([where]
+          is ["tt"] or ["bbit"], [index] the entry/slot). *)
+  | Fault_fallback of { time : int; pc : int }
+      (** The fetch engine degraded a region to identity decode; [pc] is
+          the region's first instruction. *)
   | Span of { path : string; tid : int; start_ns : float; stop_ns : float }
       (** A completed telemetry span ([path] is the nested span path,
           [tid] the recording domain). *)

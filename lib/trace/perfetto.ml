@@ -133,6 +133,26 @@ let to_string ?(max_counter_samples = default_max_counter_samples) ~encoded_name
               ("name", str "icache.miss"); ("s", str "t");
               ("ts", string_of_int time);
               ("args", Printf.sprintf "{\"pc\":%d}" pc) ]
+      | Event.Fault_inject { time; target } ->
+          obj
+            [ ("ph", str "i"); ("pid", "2"); ("tid", "0");
+              ("name", str "fault.inject"); ("s", str "t");
+              ("ts", string_of_int time);
+              ("args", Printf.sprintf "{\"target\":%s}" (str target)) ]
+      | Event.Fault_detect { time; where; index } ->
+          obj
+            [ ("ph", str "i"); ("pid", "2"); ("tid", "0");
+              ("name", str "fault.detect"); ("s", str "t");
+              ("ts", string_of_int time);
+              ("args",
+               Printf.sprintf "{\"where\":%s,\"index\":%d}" (str where) index)
+            ]
+      | Event.Fault_fallback { time; pc } ->
+          obj
+            [ ("ph", str "i"); ("pid", "2"); ("tid", "0");
+              ("name", str "fault.fallback"); ("s", str "t");
+              ("ts", string_of_int time);
+              ("args", Printf.sprintf "{\"pc\":%d}" pc) ]
       | _ -> ())
     events;
   Buffer.add_string b "\n]}\n";

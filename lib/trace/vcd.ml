@@ -35,6 +35,11 @@ let to_string ?(date = "powercode trace") ~encoded_names events =
   let has_decode = has (function Event.Decode _ -> true | _ -> false) in
   let has_tt = has (function Event.Tt_program _ -> true | _ -> false) in
   let has_icache = has (function Event.Icache _ -> true | _ -> false) in
+  let has_inject = has (function Event.Fault_inject _ -> true | _ -> false) in
+  let has_detect = has (function Event.Fault_detect _ -> true | _ -> false) in
+  let has_fallback =
+    has (function Event.Fault_fallback _ -> true | _ -> false)
+  in
   let vars = ref [] in
   let count = ref 0 in
   let add name width =
@@ -51,6 +56,9 @@ let to_string ?(date = "powercode trace") ~encoded_names events =
   let id_decode = opt has_decode "decode" in
   let id_tt = opt has_tt "tt_program" in
   let id_icache = opt has_icache "icache_hit" in
+  let id_inject = opt has_inject "fault_inject" in
+  let id_detect = opt has_detect "fault_detect" in
+  let id_fallback = opt has_fallback "fault_fallback" in
   let vars = List.rev !vars in
   let b = Buffer.create 4096 in
   let p fmt = Printf.bprintf b fmt in
@@ -64,7 +72,13 @@ let to_string ?(date = "powercode trace") ~encoded_names events =
   (* Per tick: the value wires set by this tick's events, and each pulse
      wire high iff its event fired at this tick.  Changes are elided
      against the last written value, so quiet wires stay quiet. *)
-  let pulse_ids = List.filter_map Fun.id [ id_block; id_bbit; id_decode; id_tt; id_icache ] in
+  let pulse_ids =
+    List.filter_map Fun.id
+      [
+        id_block; id_bbit; id_decode; id_tt; id_icache; id_inject; id_detect;
+        id_fallback;
+      ]
+  in
   let last : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let changed id v =
     match Hashtbl.find_opt last id with Some v0 when v0 = v -> false | _ -> true
@@ -116,6 +130,12 @@ let to_string ?(date = "powercode trace") ~encoded_names events =
           | Event.Icache { hit; _ } ->
               if hit then
                 Option.iter (fun id -> Hashtbl.replace fired id ()) id_icache
+          | Event.Fault_inject _ ->
+              Option.iter (fun id -> Hashtbl.replace fired id ()) id_inject
+          | Event.Fault_detect _ ->
+              Option.iter (fun id -> Hashtbl.replace fired id ()) id_detect
+          | Event.Fault_fallback _ ->
+              Option.iter (fun id -> Hashtbl.replace fired id ()) id_fallback
           | Event.Span _ -> ())
         evs;
       List.iter

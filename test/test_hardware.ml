@@ -289,8 +289,8 @@ let test_decoder_rejects_nonsequential_fetch () =
   let _ = Fetch_decoder.fetch dec ~pc:2 in
   (try
      ignore (Fetch_decoder.fetch dec ~pc:5);
-     Alcotest.fail "expected Decode_error"
-   with Fetch_decoder.Decode_error _ -> ());
+     Alcotest.fail "expected a Decode_sequence fault"
+   with Machine.Fault.Fault (Machine.Fault.Decode_sequence _) -> ());
   (* reset recovers *)
   Fetch_decoder.reset dec;
   let _ = Fetch_decoder.fetch dec ~pc:0 in
@@ -301,8 +301,8 @@ let test_decoder_rejects_outside_image () =
   let dec = Reprogram.decoder system in
   try
     ignore (Fetch_decoder.fetch dec ~pc:100000);
-    Alcotest.fail "expected Decode_error"
-  with Fetch_decoder.Decode_error _ -> ()
+    Alcotest.fail "expected an Image_out_of_range fault"
+  with Machine.Fault.Fault (Machine.Fault.Image_out_of_range _) -> ()
 
 (* ---- firmware bundles -------------------------------------------------------- *)
 

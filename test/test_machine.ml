@@ -208,6 +208,38 @@ let test_trap_div_zero () =
   Alcotest.check_raises "div0" (Cpu.Trap "integer division by zero") (fun () ->
       ignore (Cpu.run p state))
 
+(* corrupted control flow must land in the typed Cycle_limit fault, never
+   spin forever or trip the generic instruction budget first *)
+let test_max_cycles_fault () =
+  let p = Asm.assemble "loop: j loop" in
+  let state = Cpu.create_state ~mem_bytes:(64 * 1024) () in
+  match Cpu.run ~max_cycles:100 p state with
+  | _ -> Alcotest.fail "infinite loop terminated"
+  | exception Machine.Fault.Fault (Machine.Fault.Cycle_limit { limit }) ->
+      check_int "cap reported" 100 limit
+
+(* satellite: whatever garbage the fetch path delivers, Cpu.run must end in
+   a normal result, a Trap, or a typed Machine.Fault — never a leaked
+   Invalid_argument from the word decoder *)
+let test_fuzz_fetched_words () =
+  let p = Asm.assemble "li $v0, 10\nsyscall" in
+  let rng = Random.State.make [| 0x5eed |] in
+  for trial = 1 to 400 do
+    let w =
+      (Random.State.bits rng lor (Random.State.bits rng lsl 30))
+      land 0xffff_ffff
+    in
+    let state = Cpu.create_state ~mem_bytes:(64 * 1024) () in
+    match Cpu.run ~max_cycles:200 ~fetch_word:(fun ~pc:_ -> w) p state with
+    | _ -> ()
+    | exception Machine.Fault.Fault _ -> ()
+    | exception Cpu.Trap _ -> ()
+    | exception Memory.Fault _ -> ()
+    | exception e ->
+        Alcotest.failf "trial %d word %08x leaked %s" trial w
+          (Printexc.to_string e)
+  done
+
 let test_fetch_hook_counts () =
   let p = Asm.assemble "nop\nnop\nnop\nli $v0, 10\nsyscall" in
   let state = Cpu.create_state ~mem_bytes:(64 * 1024) () in
@@ -310,6 +342,9 @@ let () =
           Alcotest.test_case "exit code" `Quick test_exit_code;
           Alcotest.test_case "budget trap" `Quick test_trap_budget;
           Alcotest.test_case "div zero trap" `Quick test_trap_div_zero;
+          Alcotest.test_case "max_cycles fault" `Quick test_max_cycles_fault;
+          Alcotest.test_case "fuzz fetched words" `Quick
+            test_fuzz_fetched_words;
           Alcotest.test_case "fetch hook" `Quick test_fetch_hook_counts;
         ] );
       ( "icache",

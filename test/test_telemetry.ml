@@ -36,6 +36,11 @@ let expected_schema =
     ("encode.lines", "counter", "stable");
     ("encode.plan", "span", "runtime");
     ("encode.tau_selected", "histogram", "stable");
+    ("fault.bbit_parity_detected", "counter", "stable");
+    ("fault.fallback_fetches", "counter", "stable");
+    ("fault.injections", "counter", "stable");
+    ("fault.recoveries", "counter", "stable");
+    ("fault.tt_parity_detected", "counter", "stable");
     ("icache.accesses", "counter", "stable");
     ("icache.hits", "counter", "stable");
     ("icache.misses", "counter", "stable");
