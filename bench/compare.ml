@@ -8,9 +8,18 @@
      - deterministic results — evaluations (transition counts, coverage,
        TT usage) and the per-bitline attribution — must match EXACTLY;
        these are machine-independent, so any drift is a behaviour change.
-     - wall-clock figures (workloads[].*_ns_per_insn, chain_encode_256)
-       only need to stay within +/- time-band percent of the baseline;
-       CI machines vary widely, so the default band is generous.
+     - wall-clock figures (workloads[].*_ns_per_insn, chain_encode_256,
+       the throughput sweep rates, plan-cache cold/warm timings, and the
+       allocation counts) only need to stay within +/- time-band percent
+       of the baseline; CI machines vary widely, so the default band is
+       generous.  The plan_cache hit/miss counts are a pure function of
+       the harness's call sequence, so they are diffed exactly.
+     - self-relative speedup floors are enforced from the current run
+       alone: a plan-cache-warm prepare >= 1.3x cold always; the
+       widest-domains campaign leg >= 2x the domains=1 leg only when the
+       run recorded >= 4 cores (skipped with a stderr note below that —
+       an exactly-2-core machine sits right at the floor, and a
+       single-core one cannot reach it at all).
      - the telemetry section is ignored: Bechamel picks repetition counts
        by wall-clock quota, so those counters are machine-dependent.
 
@@ -69,6 +78,13 @@ let banded_leaves =
   [
     "encode_ns_per_insn"; "decode_ns_per_insn"; "evaluate_ns_per_insn";
     "builder_ns"; "seed_style_ns"; "speedup";
+    (* schema /5: throughput sweep rates and plan-cache/alloc timings are
+       wall-clock; the counts next to them (requested_domains, domains,
+       campaign_injections, plan_cache hits/misses, block_rows) stay exact *)
+    "campaign_s"; "injections_per_s"; "encode_s"; "bits_per_s";
+    "cold_s"; "warm_s"; "warm_speedup";
+    "before_minor_words_per_block"; "after_minor_words_per_block";
+    "reduction_factor";
   ]
 
 let classify path =
@@ -98,11 +114,15 @@ let feq a b =
   a = b || Float.abs (a -. b) <= 1e-9 *. Float.max (Float.abs a) (Float.abs b)
 
 (* Arrays of {"name": ...} objects (evaluations, attribution) index by name
-   in paths, so a reordered baseline reads sensibly. *)
+   in paths, so a reordered baseline reads sensibly; throughput legs are
+   keyed by their requested domain count instead. *)
 let element_label i v =
   match Option.bind (Json_min.member "name" v) Json_min.to_string_opt with
   | Some name -> Printf.sprintf "[%s]" name
-  | None -> Printf.sprintf "[%d]" i
+  | None -> (
+      match Json_min.member "requested_domains" v with
+      | Some (Json_min.Num d) -> Printf.sprintf "[d%g]" d
+      | _ -> Printf.sprintf "[%d]" i)
 
 let rec walk rpath (b : Json_min.t) (c : Json_min.t) =
   match classify (List.rev rpath) with
@@ -182,6 +202,98 @@ let check_sections base cur =
   if gone <> [] || added <> [] then
     die_incomparable "top-level sections differ"
 
+(* ---- speedup floors ---------------------------------------------------- *)
+
+let num_member doc key =
+  match Json_min.member key doc with
+  | Some (Json_min.Num f) -> Some f
+  | _ -> None
+
+(* The raw-speed work has hard floors, read from the CURRENT run only (they
+   are self-relative ratios, so the baseline's machine doesn't matter):
+
+     - the widest-domains campaign leg must run >= 2x the injections/s of
+       the domains=1 leg.  The campaign's parallel fraction caps an
+       exactly-2-core machine right at 2x, so this floor is only enforced
+       when the run recorded >= 4 cores; below that it is skipped with a
+       note on stderr (and never on single-core CI, where it is
+       physically unattainable).
+     - a plan-cache-warm prepare must be >= 1.3x faster than cold.  The
+       cache serves the profiling and planning work from a lookup, so
+       this holds on any core count and is always enforced.  (Full
+       evaluates are not floored: their counting pass is uncached and
+       dominates, so a whole-evaluate ratio would gate on noise.) *)
+let campaign_floor = 2.0
+let campaign_floor_min_cores = 4.0
+let warm_floor = 1.3
+
+let check_speedup_floors cur =
+  let cores =
+    num_member
+      (Option.value (Json_min.member "settings" cur) ~default:Json_min.Null)
+      "cores"
+  in
+  (match cores with
+  | Some c when c >= campaign_floor_min_cores -> (
+      let legs =
+        match Json_min.member "throughput" cur with
+        | Some (Json_min.Arr l) -> l
+        | _ -> []
+      in
+      let leg_rate leg =
+        match
+          (num_member leg "requested_domains", num_member leg "injections_per_s")
+        with
+        | Some d, Some r -> Some (d, r)
+        | _ -> None
+      in
+      let rates = List.filter_map leg_rate legs in
+      let d1 = List.assoc_opt 1.0 rates in
+      let widest =
+        List.fold_left
+          (fun acc (d, r) ->
+            match acc with
+            | Some (dd, _) when dd >= d -> acc
+            | _ -> Some (d, r))
+          None rates
+      in
+      match (d1, widest) with
+      | Some r1, Some (dmax, rmax) when dmax >= 2.0 && r1 > 0.0 ->
+          let speedup = rmax /. r1 in
+          if speedup < campaign_floor then
+            fail ~kind:"floor"
+              [ "campaign_speedup"; "throughput" ]
+              (Printf.sprintf "%.2fx (d%g vs d1) < required %.1fx" speedup
+                 dmax campaign_floor)
+          else
+            Printf.eprintf "floor: campaign d%g/d1 speedup %.2fx (>= %.1fx)\n"
+              dmax speedup campaign_floor
+      | _ ->
+          fail ~kind:"floor"
+            [ "campaign_speedup"; "throughput" ]
+            "throughput legs for the floor check are missing")
+  | _ ->
+      Printf.eprintf
+        "note: campaign speedup floor skipped (recorded cores < %.0f)\n"
+        campaign_floor_min_cores);
+  match
+    num_member
+      (Option.value (Json_min.member "plan_cache" cur) ~default:Json_min.Null)
+      "warm_speedup"
+  with
+  | Some s ->
+      if s < warm_floor then
+        fail ~kind:"floor"
+          [ "warm_speedup"; "plan_cache" ]
+          (Printf.sprintf "%.2fx < required %.1fx" s warm_floor)
+      else
+        Printf.eprintf "floor: plan-cache warm speedup %.2fx (>= %.1fx)\n" s
+          warm_floor
+  | None ->
+      fail ~kind:"floor"
+        [ "warm_speedup"; "plan_cache" ]
+        "plan_cache.warm_speedup missing"
+
 (* ---- trend summary ----------------------------------------------------- *)
 
 (* The harness appends one JSON line per run; once two entries exist,
@@ -212,6 +324,26 @@ let trend_summary () =
           | _ -> None
         in
         Printf.eprintf "history: %d runs in %s\n" n !history_path;
+        (* the log is append-only across harness versions; when entries
+           span a schema bump the wall-clock trend crosses a change in how
+           much work a run does (the /5 bump added the domains sweep), so
+           flag it rather than letting the numbers mislead *)
+        let schemas =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun e ->
+                 Option.bind (Json_min.member "schema" e)
+                   Json_min.to_string_opt)
+               entries)
+        in
+        (match schemas with
+        | _ :: _ :: _ ->
+            Printf.eprintf
+              "  note: entries span schemas %s; wall_s is not comparable \
+               across a schema bump (each version times a different amount \
+               of work)\n"
+              (String.concat " -> " schemas)
+        | _ -> ());
         List.iter
           (fun (label, key) ->
             match (num first key, num last key) with
@@ -269,6 +401,7 @@ let () =
        (Option.value (setting cur "domains") ~default:"<absent>"));
   check_sections base cur;
   walk [] base cur;
+  check_speedup_floors cur;
   trend_summary ();
   if !regressions > 0 then begin
     Printf.printf "bench compare: %d regression(s)\n" !regressions;

@@ -372,8 +372,13 @@ let resolve_benchmarks set names =
         ("unknown benchmark " ^ n ^ " (mmul, sor, ej, fft, tri, lu, fir, iir, dct)")
   | [] -> Ok (List.map (Workloads.by_name set) names)
 
-let evaluate names scaled verify trace_out csv energy sets stats =
+let apply_plan_cache_flag no_plan_cache =
+  if no_plan_cache then Pipeline.Evaluate.Plan_cache.set_enabled false
+
+let evaluate names scaled verify trace_out csv energy sets stats no_plan_cache
+    =
   with_stats stats @@ fun () ->
+  apply_plan_cache_flag no_plan_cache;
   (* --energy asks for the ledger explicitly; --stats implies the on-chip
      preset so the telemetry view comes with its energy account. *)
   let ledger_model =
@@ -434,6 +439,16 @@ let verify_arg =
     value & flag
     & info [ "verify" ] ~doc:"Push every fetch through the decoder model.")
 
+let no_plan_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-plan-cache" ]
+        ~doc:
+          "Disable the content-addressed plan cache: profile and re-plan \
+           every evaluation from scratch.  Results are identical either \
+           way; this is the escape hatch for timing the cold path and for \
+           differential tests.")
+
 let evaluate_cmd =
   let names_arg =
     Arg.(
@@ -461,7 +476,8 @@ let evaluate_cmd =
        ~man:man_observability)
     Term.(
       ret (const evaluate $ names_arg $ scaled_arg $ verify_arg
-           $ trace_out_arg $ csv_arg $ energy_arg $ set_arg $ stats_arg))
+           $ trace_out_arg $ csv_arg $ energy_arg $ set_arg $ stats_arg
+           $ no_plan_cache_arg))
 
 (* ---- report -------------------------------------------------------------------- *)
 
@@ -639,8 +655,9 @@ let trace_cmd =
 
 let all_bench_names = paper_bench_names @ [ "fir"; "iir"; "dct" ]
 
-let fault seed injections ks names format out stats =
+let fault seed injections ks names format out stats no_plan_cache =
   with_stats stats @@ fun () ->
+  apply_plan_cache_flag no_plan_cache;
   if injections < 0 then `Error (false, "--injections must be non-negative")
   else if List.exists (fun k -> k < 2 || k > 10) ks then
     `Error (false, "--ks values must be in 2..10")
@@ -730,7 +747,7 @@ let fault_cmd =
          ])
     Term.(
       ret (const fault $ seed_arg $ injections_arg $ ks_arg $ names_arg
-           $ format_arg $ out_arg $ stats_arg))
+           $ format_arg $ out_arg $ stats_arg $ no_plan_cache_arg))
 
 (* ---- disasm ------------------------------------------------------------------- *)
 

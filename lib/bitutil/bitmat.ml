@@ -68,6 +68,58 @@ let of_columns cols =
   done;
   { width; words }
 
+(* Words per packed column in the scratch-arena layout below. *)
+let column_words ~rows = (rows + Bitvec.bits_per_word - 1) / Bitvec.bits_per_word
+
+(* Single-pass transpose into a caller-owned arena: column [b] of the
+   matrix lands at [dst.(b * wpc) .. dst.(b * wpc + wpc - 1)], packed
+   little-endian [bits_per_word] bits per int — the same packing Bitvec
+   uses, so the chain encode core can consume the slice directly.  Only
+   set bits are scattered (lowest-set-bit stripping), so sparse rows cost
+   one comparison each.  Allocates nothing. *)
+let transpose_into m dst =
+  let n = rows m in
+  let wpc = column_words ~rows:n in
+  if Array.length dst < m.width * wpc then
+    invalid_arg "Bitmat.transpose_into: arena too small";
+  Array.fill dst 0 (m.width * wpc) 0;
+  for i = 0 to n - 1 do
+    let w = ref m.words.(i) in
+    let iw = i lsr 5 and bit = 1 lsl (i land 31) in
+    while !w <> 0 do
+      let b = Popcount.lsb_index !w in
+      let j = (b * wpc) + iw in
+      dst.(j) <- dst.(j) lor bit;
+      w := !w land (!w - 1)
+    done
+  done
+
+(* Reverse of [transpose_into]: rebuild a matrix from packed column words.
+   Bits of each column beyond [rows] must be zero (the encode core masks
+   its last word), otherwise the scatter would index out of range. *)
+let of_column_words ~width ~rows:n src =
+  if width < 1 || width > 62 then
+    invalid_arg "Bitmat.of_column_words: bad width";
+  let wpc = column_words ~rows:n in
+  if Array.length src < width * wpc then
+    invalid_arg "Bitmat.of_column_words: arena too small";
+  let words = Array.make n 0 in
+  for b = 0 to width - 1 do
+    let line_bit = 1 lsl b in
+    for iw = 0 to wpc - 1 do
+      let w = ref src.((b * wpc) + iw) in
+      let base = iw * Bitvec.bits_per_word in
+      while !w <> 0 do
+        let j = Popcount.lsb_index !w in
+        if base + j >= n then
+          invalid_arg "Bitmat.of_column_words: bits beyond rows";
+        words.(base + j) <- words.(base + j) lor line_bit;
+        w := !w land (!w - 1)
+      done
+    done
+  done;
+  { width; words }
+
 let column_transitions m =
   let counts = Array.make m.width 0 in
   for i = 0 to rows m - 2 do

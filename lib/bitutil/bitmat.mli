@@ -31,6 +31,23 @@ val column : t -> int -> Bitvec.t
     length.  Raises [Invalid_argument] on empty or ragged input. *)
 val of_columns : Bitvec.t array -> t
 
+(** [column_words ~rows] is the number of ints one packed column of a
+    [rows]-row matrix occupies in the arena layout of {!transpose_into}. *)
+val column_words : rows:int -> int
+
+(** [transpose_into m dst] packs every column of [m] into the caller-owned
+    arena [dst]: column [b] occupies [dst.(b * wpc) ..] for
+    [wpc = column_words ~rows:(rows m)], little-endian,
+    [Bitvec.bits_per_word] bits per int — the packing the chain encode
+    core consumes directly.  Allocates nothing; [dst] is zeroed first.
+    Raises [Invalid_argument] if [dst] is too small. *)
+val transpose_into : t -> int array -> unit
+
+(** [of_column_words ~width ~rows src] rebuilds a matrix from an arena in
+    the {!transpose_into} layout.  Bits beyond [rows] in any column must be
+    zero.  Raises [Invalid_argument] on a short arena or stray bits. *)
+val of_column_words : width:int -> rows:int -> int array -> t
+
 (** [transitions m] is the total number of bit transitions summed over all
     columns — the bus-transition cost of fetching the rows in order. *)
 val transitions : t -> int

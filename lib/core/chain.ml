@@ -48,20 +48,27 @@ let table_fetcher ~subset_mask ~k =
   fun len ->
     if len = k then Lazy.force table_k else Codetable.get ~subset_mask ~k:len ()
 
-let encode_greedy ?(subset_mask = Boolfun.full_mask) ~k stream =
+(* Same bumps as [record_encode] for the int-packed core below: one per
+   stream, one histogram observe per code block (the packed entries ARE
+   truth-table indices, so they feed the histogram directly). *)
+let record_encode_packed taus ~toff ~blocks =
+  Metrics.incr Tel.chain_streams;
+  Metrics.add Tel.chain_code_blocks blocks;
+  if Metrics.enabled () then
+    for j = 0 to blocks - 1 do
+      Metrics.observe Tel.tau_selected taus.(toff + j)
+    done
+
+let encode_greedy_into ?(subset_mask = Boolfun.full_mask) ~k ~n ~swords ~soff
+    ~cwords ~coff ~taus ~toff () =
   check_k k;
-  let n = Bitvec.length stream in
   let blocks = block_count ~n ~k in
-  if blocks = 0 then { code = Bitvec.create 0; taus = [||]; k }
-  else begin
-    let nw = Bitvec.word_count stream in
-    let swords = Array.init nw (Bitvec.word stream) in
-    let cwords = Array.make nw 0 in
-    let taus = Array.make blocks Boolfun.identity in
+  if blocks > 0 then begin
+    let nw = (n + 31) lsr 5 in
+    Array.fill cwords coff nw 0;
     let table_for = table_fetcher ~subset_mask ~k in
     let table_k = table_for k in
-    let row0 = Codetable.chained_row table_k ~b_in:false in
-    let row1 = Codetable.chained_row table_k ~b_in:true in
+    let row0, row1 = Codetable.chained_rows table_k in
     (* Walk the spans directly (same positions block_spans yields), carrying
        the chain boundary bit forward instead of re-reading the output.
        Unsafe accesses are justified: [iw < nw] because [start < n]; the
@@ -71,12 +78,13 @@ let encode_greedy ?(subset_mask = Boolfun.full_mask) ~k stream =
     let start = ref 0 and b_in = ref false in
     for j = 0 to blocks - 1 do
       let len = min k (n - !start) in
-      let iw = !start lsr 5 and off = !start land 31 in
+      let iw = coff + (!start lsr 5) and off = !start land 31 in
+      let siw = soff + (!start lsr 5) in
       let straddles = off + len > 32 in
       let word =
-        let low = Array.unsafe_get swords iw lsr off in
+        let low = Array.unsafe_get swords siw lsr off in
         (if straddles then
-           low lor (Array.unsafe_get swords (iw + 1) lsl (32 - off))
+           low lor (Array.unsafe_get swords (siw + 1) lsl (32 - off))
          else low)
         land ((1 lsl len) - 1)
       in
@@ -98,18 +106,48 @@ let encode_greedy ?(subset_mask = Boolfun.full_mask) ~k stream =
       if straddles then
         Array.unsafe_set cwords (iw + 1)
           (Array.unsafe_get cwords (iw + 1) lor (c lsr (32 - off)));
-      taus.(j) <- choice.Codetable.tau;
+      Array.unsafe_set taus (toff + j) (Boolfun.index choice.Codetable.tau);
       b_in := (c lsr (len - 1)) land 1 <> 0;
       start := !start + len - 1
     done;
-    record_encode taus blocks;
+    (* Mask shift garbage above bit 32 of every word, and bits beyond [n]
+       in the last word, restoring the packing invariant. *)
+    for i = 0 to nw - 2 do
+      cwords.(coff + i) <- cwords.(coff + i) land 0xffffffff
+    done;
+    let last_bits = n - ((nw - 1) * 32) in
+    cwords.(coff + nw - 1) <-
+      cwords.(coff + nw - 1) land ((1 lsl last_bits) - 1);
+    record_encode_packed taus ~toff ~blocks
+  end;
+  blocks
+
+let encode_greedy ?(subset_mask = Boolfun.full_mask) ~k stream =
+  check_k k;
+  let n = Bitvec.length stream in
+  let blocks = block_count ~n ~k in
+  if blocks = 0 then { code = Bitvec.create 0; taus = [||]; k }
+  else begin
+    let nw = Bitvec.word_count stream in
+    let swords = Array.init nw (Bitvec.word stream) in
+    let cwords = Array.make nw 0 in
+    let tau_idx = Array.make blocks 0 in
+    let written =
+      encode_greedy_into ~subset_mask ~k ~n ~swords ~soff:0 ~cwords ~coff:0
+        ~taus:tau_idx ~toff:0 ()
+    in
+    assert (written = blocks);
     let code = Bitvec.Builder.create n in
     for i = 0 to nw - 1 do
       let base = i * 32 in
       Bitvec.Builder.blit_int code ~pos:base ~len:(min 32 (n - base))
-        (cwords.(i) land 0xffffffff)
+        cwords.(i)
     done;
-    { code = Bitvec.Builder.freeze code; taus; k }
+    {
+      code = Bitvec.Builder.freeze code;
+      taus = Array.map Boolfun.of_index tau_idx;
+      k;
+    }
   end
 
 let encode_optimal ?(subset_mask = Boolfun.full_mask) ~k stream =

@@ -36,6 +36,33 @@ val block_spans : n:int -> k:int -> (int * int) list
     the identity fallback is always admissible. *)
 val encode_greedy : ?subset_mask:int -> k:int -> Bitutil.Bitvec.t -> encoded
 
+(** [encode_greedy_into ?subset_mask ~k ~n ~swords ~soff ~cwords ~coff
+    ~taus ~toff ()] is the zero-allocation core of {!encode_greedy}: it
+    reads the [n]-bit input stream packed little-endian 32 bits per int at
+    [swords.(soff) ..], writes the encoded stream in the same packing at
+    [cwords.(coff) ..] (the slice is zeroed first; bits beyond [n] in the
+    last word come back zero), and writes one truth-table index per block
+    ([Boolfun.index] of the selected transformation) at [taus.(toff) ..].
+    Returns the number of blocks written ([block_count ~n ~k]).
+
+    Allocates nothing, so the per-line encoder can fan thousands of
+    streams over reused scratch arenas; distinct slices may be encoded
+    concurrently from different domains.  Emits exactly the telemetry
+    {!encode_greedy} does.  The caller guarantees each slice is large
+    enough ([ceil(n/32)] words, [block_count] indices). *)
+val encode_greedy_into :
+  ?subset_mask:int ->
+  k:int ->
+  n:int ->
+  swords:int array ->
+  soff:int ->
+  cwords:int array ->
+  coff:int ->
+  taus:int array ->
+  toff:int ->
+  unit ->
+  int
+
 (** [encode_optimal ?subset_mask ~k stream] minimises the total transitions
     of the stored stream exactly, by dynamic programming over the encoded
     value of each block boundary bit. *)

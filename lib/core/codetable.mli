@@ -37,6 +37,13 @@ val chained_best : t -> b_in:bool -> word:int -> choice
     keeping calls and range checks out of the loop. *)
 val chained_row : t -> b_in:bool -> choice array
 
+(** [chained_rows t] is [(row for b_in:false, row for b_in:true)] without
+    copying: the arrays alias the table's own storage and must be treated
+    as read-only.  This is the zero-allocation accessor the chain encode
+    core uses — {!chained_row} copies on every call, which used to cost two
+    [2{^k}]-entry arrays per encoded stream. *)
+val chained_rows : t -> choice array * choice array
+
 (** [chained_best_out t ~b_in ~word ~b_out] constrains additionally the
     {e last} encoded bit of the block to [b_out]; [None] when infeasible. *)
 val chained_best_out : t -> b_in:bool -> word:int -> b_out:bool -> choice option

@@ -7,8 +7,23 @@ let sequential_mode () = Sys.getenv_opt "POWERCODE_SEQ" = Some "1"
    blocks are short; cap the pool rather than grabbing every core. *)
 let max_workers = 8
 
+(* POWERCODE_DOMAINS pins the *total* domain count (caller + workers) so
+   the bench domains sweep and CI can request deterministic widths on any
+   machine.  Values above the physical core count deliberately
+   oversubscribe — single-core CI runners still need to exercise the
+   multi-domain code paths — and the pool cap still applies. *)
+let requested_domains () =
+  match Sys.getenv_opt "POWERCODE_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
 let worker_count () =
-  max 0 (min max_workers (Domain.recommended_domain_count () - 1))
+  match requested_domains () with
+  | Some n -> min max_workers (n - 1)
+  | None -> max 0 (min max_workers (Domain.recommended_domain_count () - 1))
 
 (* Each [parallel_init] call is one job: a shared task queue plus a
    per-call remaining-chunk counter so that concurrent callers (should they
@@ -75,40 +90,60 @@ let shutdown pool =
 let the_pool = ref None
 let pool_mutex = Mutex.create ()
 
+(* Nested parallelism guard: a worker domain that calls [parallel_init]
+   (e.g. a fault-campaign injection whose rebuild encodes a large block)
+   must not enqueue onto the pool it is itself draining — with every
+   worker busy on outer chunks the inner job could wait forever.  Workers
+   mark their domain and nested calls run sequentially; the outer fan-out
+   already owns all the parallelism there is. *)
+let in_worker_domain = Domain.DLS.new_key (fun () -> false)
+
+let spawn_worker pool =
+  Domain.spawn (fun () ->
+      Domain.DLS.set in_worker_domain true;
+      Mutex.lock pool.mutex;
+      worker_loop pool)
+
+(* The pool grows lazily to the currently requested worker count, so a
+   POWERCODE_DOMAINS sweep within one process (the bench does this) gets
+   the width it asks for.  Domains are never retired below the high-water
+   mark — idle workers just sleep on the condition variable. *)
 let get_pool () =
-  Mutex.lock pool_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock pool_mutex)
-    (fun () ->
-      match !the_pool with
-      | Some _ as p -> p
-      | None ->
-          let n = worker_count () in
-          if n = 0 then None
-          else begin
-            let pool =
-              {
-                mutex = Mutex.create ();
-                work_available = Condition.create ();
-                job_finished = Condition.create ();
-                queue = [];
-                stop = false;
-                domains = [];
-              }
-            in
-            pool.domains <-
-              List.init n (fun _ ->
-                  Domain.spawn (fun () ->
-                      Mutex.lock pool.mutex;
-                      worker_loop pool));
-            at_exit (fun () -> shutdown pool);
-            the_pool := Some pool;
-            Some pool
-          end)
+  let want = worker_count () in
+  if want = 0 then None
+  else begin
+    Mutex.lock pool_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock pool_mutex)
+      (fun () ->
+        let pool =
+          match !the_pool with
+          | Some p -> p
+          | None ->
+              let pool =
+                {
+                  mutex = Mutex.create ();
+                  work_available = Condition.create ();
+                  job_finished = Condition.create ();
+                  queue = [];
+                  stop = false;
+                  domains = [];
+                }
+              in
+              at_exit (fun () -> shutdown pool);
+              the_pool := Some pool;
+              pool
+        in
+        let have = List.length pool.domains in
+        if want > have then
+          pool.domains <-
+            pool.domains @ List.init (want - have) (fun _ -> spawn_worker pool);
+        Some pool)
+  end
 
 let parallel_init n f =
   if n < 0 then invalid_arg "Parpool.parallel_init: negative length";
-  if n <= 1 || sequential_mode () then begin
+  if n <= 1 || sequential_mode () || Domain.DLS.get in_worker_domain then begin
     Metrics.incr Tel.parpool_seq_fallbacks;
     Array.init n f
   end

@@ -7,21 +7,39 @@
     process exit.
 
     Sequential fallback: when [POWERCODE_SEQ=1] is set in the environment,
-    when [Domain.recommended_domain_count () = 1], or when the caller asks
-    for fewer than two items, {!parallel_init} degrades to [Array.init].
-    The environment variable is consulted on every call, so tests can
-    toggle it at runtime. *)
+    when the effective worker count is zero, or when the caller asks for
+    fewer than two items, {!parallel_init} degrades to [Array.init].  Both
+    environment variables are consulted on every call, so tests and the
+    bench can toggle them at runtime.
+
+    Width pinning: [POWERCODE_DOMAINS=<n>] requests a total of [n] domains
+    (the calling domain plus [n - 1] workers), clamped to the pool cap.
+    Values above the physical core count oversubscribe on purpose — CI and
+    differential tests must be able to exercise the multi-domain paths on
+    single-core runners.  Without it the pool sizes itself from
+    [Domain.recommended_domain_count ()].  The pool grows lazily when a
+    later call requests more workers than have been spawned. *)
+
+(** Hard cap on worker domains: requests (environment or recommended) for
+    more than [max_workers + 1] total domains are clamped. *)
+val max_workers : int
 
 (** [sequential_mode ()] is [true] when [POWERCODE_SEQ=1] is set. *)
 val sequential_mode : unit -> bool
 
 (** [worker_count ()] is the number of worker domains the pool will use
-    (0 when parallelism is unavailable).  Does not spawn the pool. *)
+    (0 when parallelism is unavailable): [POWERCODE_DOMAINS - 1] when that
+    variable holds a positive integer, otherwise one less than the
+    recommended domain count; capped either way.  Does not spawn the
+    pool. *)
 val worker_count : unit -> int
 
 (** [parallel_init n f] is [Array.init n f] with the index range chunked
     over the pool's domains plus the calling domain.  [f] must be safe to
     call from any domain.  The first exception raised by any [f i] is
     re-raised in the caller after all chunks settle.  Evaluation order
-    across chunks is unspecified; each index is evaluated exactly once. *)
+    across chunks is unspecified; each index is evaluated exactly once.
+    Calls made {e from} a pool worker domain (nested parallelism, e.g. a
+    block encode inside a parallel fault injection) run sequentially
+    rather than re-entering the pool they are draining. *)
 val parallel_init : int -> (int -> 'a) -> 'a array

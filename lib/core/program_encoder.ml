@@ -29,6 +29,48 @@ let entries_needed ~k ~rows = Chain.block_count ~n:rows ~k
    encode sequentially.  128 instructions x 32 lines. *)
 let parallel_threshold_bits = 4096
 
+(* Per-domain scratch arena for the zero-alloc greedy path: the transposed
+   input columns, the encoded columns, and the int-packed tau indices all
+   live in three int arrays that grow to the largest block the domain has
+   seen and are reused for every subsequent encode.  Workers of a parallel
+   fan-out write disjoint slices, so sharing the caller's arena is safe;
+   each domain that *initiates* encodes (the main domain, or campaign
+   workers running rebuilds) gets its own arena via DLS. *)
+type scratch = {
+  mutable s_in : int array;
+  mutable s_out : int array;
+  mutable s_taus : int array;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () -> { s_in = [||]; s_out = [||]; s_taus = [||] })
+
+let ensure n arr = if Array.length arr >= n then arr else Array.make n 0
+
+let prefetch_tables config ~rows =
+  (* One table per distinct block length — the interior blocks all share
+     one — fetched sequentially so worker domains only ever read the
+     cache. *)
+  Chain.block_spans ~n:rows ~k:config.k
+  |> List.map snd
+  |> List.sort_uniq Int.compare
+  |> List.iter (fun len ->
+         ignore (Codetable.get ~subset_mask:config.subset_mask ~k:len ()))
+
+let build_entries config ~rows ~blocks line_taus =
+  Array.init blocks (fun j ->
+      let taus = line_taus j in
+      let is_end = j = blocks - 1 in
+      let count =
+        (* Entry 0 covers the pass-through head plus k-1 more rows; later
+           entries cover the rows after their overlap instruction. *)
+        if j = 0 then min config.k rows
+        else
+          let start = j * (config.k - 1) in
+          min (config.k - 1) (rows - 1 - start)
+      in
+      { taus; is_end; count })
+
 let encode_block config m =
   Metrics.with_span Tel.span_encode_block @@ fun () ->
   let width = Bitmat.width m in
@@ -36,46 +78,67 @@ let encode_block config m =
   Metrics.incr Tel.encode_blocks;
   Metrics.add Tel.encode_lines width;
   Metrics.observe Tel.block_bits (Metrics.log2_bucket (rows * width));
-  let encode =
-    if config.optimal_chain then Chain.encode_optimal else Chain.encode_greedy
-  in
-  let encode_line b =
-    encode ~subset_mask:config.subset_mask ~k:config.k (Bitmat.column m b)
-  in
-  let per_line =
-    Metrics.with_span Tel.span_encode_fanout @@ fun () ->
-    if rows * width >= parallel_threshold_bits then begin
-      (* Prefetch the shared code tables (one per distinct block length —
-         the interior blocks all share one) sequentially so worker domains
-         only ever read the cache. *)
-      Chain.block_spans ~n:rows ~k:config.k
-      |> List.map snd
-      |> List.sort_uniq Int.compare
-      |> List.iter (fun len ->
-             ignore (Codetable.get ~subset_mask:config.subset_mask ~k:len ()));
-      Parpool.parallel_init width encode_line
-    end
-    else Array.init width encode_line
-  in
-  let encoded =
-    Bitmat.of_columns (Array.map (fun e -> e.Chain.code) per_line)
-  in
   let blocks = entries_needed ~k:config.k ~rows in
-  let entries =
-    Array.init blocks (fun j ->
-        let taus = Array.map (fun e -> e.Chain.taus.(j)) per_line in
-        let is_end = j = blocks - 1 in
-        let count =
-          (* Entry 0 covers the pass-through head plus k-1 more rows; later
-             entries cover the rows after their overlap instruction. *)
-          if j = 0 then min config.k rows
-          else
-            let start = j * (config.k - 1) in
-            min (config.k - 1) (rows - 1 - start)
-        in
-        { taus; is_end; count })
-  in
-  { encoded; entries }
+  if config.optimal_chain then begin
+    (* The DP ablation keeps the original column-at-a-time path: it is not
+       on the hot loop and its inner structure does not fit the arena. *)
+    let encode_line b =
+      Chain.encode_optimal ~subset_mask:config.subset_mask ~k:config.k
+        (Bitmat.column m b)
+    in
+    let per_line =
+      Metrics.with_span Tel.span_encode_fanout @@ fun () ->
+      if rows * width >= parallel_threshold_bits then begin
+        prefetch_tables config ~rows;
+        Parpool.parallel_init width encode_line
+      end
+      else Array.init width encode_line
+    in
+    let encoded =
+      Bitmat.of_columns (Array.map (fun e -> e.Chain.code) per_line)
+    in
+    let entries =
+      build_entries config ~rows ~blocks (fun j ->
+          Array.map (fun e -> e.Chain.taus.(j)) per_line)
+    in
+    { encoded; entries }
+  end
+  else begin
+    (* Greedy hot path: transpose into the domain's reused arena, encode
+       every line in place (zero allocation per line), then rebuild the
+       matrix and TT entries from the packed results. *)
+    let wpc = Bitmat.column_words ~rows in
+    let scratch = Domain.DLS.get scratch_key in
+    scratch.s_in <- ensure (width * wpc) scratch.s_in;
+    scratch.s_out <- ensure (width * wpc) scratch.s_out;
+    scratch.s_taus <- ensure (width * blocks) scratch.s_taus;
+    let s_in = scratch.s_in
+    and s_out = scratch.s_out
+    and s_taus = scratch.s_taus in
+    Bitmat.transpose_into m s_in;
+    let encode_line b =
+      ignore
+        (Chain.encode_greedy_into ~subset_mask:config.subset_mask ~k:config.k
+           ~n:rows ~swords:s_in ~soff:(b * wpc) ~cwords:s_out ~coff:(b * wpc)
+           ~taus:s_taus ~toff:(b * blocks) ())
+    in
+    Metrics.with_span Tel.span_encode_fanout (fun () ->
+        if rows * width >= parallel_threshold_bits then begin
+          prefetch_tables config ~rows;
+          ignore (Parpool.parallel_init width encode_line)
+        end
+        else
+          for b = 0 to width - 1 do
+            encode_line b
+          done);
+    let encoded = Bitmat.of_column_words ~width ~rows s_out in
+    let entries =
+      build_entries config ~rows ~blocks (fun j ->
+          Array.init width (fun b ->
+              Boolfun.of_index s_taus.((b * blocks) + j)))
+    in
+    { encoded; entries }
+  end
 
 let decode_block ~k ~entries m =
   let width = Bitmat.width m in

@@ -13,10 +13,9 @@ let require_identity subset_mask =
   if not (Boolfun.mask_mem Boolfun.identity subset_mask) then
     invalid_arg "Solver: subset must contain the identity transformation"
 
-let solve ?(subset_mask = Boolfun.full_mask) ~k word =
+let solve_with ~candidates ~subset_mask ~k word =
   require_identity subset_mask;
   Telemetry.Metrics.incr Telemetry.Registry.solver_words;
-  let candidates = Blockword.codewords_by_transitions k in
   let rec scan i =
     if i >= Array.length candidates then
       (* Unreachable: the identity maps every word to itself. *)
@@ -41,8 +40,15 @@ let solve ?(subset_mask = Boolfun.full_mask) ~k word =
   in
   scan 0
 
-let table ?subset_mask ~k () =
-  Array.init (1 lsl k) (fun word -> solve ?subset_mask ~k word)
+let solve ?(subset_mask = Boolfun.full_mask) ~k word =
+  solve_with ~candidates:(Blockword.codewords_by_transitions k) ~subset_mask ~k
+    word
+
+(* One memo lookup for the whole table, not one per word: the candidate
+   list is shared across the 2^k scans. *)
+let table ?(subset_mask = Boolfun.full_mask) ~k () =
+  let candidates = Blockword.codewords_by_transitions k in
+  Array.init (1 lsl k) (fun word -> solve_with ~candidates ~subset_mask ~k word)
 
 type totals = { k : int; ttn : int; rtn : int; improvement_pct : float }
 

@@ -64,6 +64,11 @@ type pair = {
   program : Isa.Program.t;
   rebuild : unit -> Hardware.Reprogram.system;
   recovery : Hardware.Fetch_decoder.recovery;
+  pair_space : Model.space;
+      (* read off the pristine system once: every rebuild yields a
+         structurally identical system, so the space — and therefore the
+         RNG stream sampling from it — is the same one the historical
+         rebuild-then-sample order produced *)
   baseline_output : string;
   baseline_exit : int;
   baseline_instructions : int;
@@ -79,14 +84,21 @@ let prepare_pairs config =
       let preps = Pipeline.Evaluate.prepare ~ks:config.ks program in
       List.map
         (fun (p : Pipeline.Evaluate.prepared) ->
+          (* derived while the system is pristine: this is the copy the
+             degraded fetch path serves *)
+          let recovery =
+            Hardware.Reprogram.recovery p.Pipeline.Evaluate.prep_system
+          in
           {
             pair_bench = w.Workloads.name;
             pair_k = p.Pipeline.Evaluate.prep_k;
             program;
             rebuild = p.Pipeline.Evaluate.rebuild;
-            (* derived while the system is pristine: this is the copy the
-               degraded fetch path serves *)
-            recovery = Hardware.Reprogram.recovery p.Pipeline.Evaluate.prep_system;
+            recovery;
+            pair_space =
+              Model.space p.Pipeline.Evaluate.prep_system
+                ~regions:recovery.Hardware.Fetch_decoder.regions
+                ~fetches:result.Machine.Cpu.instructions;
             baseline_output = Machine.Cpu.output state;
             baseline_exit = result.Machine.Cpu.exit_code;
             baseline_instructions = result.Machine.Cpu.instructions;
@@ -157,13 +169,11 @@ let static_corruption (pair : pair) system =
       }
   end
 
-let inject_one rng ~id (pair : pair) =
+(* Run one pre-sampled injection.  Touches nothing shared mutably — the
+   rebuilt system, decoder, and CPU state are all local — so injections
+   fan out over the domain pool; [pair.recovery] is shared read-only. *)
+let inject_target ~id (pair : pair) target =
   let system = pair.rebuild () in
-  let space =
-    Model.space system ~regions:pair.recovery.Hardware.Fetch_decoder.regions
-      ~fetches:pair.baseline_instructions
-  in
-  let target = Model.sample rng space in
   Model.apply system target;
   let dec = Hardware.Reprogram.decoder ~recovery:pair.recovery system in
   let glitch =
@@ -235,12 +245,25 @@ let run config =
   if config.injections < 0 then
     invalid_arg "Fault.Campaign.run: negative injection count";
   let pairs = Array.of_list (prepare_pairs config) in
-  if Array.length pairs = 0 then
-    invalid_arg "Fault.Campaign.run: no (benchmark, k) pairs";
+  let npairs = Array.length pairs in
+  if npairs = 0 then invalid_arg "Fault.Campaign.run: no (benchmark, k) pairs";
+  (* Phase A, sequential: draw every target in injection order from the
+     one campaign RNG.  Sampling reads only the pair's (deterministic)
+     space, so this stream is bit-identical to the historical
+     sample-inside-each-injection order — which is what lets phase B
+     reorder execution freely. *)
   let rng = Random.State.make [| config.seed |] in
+  let targets =
+    Array.init config.injections (fun id ->
+        Model.sample rng pairs.(id mod npairs).pair_space)
+  in
+  (* Phase B, parallel: injections are independent experiments; results
+     land in id order regardless of which domain ran them.  POWERCODE_SEQ=1
+     (or a 1-domain pool) degrades to the sequential loop. *)
   let records =
-    List.init config.injections (fun id ->
-        inject_one rng ~id pairs.(id mod Array.length pairs))
+    Array.to_list
+      (Powercode.Parpool.parallel_init config.injections (fun id ->
+           inject_target ~id pairs.(id mod npairs) targets.(id)))
   in
   let totals =
     List.map

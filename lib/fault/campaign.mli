@@ -4,9 +4,16 @@
     every (benchmark, block size) pair: rebuild a pristine decode system
     from the shared plan, draw one {!Model.target} from the campaign RNG,
     inject it, and run the program through the hardened fetch path under a
-    cycle cap.  Each experiment lands in exactly one outcome class, and
-    the whole campaign is a pure function of the seed — bit-identical
-    across runs and across [POWERCODE_SEQ=1]. *)
+    cycle cap.  Each experiment lands in exactly one outcome class.
+
+    Execution is two-phase: every target is drawn sequentially in
+    injection order from the one campaign RNG (sampling reads only each
+    pair's deterministic {!Model.space}), then the independent experiments
+    fan out over the {!Powercode.Parpool} domain pool, results landing in
+    id order.  The whole campaign is therefore a pure function of the
+    seed — bit-identical across runs, across [POWERCODE_SEQ=1] versus any
+    [POWERCODE_DOMAINS] width, and byte-identical in both rendered
+    formats. *)
 
 (** Decoded-image damage measured by a strict address-order sweep of the
     corrupted stored state against the pristine raw words. *)

@@ -92,7 +92,7 @@ type prepared = {
   rebuild : unit -> Hardware.Reprogram.system;
 }
 
-let plan_systems ~tt_capacity ~optimal_chain ctx program ks =
+let plan_only ~tt_capacity ~optimal_chain ctx ks =
   Metrics.with_span Tel.span_plan @@ fun () ->
   List.map
     (fun k ->
@@ -104,33 +104,173 @@ let plan_systems ~tt_capacity ~optimal_chain ctx program ks =
           optimal_chain;
         }
       in
-      let plan = Powercode.Program_encoder.plan config ctx.candidates in
-      let build () =
-        Hardware.Reprogram.build ~tt_capacity
-          ~bbit_capacity:ctx.bbit_capacity ~functions:ctx.functions program
-          plan
-      in
-      { prep_k = k; prep_plan = plan; prep_system = build (); rebuild = build })
+      (k, Powercode.Program_encoder.plan config ctx.candidates))
     ks
 
+(* Content-addressed cache of the expensive front half (profile + plan).
+   The cached context and plans are immutable once built: decode systems
+   are always rebuilt fresh (they are mutated by reprogramming and by
+   fault injection), so sharing plans across evaluations is safe.  Keys
+   hold the full program image plus every option that feeds block
+   selection or encoding; the FNV fingerprint only short-circuits
+   comparisons — a lookup succeeds on full structural equality, never on
+   hash alone. *)
+module Plan_cache = struct
+  type key = {
+    key_words : int array;
+    key_ks : int list;
+    key_tt_capacity : int;
+    key_subset_mask : int option;
+    key_optimal_chain : bool;
+    key_selection : selection;
+  }
+
+  type entry = {
+    hash : int;
+    key : key;
+    ctx : context;
+    plans : (int * Powercode.Program_encoder.plan) list;
+  }
+
+  let fnv_prime = 0x100000001b3
+  let fnv_step h x = (h lxor x) * fnv_prime land max_int
+
+  let hash_key k =
+    let h = ref (fnv_step 0x3bf29ce484222325 (Array.length k.key_words)) in
+    Array.iter (fun w -> h := fnv_step !h w) k.key_words;
+    List.iter (fun x -> h := fnv_step !h x) k.key_ks;
+    h := fnv_step !h k.key_tt_capacity;
+    h :=
+      fnv_step !h
+        (match k.key_subset_mask with None -> -1 | Some m -> m);
+    h := fnv_step !h (Bool.to_int k.key_optimal_chain);
+    h :=
+      fnv_step !h
+        (match k.key_selection with `Hot_blocks -> 0 | `Hot_loops -> 1);
+    !h
+
+  let key_equal a b =
+    a.key_ks = b.key_ks
+    && a.key_tt_capacity = b.key_tt_capacity
+    && a.key_subset_mask = b.key_subset_mask
+    && a.key_optimal_chain = b.key_optimal_chain
+    && a.key_selection = b.key_selection
+    && (a.key_words == b.key_words || a.key_words = b.key_words)
+
+  (* Enough for every workload in the bench suite plus a campaign's bench
+     list; beyond that the least recently used entry is dropped. *)
+  let max_entries = 32
+
+  let entries : entry list ref = ref []
+  let mutex = Mutex.create ()
+  let enabled_flag = ref true
+  let hit_count = ref 0
+  let miss_count = ref 0
+
+  let set_enabled b = enabled_flag := b
+  let enabled () = !enabled_flag
+
+  let clear () =
+    Mutex.lock mutex;
+    entries := [];
+    hit_count := 0;
+    miss_count := 0;
+    Mutex.unlock mutex
+
+  let stats () = (!hit_count, !miss_count)
+
+  let find hash key =
+    Mutex.lock mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mutex)
+      (fun () ->
+        match
+          List.find_opt
+            (fun e -> e.hash = hash && key_equal e.key key)
+            !entries
+        with
+        | Some e ->
+            incr hit_count;
+            Metrics.incr Tel.plan_cache_hits;
+            (* move-to-front: the list doubles as LRU order *)
+            entries := e :: List.filter (fun e' -> e' != e) !entries;
+            Some (e.ctx, e.plans)
+        | None ->
+            incr miss_count;
+            Metrics.incr Tel.plan_cache_misses;
+            None)
+
+  let insert hash key ctx plans =
+    Mutex.lock mutex;
+    let keep = List.filteri (fun i _ -> i < max_entries - 1) !entries in
+    entries := { hash; key; ctx; plans } :: keep;
+    Mutex.unlock mutex
+end
+
+(* The shared front half of [prepare] and [evaluate]: context (profile +
+   block selection) and one plan per block size, through the cache when it
+   is enabled. *)
+let context_and_plans ~ks ~tt_capacity ~subset_mask ~optimal_chain ~selection
+    program =
+  let compute () =
+    let ctx = context ?subset_mask ?selection:(Some selection) program in
+    (ctx, plan_only ~tt_capacity ~optimal_chain ctx ks)
+  in
+  if not (Plan_cache.enabled ()) then compute ()
+  else begin
+    let key =
+      {
+        Plan_cache.key_words = Isa.Program.words program;
+        key_ks = ks;
+        key_tt_capacity = tt_capacity;
+        key_subset_mask = subset_mask;
+        key_optimal_chain = optimal_chain;
+        key_selection = selection;
+      }
+    in
+    let hash = Plan_cache.hash_key key in
+    match Plan_cache.find hash key with
+    | Some (ctx, plans) -> (ctx, plans)
+    | None ->
+        let ctx, plans = compute () in
+        Plan_cache.insert hash key ctx plans;
+        (ctx, plans)
+  end
+
+let systems_of_plans ~tt_capacity ctx program plans =
+  List.map
+    (fun (k, plan) ->
+      let build () =
+        Hardware.Reprogram.build ~tt_capacity ~bbit_capacity:ctx.bbit_capacity
+          ~functions:ctx.functions program plan
+      in
+      { prep_k = k; prep_plan = plan; prep_system = build (); rebuild = build })
+    plans
+
 let prepare ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
-    ?(optimal_chain = false) ?selection program =
-  let ctx = context ?subset_mask ?selection program in
-  plan_systems ~tt_capacity ~optimal_chain ctx program ks
+    ?(optimal_chain = false) ?(selection = `Hot_blocks) program =
+  let ctx, plans =
+    context_and_plans ~ks ~tt_capacity ~subset_mask ~optimal_chain ~selection
+      program
+  in
+  systems_of_plans ~tt_capacity ctx program plans
 
 let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
-    ?(optimal_chain = false) ?selection ?(verify = false)
+    ?(optimal_chain = false) ?(selection = `Hot_blocks) ?(verify = false)
     ?(attribution = false) ?ledger ~name program =
   Metrics.with_span Tel.span_evaluate @@ fun () ->
   Metrics.incr Tel.pipeline_evaluations;
   let words = Isa.Program.words program in
-  let ctx = context ?subset_mask ?selection program in
+  let ctx, plans =
+    context_and_plans ~ks ~tt_capacity ~subset_mask ~optimal_chain ~selection
+      program
+  in
   let { profile; blocks; hot_blocks; _ } = ctx in
   (* plans and decode systems, one per block size *)
   let systems =
     List.map
       (fun p -> (p.prep_k, p.prep_plan, p.prep_system))
-      (plan_systems ~tt_capacity ~optimal_chain ctx program ks)
+      (systems_of_plans ~tt_capacity ctx program plans)
   in
   let coverage_pct =
     match systems with

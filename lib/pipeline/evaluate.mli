@@ -62,10 +62,40 @@ type prepared = {
   rebuild : unit -> Hardware.Reprogram.system;
 }
 
+(** Content-addressed cache of the profiling + planning front half shared
+    by {!prepare} and {!evaluate}.
+
+    Entries are keyed on the full content that determines a plan: the
+    program image words, [ks], [tt_capacity], [subset_mask],
+    [optimal_chain], and [selection] — an FNV-1a fingerprint
+    short-circuits comparisons, but a hit requires full structural key
+    equality.  Cached plans and contexts are immutable; decode systems are
+    always rebuilt fresh, so repeated evaluations of the same program
+    (bench loops, fault campaigns, multi-benchmark CLI runs) skip the
+    profile run and the encoding entirely without observable difference.
+    Hits and misses are counted in the stable [plan.cache_hits] /
+    [plan.cache_misses] telemetry; the CLI's [--no-plan-cache] flag maps
+    to {!Plan_cache.set_enabled}[ false]. *)
+module Plan_cache : sig
+  (** [set_enabled b] turns the cache on or off ([true] initially).
+      Turning it off affects lookups only; entries are kept until
+      {!clear}. *)
+  val set_enabled : bool -> unit
+
+  val enabled : unit -> bool
+
+  (** [clear ()] drops every entry and zeroes the {!stats} counters. *)
+  val clear : unit -> unit
+
+  (** [stats ()] is [(hits, misses)] since the last {!clear}. *)
+  val stats : unit -> int * int
+end
+
 (** [prepare ?ks ?tt_capacity ?subset_mask ?optimal_chain ?selection
     program] runs the profiling and planning front half of {!evaluate}
     (same defaults, same block selection) and returns the per-[k] systems
-    without the counting run. *)
+    without the counting run.  The front half is served from
+    {!Plan_cache} when enabled. *)
 val prepare :
   ?ks:int list ->
   ?tt_capacity:int ->

@@ -35,6 +35,17 @@ let plan_tt_entries =
   counter ~doc:"Transformation Table entries allocated across all plans"
     "plan.tt_entries"
 
+(* Stable, not runtime: the hit/miss sequence depends only on the order of
+   prepare/evaluate calls and their arguments, which POWERCODE_SEQ and the
+   domain count do not change. *)
+let plan_cache_hits =
+  counter ~doc:"prepare/evaluate front halves served from the plan cache"
+    "plan.cache_hits"
+
+let plan_cache_misses =
+  counter ~doc:"prepare/evaluate front halves that had to profile and plan"
+    "plan.cache_misses"
+
 let chain_streams =
   counter ~doc:"Bit streams encoded by the chain encoder (greedy or DP)"
     "chain.streams"

@@ -16,6 +16,8 @@ val plan_blocks_considered : Metrics.counter
 val plan_blocks_encoded : Metrics.counter
 val plan_blocks_skipped : Metrics.counter
 val plan_tt_entries : Metrics.counter
+val plan_cache_hits : Metrics.counter
+val plan_cache_misses : Metrics.counter
 val chain_streams : Metrics.counter
 val chain_code_blocks : Metrics.counter
 val chain_decodes : Metrics.counter

@@ -9,7 +9,7 @@ domain-count notes).
   $ POWERCODE_FAST=1 ../bench/main.exe > /dev/null
 
   $ ../bench/compare.exe --baseline ../bench/baseline.json --time-band 100000 2> /dev/null
-  bench compare: OK (exact=4586 banded=21, time band +/-100000%)
+  bench compare: OK (exact=4598 banded=39, time band +/-100000%)
 
 A single flipped transition count anywhere is a regression (exit 1), and
 the offending path is named:
@@ -38,6 +38,37 @@ Ledger drift is a regression like any other deterministic figure:
   regression: ledger.[mmul].entries.[0].tt_reads.count (exact)
   bench compare: 1 regression(s)
   [1]
+
+The speedup floors are self-relative, read from the current run alone.  A
+plan-cache warm evaluate slower than 1.3x cold is a regression on any
+machine; the parallel campaign floor only arms once the run records at
+least 4 cores (this sandbox may have fewer, so the test forges the core
+count and the sweep rates to exercise both verdicts):
+
+  $ jq '.plan_cache.warm_speedup = 1.01' BENCH_encoding.json > slowwarm.json
+
+  $ ../bench/compare.exe --baseline ../bench/baseline.json --current slowwarm.json --time-band 100000 2> /dev/null
+  regression: plan_cache.warm_speedup (floor)
+  bench compare: 1 regression(s)
+  [1]
+
+  $ jq '.settings.cores = 8
+  >     | (.throughput[] | select(.requested_domains == 1) | .injections_per_s) = 10
+  >     | (.throughput[] | select(.requested_domains == 8) | .injections_per_s) = 15' \
+  >   BENCH_encoding.json > slowsweep.json
+
+  $ ../bench/compare.exe --baseline ../bench/baseline.json --current slowsweep.json --time-band 100000 2> /dev/null
+  regression: throughput.campaign_speedup (floor)
+  bench compare: 1 regression(s)
+  [1]
+
+  $ jq '.settings.cores = 8
+  >     | (.throughput[] | select(.requested_domains == 1) | .injections_per_s) = 10
+  >     | (.throughput[] | select(.requested_domains == 8) | .injections_per_s) = 25' \
+  >   BENCH_encoding.json > fastsweep.json
+
+  $ ../bench/compare.exe --baseline ../bench/baseline.json --current fastsweep.json --time-band 100000 2> /dev/null
+  bench compare: OK (exact=4598 banded=39, time band +/-100000%)
 
 Runs made under different settings are refused outright (exit 2), never
 silently diffed:
@@ -77,10 +108,10 @@ only the header line is pinned here:
   $ POWERCODE_FAST=1 ../bench/main.exe > /dev/null 2>&1 && wc -l < history.jsonl | tr -d ' '
   2
 
-  $ ../bench/compare.exe --baseline ../bench/baseline.json --history history.jsonl --time-band 100000 2>&1 > /dev/null | head -1
+  $ ../bench/compare.exe --baseline ../bench/baseline.json --history history.jsonl --time-band 100000 2>&1 > /dev/null | grep -m1 "^history:"
   history: 2 runs in history.jsonl
 
 A short or missing history is silently skipped, never an error:
 
   $ ../bench/compare.exe --baseline ../bench/baseline.json --history nohistory.jsonl --time-band 100000 2> /dev/null
-  bench compare: OK (exact=4586 banded=21, time band +/-100000%)
+  bench compare: OK (exact=4598 banded=39, time band +/-100000%)

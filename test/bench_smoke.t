@@ -6,32 +6,73 @@ spans recorded) without depending on any timing value.
   $ POWERCODE_FAST=1 ../bench/main.exe > /dev/null
 
   $ jq -r '.schema' BENCH_encoding.json
-  powercode-bench-encoding/4
+  powercode-bench-encoding/5
 
   $ jq -r '.mode' BENCH_encoding.json
   fast
 
   $ jq -r 'keys | sort | .[]' BENCH_encoding.json
+  alloc
   attribution
   block_size_k
   chain_encode_256
   evaluations
   ledger
   mode
+  plan_cache
   schema
   settings
   telemetry
+  throughput
   workloads
 
 The settings header records the run conditions the regression gate
-(bench/compare.exe) refuses to diff across:
+(bench/compare.exe) refuses to diff across (cores lets it skip parallel
+speedup floors on machines that cannot reach them):
 
   $ jq -r '.settings | keys | sort | .[]' BENCH_encoding.json
+  cores
   domains
   powercode_fast
   powercode_seq
 
   $ jq -r '.settings.powercode_fast' BENCH_encoding.json
+  true
+
+The throughput sweep runs the fault campaign and the block encoder at
+pinned domain counts (1, 2, and the pool cap); the requested and actual
+widths are deterministic, the rates machine-dependent:
+
+  $ jq -r '[.throughput[].requested_domains] | @csv' BENCH_encoding.json
+  1,2,8
+
+  $ jq -r '[.throughput[].domains] | @csv' BENCH_encoding.json
+  1,2,8
+
+  $ jq -r '[.throughput[] | .injections_per_s > 0 and .bits_per_s > 0] | all' BENCH_encoding.json
+  true
+
+The plan-cache section's hit/miss counts are a pure function of the
+harness's call sequence (one cold miss, three warm hits), so they are
+pinned exactly here and diffed exactly by the gate:
+
+  $ jq -r '.plan_cache.hits, .plan_cache.misses' BENCH_encoding.json
+  3
+  1
+
+  $ jq -r '.plan_cache.cold_s > 0 and .plan_cache.warm_s > 0' BENCH_encoding.json
+  true
+
+The allocation section records minor words per block encode for the
+pre-arena column path against the scratch-arena core:
+
+  $ jq -r '.alloc | keys | sort | .[]' BENCH_encoding.json
+  after_minor_words_per_block
+  before_minor_words_per_block
+  block_rows
+  reduction_factor
+
+  $ jq -r '.alloc.before_minor_words_per_block > .alloc.after_minor_words_per_block' BENCH_encoding.json
   true
 
 Evaluations carry the deterministic Figure 6 results (paper suite plus the
@@ -112,17 +153,22 @@ the repository it lands in bench/, which is gitignored):
   1
 
   $ jq -r '.schema' history.jsonl
-  powercode-bench-encoding/4
+  powercode-bench-encoding/5
 
   $ jq -r '.benches' history.jsonl
   9
 
   $ jq -r 'keys | sort | .[]' history.jsonl
   benches
+  bits_per_s_d1
+  bits_per_s_dmax
   domains
+  inj_per_s_d1
+  inj_per_s_dmax
   mean_net_savings_k4_pct
   mean_reduction_k4_pct
   mode
+  plan_warm_speedup
   powercode_seq
   schema
   wall_s

@@ -44,6 +44,20 @@ function of the seed):
   fault: wrote b.json
   $ cmp a.json b.json
 
+The execution strategy never leaks into the results: forcing the
+sequential path, pinning the domain pool wide, or bypassing the plan
+cache all produce the same bytes:
+
+  $ POWERCODE_SEQ=1 ../bin/powercode_cli.exe fault --seed 7 --injections 8 --ks 4,5 --format json -o seq.json tri ej
+  fault: wrote seq.json
+  $ cmp a.json seq.json
+  $ POWERCODE_DOMAINS=4 ../bin/powercode_cli.exe fault --seed 7 --injections 8 --ks 4,5 --format json -o wide.json tri ej
+  fault: wrote wide.json
+  $ cmp a.json wide.json
+  $ ../bin/powercode_cli.exe fault --seed 7 --injections 8 --ks 4,5 --format json -o nocache.json --no-plan-cache tri ej
+  fault: wrote nocache.json
+  $ cmp a.json nocache.json
+
 Bad arguments are rejected:
 
   $ ../bin/powercode_cli.exe fault --ks 1 tri

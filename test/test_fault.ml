@@ -19,6 +19,35 @@ let small_config =
 
 (* ---- campaign ------------------------------------------------------------- *)
 
+let with_env key value f =
+  let saved = Sys.getenv_opt key in
+  Unix.putenv key value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv key (Option.value saved ~default:""))
+    f
+
+(* The tentpole differential: a campaign fanned out over the domain pool
+   must render byte-for-byte the same classification JSON as the forced
+   sequential path, for every seed.  QCheck draws seeds from 0..7 (the
+   documented acceptance range); an empty-string restore behaves as unset
+   because Parpool rejects it and falls back to the default width. *)
+let prop_seq_par_identical =
+  QCheck.Test.make ~name:"POWERCODE_SEQ=1 = two-domain campaign, seeds 0..7"
+    ~count:8
+    QCheck.(int_range 0 7)
+    (fun seed ->
+      let config = { small_config with Campaign.seed } in
+      let seq_json =
+        with_env "POWERCODE_SEQ" "1" (fun () ->
+            Campaign.to_json (Campaign.run config))
+      in
+      let par_json =
+        with_env "POWERCODE_SEQ" "0" (fun () ->
+            with_env "POWERCODE_DOMAINS" "2" (fun () ->
+                Campaign.to_json (Campaign.run config)))
+      in
+      String.equal seq_json par_json)
+
 let test_campaign_deterministic () =
   let a = Campaign.run small_config in
   let b = Campaign.run small_config in
@@ -214,5 +243,6 @@ let () =
             test_strict_mode_faults;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_block_isolation ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_block_isolation; prop_seq_par_identical ] );
     ]

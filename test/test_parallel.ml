@@ -85,6 +85,42 @@ let test_parallel_init_matches_array_init () =
     (Parpool.parallel_init 257 f);
   Alcotest.(check (array int)) "empty" [||] (Parpool.parallel_init 0 f)
 
+let with_domains value f =
+  let saved = Sys.getenv_opt "POWERCODE_DOMAINS" in
+  Unix.putenv "POWERCODE_DOMAINS" value;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "POWERCODE_DOMAINS" (Option.value saved ~default:""))
+    f
+
+let test_domains_env_pins_width () =
+  (* POWERCODE_DOMAINS requests TOTAL domains (caller + workers), is
+     consulted on every call, clamps to the pool cap, and ignores garbage *)
+  with_domains "1" (fun () -> check_int "1 domain, 0 workers" 0 (Parpool.worker_count ()));
+  with_domains "3" (fun () -> check_int "3 domains, 2 workers" 2 (Parpool.worker_count ()));
+  with_domains "99" (fun () ->
+      check_int "clamped to the pool cap" Parpool.max_workers
+        (Parpool.worker_count ()));
+  let default = Parpool.worker_count () in
+  with_domains "0" (fun () ->
+      check_int "non-positive ignored" default (Parpool.worker_count ()));
+  with_domains "banana" (fun () ->
+      check_int "garbage ignored" default (Parpool.worker_count ()))
+
+let test_domains_env_results_identical () =
+  (* the pool grows lazily; whatever width is pinned, encodings match *)
+  let config = PE.default_config () in
+  let m = random_matrix ~seed:60013 ~rows:big_rows in
+  force_sequential true;
+  let seq = PE.encode_block config m in
+  force_sequential false;
+  List.iter
+    (fun width ->
+      with_domains width (fun () ->
+          let par = PE.encode_block config m in
+          check_same_encoding ~msg:("domains=" ^ width) seq par))
+    [ "2"; "4"; "8" ]
+
 let test_parallel_init_propagates_exception () =
   force_sequential false;
   match
@@ -112,5 +148,9 @@ let () =
             test_parallel_init_matches_array_init;
           Alcotest.test_case "exception propagation" `Quick
             test_parallel_init_propagates_exception;
+          Alcotest.test_case "POWERCODE_DOMAINS pins width" `Quick
+            test_domains_env_pins_width;
+          Alcotest.test_case "pinned widths agree" `Quick
+            test_domains_env_results_identical;
         ] );
     ]

@@ -134,6 +134,94 @@ let test_loop_selection_policy () =
         l.Evaluate.verified_fetches
   | _ -> Alcotest.fail "one run each"
 
+(* ---- plan cache ----------------------------------------------------------- *)
+
+let run_summary (r : Evaluate.report) =
+  ( r.Evaluate.baseline_transitions,
+    List.map
+      (fun run ->
+        ( run.Evaluate.k,
+          run.Evaluate.transitions,
+          run.Evaluate.tt_used,
+          run.Evaluate.blocks_encoded ))
+      r.Evaluate.runs )
+
+(* every test restores the cache to its default state, since the suite
+   shares one process-wide cache *)
+let with_fresh_cache f =
+  Evaluate.Plan_cache.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Evaluate.Plan_cache.set_enabled true;
+      Evaluate.Plan_cache.clear ())
+    f
+
+let test_cache_hit_miss_determinism () =
+  with_fresh_cache (fun () ->
+      let w = scaled "mmul" in
+      let program = (Workloads.compile w).Minic.Compile.program in
+      let a = Evaluate.evaluate ~name:"mmul" program in
+      Alcotest.(check (pair int int))
+        "first call misses" (0, 1)
+        (Evaluate.Plan_cache.stats ());
+      let b = Evaluate.evaluate ~name:"mmul" program in
+      Alcotest.(check (pair int int))
+        "second call hits" (1, 1)
+        (Evaluate.Plan_cache.stats ());
+      let c = Evaluate.evaluate ~name:"mmul" program in
+      Alcotest.(check (pair int int))
+        "third call hits" (2, 1)
+        (Evaluate.Plan_cache.stats ());
+      check_bool "hit results identical to the miss" true
+        (run_summary a = run_summary b && run_summary b = run_summary c))
+
+let test_cache_key_sensitivity () =
+  with_fresh_cache (fun () ->
+      let program = (Workloads.compile (scaled "sor")).Minic.Compile.program in
+      let other = (Workloads.compile (scaled "fft")).Minic.Compile.program in
+      let expect label hits misses =
+        Alcotest.(check (pair int int)) label (hits, misses)
+          (Evaluate.Plan_cache.stats ())
+      in
+      ignore (Evaluate.prepare ~ks:[ 4; 5 ] program);
+      expect "cold" 0 1;
+      ignore (Evaluate.prepare ~ks:[ 4; 5 ] program);
+      expect "same arguments hit" 1 1;
+      ignore (Evaluate.prepare ~ks:[ 5 ] program);
+      expect "ks is part of the key" 1 2;
+      ignore (Evaluate.prepare ~ks:[ 4; 5 ] ~tt_capacity:8 program);
+      expect "tt_capacity is part of the key" 1 3;
+      ignore
+        (Evaluate.prepare ~ks:[ 4; 5 ]
+           ~subset_mask:Powercode.Boolfun.full_mask program);
+      expect "subset_mask is part of the key" 1 4;
+      ignore (Evaluate.prepare ~ks:[ 4; 5 ] ~selection:`Hot_loops program);
+      expect "selection is part of the key" 1 5;
+      ignore (Evaluate.prepare ~ks:[ 4; 5 ] ~optimal_chain:true program);
+      expect "optimal_chain is part of the key" 1 6;
+      ignore (Evaluate.prepare ~ks:[ 4; 5 ] other);
+      expect "program image is part of the key" 1 7;
+      ignore (Evaluate.prepare ~ks:[ 4; 5 ] program);
+      expect "original key still cached" 2 7)
+
+let test_cache_disabled_equivalence () =
+  (* the CLI's --no-plan-cache maps to set_enabled false; bypassing the
+     cache must not change any result, and must not touch the counters *)
+  with_fresh_cache (fun () ->
+      let program = (Workloads.compile (scaled "tri")).Minic.Compile.program in
+      let cached = Evaluate.evaluate ~name:"tri" program in
+      let cached2 = Evaluate.evaluate ~name:"tri" program in
+      let stats_before = Evaluate.Plan_cache.stats () in
+      Evaluate.Plan_cache.set_enabled false;
+      check_bool "reports disabled" false (Evaluate.Plan_cache.enabled ());
+      let uncached = Evaluate.evaluate ~name:"tri" program in
+      Alcotest.(check (pair int int))
+        "disabled lookups leave the counters alone" stats_before
+        (Evaluate.Plan_cache.stats ());
+      check_bool "identical results with the cache bypassed" true
+        (run_summary cached = run_summary uncached
+        && run_summary cached = run_summary cached2))
+
 let test_coverage_bounds () =
   let r = Evaluate.evaluate_workload ~ks:[ 5 ] (scaled "mmul") in
   check_bool "0..100" true
@@ -157,6 +245,15 @@ let () =
           Alcotest.test_case "coverage bounds" `Quick test_coverage_bounds;
           Alcotest.test_case "loop selection policy" `Quick
             test_loop_selection_policy;
+        ] );
+      ( "plan-cache",
+        [
+          Alcotest.test_case "hit/miss determinism" `Quick
+            test_cache_hit_miss_determinism;
+          Alcotest.test_case "key sensitivity" `Quick
+            test_cache_key_sensitivity;
+          Alcotest.test_case "disabled equivalence" `Quick
+            test_cache_disabled_equivalence;
         ] );
       ( "ablation",
         [

@@ -63,6 +63,8 @@ let expected_schema =
     ("plan.blocks_considered", "counter", "stable");
     ("plan.blocks_encoded", "counter", "stable");
     ("plan.blocks_skipped", "counter", "stable");
+    ("plan.cache_hits", "counter", "stable");
+    ("plan.cache_misses", "counter", "stable");
     ("plan.tt_entries", "counter", "stable");
     ("solver.codes_scanned", "counter", "runtime");
     ("solver.words_solved", "counter", "runtime");
