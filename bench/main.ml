@@ -171,9 +171,11 @@ let fig6 () =
     (fun w ->
       let name = w.Workloads.name in
       (* attribution feeds the per-bitline section of BENCH_encoding.json;
-         the ledger feeds its energy section and the ledger printout below *)
+         the ledger feeds its energy section and the ledger printout below;
+         [`Auto] additionally scores every region against the registered
+         encoder backends and feeds the schemes section *)
       let r =
-        Pipeline.Evaluate.evaluate_workload ~attribution:true
+        Pipeline.Evaluate.evaluate_workload ~attribution:true ~scheme:`Auto
           ~ledger:Ledger.Model.on_chip w
       in
       fig6_reports := (name, r) :: !fig6_reports;
@@ -597,7 +599,7 @@ let extended_workloads () =
   List.iter
     (fun w ->
       let r =
-        Pipeline.Evaluate.evaluate_workload ~attribution:true
+        Pipeline.Evaluate.evaluate_workload ~attribution:true ~scheme:`Auto
           ~ledger:Ledger.Model.on_chip w
       in
       extended_reports := (w.Workloads.name, r) :: !extended_reports;
@@ -628,6 +630,33 @@ let energy_ledger () =
     "=> the bus savings survive the support hardware on the small block \
      sizes; `powercode report` renders the full dashboard, and the ledger \
      section of BENCH_encoding.json carries the itemized counts.@."
+
+(* ---- Scheme selection: which encoder backend wins each region? --------------- *)
+
+let scheme_table () =
+  section "Scheme selection: auto-chosen encoder backends (per benchmark, per k)";
+  let reports = List.rev !fig6_reports @ List.rev !extended_reports in
+  Format.printf "%-5s %3s | %12s %12s %9s | %s@." "bench" "k" "auto energy"
+    "tt energy" "reverted" "regions by scheme";
+  List.iter
+    (fun (name, (r : Pipeline.Evaluate.report)) ->
+      List.iter
+        (fun (s : Pipeline.Evaluate.scheme_run) ->
+          Format.printf "%-5s %3d | %12.4e %12.4e %9b |" name
+            s.Pipeline.Evaluate.srun_k s.Pipeline.Evaluate.auto_energy_j
+            s.Pipeline.Evaluate.tt_energy_j s.Pipeline.Evaluate.reverted;
+          List.iter
+            (fun (scheme, n) -> Format.printf " %s=%d" scheme n)
+            s.Pipeline.Evaluate.scheme_counts;
+          Format.printf "@.")
+        r.Pipeline.Evaluate.schemes)
+    reports;
+  Format.printf
+    "=> the selector charges each alternative its redundant-line seams and \
+     side-table reads; on these kernels the application-specific TT scheme \
+     wins every region, and the commit rule guarantees auto never reports \
+     more energy than all-TT.  `--scheme <name>` on the CLI forces a \
+     backend for comparison.@."
 
 (* ---- Bechamel micro-benchmarks -------------------------------------------------------- *)
 
@@ -1089,7 +1118,7 @@ let bench_encoding_json () =
   let oc = open_out "BENCH_encoding.json" in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"powercode-bench-encoding/5\",\n";
+  p "  \"schema\": \"powercode-bench-encoding/6\",\n";
   p "  \"mode\": \"%s\",\n" (if fast then "fast" else "full");
   (* run conditions, so a regression gate can refuse apples-to-oranges
      diffs (bench/compare.ml); cores lets the gate skip parallel speedup
@@ -1154,6 +1183,32 @@ let bench_encoding_json () =
   List.iteri
     (fun i json -> p "    %s%s\n" json (if i = nled - 1 then "" else ","))
     ledgers;
+  p "  ],\n";
+  (* schema /6: per-region encoder-backend selection under [`Auto] — a
+     pure function of the program and the energy model, so every leaf is
+     diffed exactly by the gate *)
+  p "  \"schemes\": [\n";
+  List.iteri
+    (fun i (name, (r : Pipeline.Evaluate.report)) ->
+      p "    {\"name\": \"%s\", \"runs\": [" name;
+      List.iteri
+        (fun j (s : Pipeline.Evaluate.scheme_run) ->
+          p "%s{\"k\": %d, \"transitions\": %d, \"reduction_pct\": %.4f, "
+            (if j > 0 then ", " else "")
+            s.Pipeline.Evaluate.srun_k s.Pipeline.Evaluate.auto_transitions
+            s.Pipeline.Evaluate.auto_reduction_pct;
+          p "\"energy_j\": %.6e, \"tt_energy_j\": %.6e, \"reverted\": %b, \
+             \"regions\": {"
+            s.Pipeline.Evaluate.auto_energy_j s.Pipeline.Evaluate.tt_energy_j
+            s.Pipeline.Evaluate.reverted;
+          List.iteri
+            (fun m (scheme, n) ->
+              p "%s\"%s\": %d" (if m > 0 then ", " else "") scheme n)
+            s.Pipeline.Evaluate.scheme_counts;
+          p "}}")
+        r.Pipeline.Evaluate.schemes;
+      p "]}%s\n" (if i = nev - 1 then "" else ","))
+    evaluations;
   p "  ],\n";
   (match !chain256_measurement with
   | Some (new_ns, old_ns) ->
@@ -1276,7 +1331,7 @@ let append_history () =
     | None -> 0.0
   in
   Printf.fprintf oc
-    "{\"schema\": \"powercode-bench-encoding/5\", \"mode\": \"%s\", \
+    "{\"schema\": \"powercode-bench-encoding/6\", \"mode\": \"%s\", \
      \"powercode_seq\": %b, \"domains\": %d, \"wall_s\": %.2f, \"benches\": \
      %d, \"mean_reduction_k4_pct\": %.4f, \"mean_net_savings_k4_pct\": \
      %.4f, \"inj_per_s_d1\": %.1f, \"inj_per_s_dmax\": %.1f, \
@@ -1318,6 +1373,7 @@ let () =
   address_bus ();
   extended_workloads ();
   energy_ledger ();
+  scheme_table ();
   bechamel_suite ();
   throughput_sweep ();
   plan_cache_sweep ();

@@ -375,8 +375,27 @@ let resolve_benchmarks set names =
 let apply_plan_cache_flag no_plan_cache =
   if no_plan_cache then Pipeline.Evaluate.Plan_cache.set_enabled false
 
+let resolve_scheme_flag = function
+  | "tt" -> Ok `Tt
+  | "auto" -> Ok `Auto
+  | name -> (
+      Powercode.Tt_backend.ensure ();
+      match Buspower.Encoder.find name with
+      | Some _ -> Ok (`Fixed name)
+      | None ->
+          Error
+            (Printf.sprintf
+               "unknown scheme %s (tt, auto, or a registered backend: %s)"
+               name
+               (String.concat ", "
+                  (List.map
+                     (fun b ->
+                       let module B = (val b : Buspower.Encoder.S) in
+                       B.scheme)
+                     (Buspower.Encoder.all ())))))
+
 let evaluate names scaled verify trace_out csv energy sets stats no_plan_cache
-    =
+    scheme_name =
   with_stats stats @@ fun () ->
   apply_plan_cache_flag no_plan_cache;
   (* --energy asks for the ledger explicitly; --stats implies the on-chip
@@ -388,9 +407,9 @@ let evaluate names scaled verify trace_out csv energy sets stats no_plan_cache
         if stats then Result.map Option.some (resolve_model "on-chip" sets)
         else Ok None
   in
-  match ledger_model with
-  | Error msg -> `Error (false, msg)
-  | Ok ledger -> (
+  match (ledger_model, resolve_scheme_flag scheme_name) with
+  | Error msg, _ | _, Error msg -> `Error (false, msg)
+  | Ok ledger, Ok scheme -> (
       match resolve_benchmarks (workload_set scaled) names with
       | Error msg -> `Error (false, msg)
       | Ok ws ->
@@ -408,7 +427,7 @@ let evaluate names scaled verify trace_out csv energy sets stats no_plan_cache
                 if deltas then Some (Telemetry.Metrics.freeze ()) else None
               in
               let report =
-                Pipeline.Evaluate.evaluate_workload ~verify ?ledger w
+                Pipeline.Evaluate.evaluate_workload ~verify ~scheme ?ledger w
               in
               (match before with
               | Some b ->
@@ -471,38 +490,69 @@ let evaluate_cmd =
             "Attach an itemized energy ledger priced under $(docv): on-chip \
              or off-chip.  --stats implies on-chip unless overridden.")
   in
+  let scheme_arg =
+    Arg.(
+      value & opt string "tt"
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:
+            "Encoding scheme per region: tt (default, the paper's \
+             transformation tables), auto (score every registered backend \
+             through the energy model and pick the cheapest per region, \
+             never worse than tt), or a fixed backend name forced onto \
+             every region (identity, businvert, t0, gray, lowweight).")
+  in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Figure 6 style evaluation of benchmarks"
        ~man:man_observability)
     Term.(
       ret (const evaluate $ names_arg $ scaled_arg $ verify_arg
            $ trace_out_arg $ csv_arg $ energy_arg $ set_arg $ stats_arg
-           $ no_plan_cache_arg))
+           $ no_plan_cache_arg $ scheme_arg))
 
 (* ---- report -------------------------------------------------------------------- *)
 
 let paper_bench_names = [ "mmul"; "sor"; "ej"; "fft"; "tri"; "lu" ]
 
-let report names scaled format out energy sets stats =
+let report names scaled format out energy sets stats scheme_name =
   with_stats stats @@ fun () ->
   let names = if names = [] then paper_bench_names else names in
-  match resolve_model energy sets with
-  | Error msg -> `Error (false, msg)
-  | Ok model -> (
+  match (resolve_model energy sets, resolve_scheme_flag scheme_name) with
+  | Error msg, _ | _, Error msg -> `Error (false, msg)
+  | Ok model, Ok scheme -> (
       match resolve_benchmarks (workload_set scaled) names with
       | Error msg -> `Error (false, msg)
       | Ok ws ->
-          let sheets =
-            List.filter_map
+          let reports =
+            List.map
               (fun w ->
-                (Pipeline.Evaluate.evaluate_workload ~ledger:model w)
-                  .Pipeline.Evaluate.ledger)
+                Pipeline.Evaluate.evaluate_workload ~scheme ~ledger:model w)
               ws
+          in
+          let sheets =
+            List.filter_map (fun r -> r.Pipeline.Evaluate.ledger) reports
+          in
+          (* under the default tt scheme this is empty and the dashboard is
+             byte-identical to previous versions *)
+          let schemes =
+            List.concat_map
+              (fun (r : Pipeline.Evaluate.report) ->
+                List.map
+                  (fun (s : Pipeline.Evaluate.scheme_run) ->
+                    {
+                      Ledger.Render.bench = r.Pipeline.Evaluate.name;
+                      k = s.Pipeline.Evaluate.srun_k;
+                      counts = s.Pipeline.Evaluate.scheme_counts;
+                      energy_j = s.Pipeline.Evaluate.auto_energy_j;
+                      tt_energy_j = s.Pipeline.Evaluate.tt_energy_j;
+                      reverted = s.Pipeline.Evaluate.reverted;
+                    })
+                  r.Pipeline.Evaluate.schemes)
+              reports
           in
           let doc =
             match format with
-            | `Md -> Ledger.Render.markdown sheets
-            | `Html -> Ledger.Render.html sheets
+            | `Md -> Ledger.Render.markdown ~schemes sheets
+            | `Html -> Ledger.Render.html ~schemes sheets
           in
           (match out with
           | None -> print_string doc
@@ -541,6 +591,15 @@ let report_cmd =
       & info [ "energy" ] ~docv:"MODEL"
           ~doc:"Energy model preset: on-chip or off-chip.")
   in
+  let scheme_arg =
+    Arg.(
+      value & opt string "tt"
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:
+            "Encoding scheme per region: tt (default), auto, or a fixed \
+             backend name; auto and fixed append the backend-selection \
+             table to the dashboard.")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:
@@ -560,7 +619,7 @@ let report_cmd =
          ])
     Term.(
       ret (const report $ names_arg $ scaled_arg $ format_arg $ out_arg
-           $ energy_arg $ set_arg $ stats_arg))
+           $ energy_arg $ set_arg $ stats_arg $ scheme_arg))
 
 (* ---- trace --------------------------------------------------------------------- *)
 

@@ -7,7 +7,7 @@ type t = {
 }
 
 let create ?(width = 32) () =
-  if width < 1 || width > 62 then invalid_arg "Buscount.create: bad width";
+  Width.check ~scheme:"buscount" width;
   {
     width;
     line_counts = Array.make width 0;
@@ -21,7 +21,7 @@ let popcount x =
   go x 0
 
 let observe t word =
-  if word < 0 || (t.width < 62 && word lsr t.width <> 0) then
+  if word < 0 || word lsr t.width <> 0 then
     invalid_arg "Buscount.observe: word wider than bus";
   if t.observed > 0 then begin
     let diff = word lxor t.previous in

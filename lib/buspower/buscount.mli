@@ -7,7 +7,9 @@
 
 type t
 
-(** [create ?width ()] is a counter for a [width]-line bus (default 32). *)
+(** [create ?width ()] is a counter for a [width]-line bus (default 32).
+    Raises {!Width.Out_of_range} when [width] falls outside
+    {!Width.min_width}..{!Width.max_width}. *)
 val create : ?width:int -> unit -> t
 
 (** [observe t word] clocks [word] onto the bus.  Raises [Invalid_argument]

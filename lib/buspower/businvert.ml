@@ -8,7 +8,7 @@ type t = {
 }
 
 let create ?(width = 32) () =
-  if width < 1 || width > 62 then invalid_arg "Businvert.create: bad width";
+  Width.check ~scheme:"businvert" width;
   {
     width;
     mask = (1 lsl width) - 1;
@@ -42,6 +42,12 @@ let decode ~width (bus, invert) =
   if invert then lnot bus land mask else bus
 
 let transitions t = t.total
+
+let reset t =
+  t.prev_bus <- 0;
+  t.prev_invert <- false;
+  t.started <- false;
+  t.total <- 0
 
 let count_stream ?width words =
   let t = create ?width () in

@@ -9,7 +9,8 @@
 type t
 
 (** [create ?width ()] is an encoder for a [width]-line data bus (default
-    32); the invert line is extra. *)
+    32); the invert line is extra.  Raises {!Width.Out_of_range} when
+    [width] falls outside {!Width.min_width}..{!Width.max_width}. *)
 val create : ?width:int -> unit -> t
 
 (** [encode t word] is [(bus_word, invert)] actually driven. *)
@@ -20,6 +21,9 @@ val decode : width:int -> int * bool -> int
 
 (** [transitions t] is the running total including the invert line. *)
 val transitions : t -> int
+
+(** [reset t] clears bus history and the running total. *)
+val reset : t -> unit
 
 (** [count_stream ?width words] encodes a whole stream and returns its
     total transitions (data lines + invert line). *)

@@ -11,4 +11,5 @@ let decode g =
   go 0 0
 
 let count_stream ?width addresses =
+  Option.iter (Width.check ~scheme:"gray") width;
   Buscount.count_stream ?width (Array.map encode addresses)

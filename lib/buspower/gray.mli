@@ -10,5 +10,7 @@ val encode : int -> int
 val decode : int -> int
 
 (** [count_stream ?width addresses] is the address-bus transition total
-    when every address is driven Gray-encoded. *)
+    when every address is driven Gray-encoded.  Raises
+    {!Width.Out_of_range} when [width] falls outside
+    {!Width.min_width}..{!Width.max_width}. *)
 val count_stream : ?width:int -> int array -> int

@@ -10,7 +10,7 @@ type t = {
 }
 
 let create ?(width = 32) ?(stride = 1) () =
-  if width < 1 || width > 62 then invalid_arg "T0.create: bad width";
+  Width.check ~scheme:"t0" width;
   if stride <= 0 then invalid_arg "T0.create: bad stride";
   {
     width;
@@ -27,14 +27,15 @@ let popcount x =
   let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
   go x 0
 
-let observe t address =
+let encode t address =
   if address < 0 || address land lnot t.mask <> 0 then
     invalid_arg "T0.observe: address wider than bus";
   if not t.started then begin
     t.prev_addr <- address;
     t.prev_bus <- address;
     t.prev_inc <- false;
-    t.started <- true
+    t.started <- true;
+    (address, false)
   end
   else begin
     let sequential = address = t.prev_addr + t.stride in
@@ -44,10 +45,19 @@ let observe t address =
     if inc <> t.prev_inc then t.total <- t.total + 1;
     t.prev_addr <- address;
     t.prev_bus <- bus;
-    t.prev_inc <- inc
+    t.prev_inc <- inc;
+    (bus, inc)
   end
 
+let observe t address = ignore (encode t address)
 let transitions t = t.total
+
+let reset t =
+  t.prev_addr <- 0;
+  t.prev_bus <- 0;
+  t.prev_inc <- false;
+  t.started <- false;
+  t.total <- 0
 
 let count_stream ?width ?stride addresses =
   let t = create ?width ?stride () in

@@ -10,14 +10,28 @@
 type t
 
 (** [create ?width ?stride ()] models a [width]-line address bus (default
-    32) with word stride (default 1: addresses are word indices). *)
+    32) with word stride (default 1: addresses are word indices).
+    [stride] is T0-specific — the other counters have no use for it
+    because only T0's "sequential" predicate depends on address spacing.
+    Raises {!Width.Out_of_range} when [width] falls outside
+    {!Width.min_width}..{!Width.max_width}; raises [Invalid_argument] on
+    a non-positive stride. *)
 val create : ?width:int -> ?stride:int -> unit -> t
 
 (** [observe t address] clocks the next fetch address. *)
 val observe : t -> int -> unit
 
+(** [encode t address] is [observe] returning what was actually driven:
+    [(bus_lines, inc)].  On a sequential fetch the address lines hold
+    their previous value and INC is asserted; the receiver reconstructs
+    [previous + stride] locally. *)
+val encode : t -> int -> int * bool
+
 (** [transitions t] is the running total (address lines + INC line). *)
 val transitions : t -> int
+
+(** [reset t] clears address history and the running total. *)
+val reset : t -> unit
 
 (** [count_stream ?width ?stride addresses] totals a whole trace. *)
 val count_stream : ?width:int -> ?stride:int -> int array -> int

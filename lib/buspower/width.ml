@@ -1,0 +1,21 @@
+let min_width = 1
+let max_width = 32
+
+exception Out_of_range of { scheme : string; width : int }
+
+let () =
+  Printexc.register_printer (function
+    | Out_of_range { scheme; width } ->
+        Some
+          (Printf.sprintf "Buspower.Width.Out_of_range { scheme = %S; width = %d }"
+             scheme width)
+    | _ -> None)
+
+let check_range ~scheme ~lo ~hi width =
+  let lo = max lo min_width and hi = min hi max_width in
+  if width < lo || width > hi then raise (Out_of_range { scheme; width })
+
+let check ~scheme width =
+  check_range ~scheme ~lo:min_width ~hi:max_width width
+
+let mask width = (1 lsl width) - 1

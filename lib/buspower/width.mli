@@ -1,0 +1,31 @@
+(** Uniform bus-width validation for every [lib/buspower] counter and
+    encoder backend.
+
+    Historically each counter validated its own width with a bare
+    [Invalid_argument] and its own bound (1..62); encoders model a real
+    instruction bus, so the supported range is now uniformly
+    {!min_width}..{!max_width} lines and violations raise the typed
+    {!Out_of_range} so callers can match on the offending scheme and
+    width instead of parsing a message string. *)
+
+(** Narrowest supported bus. *)
+val min_width : int
+
+(** Widest supported bus — the paper's 32-line instruction bus. *)
+val max_width : int
+
+(** Raised by [create]/[count_stream] entry points across [lib/buspower]
+    when a requested width falls outside [min_width..max_width] (or
+    outside a backend's narrower advertised range). *)
+exception Out_of_range of { scheme : string; width : int }
+
+(** [check ~scheme width] raises {!Out_of_range} unless
+    [min_width <= width <= max_width]. *)
+val check : scheme:string -> int -> unit
+
+(** [check_range ~scheme ~lo ~hi width] — same, against a backend's own
+    advertised [lo..hi] range (itself clipped to the global bounds). *)
+val check_range : scheme:string -> lo:int -> hi:int -> int -> unit
+
+(** [mask width] is the all-ones word for a validated width. *)
+val mask : int -> int

@@ -1,0 +1,208 @@
+module Encoder = Buspower.Encoder
+module Width = Buspower.Width
+
+(* paper_eight position <-> Boolfun: the 3-bit sideband index is the
+   position within the paper's fixed eight-transformation subset. *)
+let tau_position =
+  let arr = Array.make 16 (-1) in
+  List.iteri (fun pos f -> arr.(Boolfun.index f) <- pos) Subset.paper_eight;
+  arr
+
+let tau_of_position = Array.of_list Subset.paper_eight
+
+module Make (K : sig
+  val k : int
+end) : Encoder.S = struct
+  let k = K.k
+
+  let () =
+    if k < 2 || k > 7 then invalid_arg "Tt_backend.Make: k not in 2..7"
+
+  let scheme = if k = 5 then "tt" else "tt-k" ^ string_of_int k
+  let min_width = Width.min_width
+
+  (* 3 sideband bits per line per block must fit one aux word even when a
+     short final block emits them all on a single codeword: 3w <= 60. *)
+  let max_width = 20
+  let subset_mask = Subset.paper_eight_mask
+  let aux_width ~width = 3 * width
+
+  let cost ~width =
+    { Encoder.extra_lines = 3 * width;
+      table_bits = 16 * (k + 3);
+      gates = 4 * width;
+      reads_per_fetch = 1;
+      latency_words = k - 1 }
+
+  type encoder = {
+    width : int;
+    mask : int;
+    buf : int array;  (* originals of the current span, buf.(0) = overlap *)
+    mutable buflen : int;
+    mutable block_idx : int;
+    mutable boundary : int;  (* per-line last encoded bit of the previous block *)
+  }
+
+  let encoder ~width =
+    Width.check_range ~scheme ~lo:min_width ~hi:max_width width;
+    { width; mask = Width.mask width; buf = Array.make k 0; buflen = 0;
+      block_idx = 0; boundary = 0 }
+
+  let reset e =
+    e.buflen <- 0;
+    e.block_idx <- 0;
+    e.boundary <- 0
+
+  (* Split [total] tau bits evenly over [m] emissions, larger chunks
+     first; both ends recompute the same split from (width, m). *)
+  let chunk_size ~total ~m i = (total / m) + (if i < total mod m then 1 else 0)
+
+  let emit_block e ~first =
+    let len = e.buflen in
+    let m = if first then len else len - 1 in
+    let table = Codetable.get ~subset_mask ~k:len () in
+    let data = Array.make m 0 in
+    let tau_acc = ref 0 in
+    let boundary' = ref 0 in
+    for l = 0 to e.width - 1 do
+      let word = ref 0 in
+      for i = 0 to len - 1 do
+        word := !word lor (((e.buf.(i) lsr l) land 1) lsl i)
+      done;
+      let choice =
+        if first then Codetable.standalone table ~word:!word
+        else
+          Codetable.chained_best table
+            ~b_in:((e.boundary lsr l) land 1 = 1)
+            ~word:!word
+      in
+      let code = choice.Codetable.code in
+      let pos0 = if first then 0 else 1 in
+      for i = pos0 to len - 1 do
+        if (code lsr i) land 1 = 1 then
+          data.(i - pos0) <- data.(i - pos0) lor (1 lsl l)
+      done;
+      tau_acc :=
+        !tau_acc lor (tau_position.(Boolfun.index choice.Codetable.tau) lsl (3 * l));
+      if (code lsr (len - 1)) land 1 = 1 then
+        boundary' := !boundary' lor (1 lsl l)
+    done;
+    e.boundary <- !boundary';
+    e.buf.(0) <- e.buf.(len - 1);
+    e.buflen <- 1;
+    e.block_idx <- e.block_idx + 1;
+    let total = 3 * e.width in
+    let acc = ref !tau_acc in
+    List.init m (fun i ->
+        let chunk = chunk_size ~total ~m i in
+        let aux = !acc land ((1 lsl chunk) - 1) in
+        acc := !acc lsr chunk;
+        { Encoder.data = data.(i); aux })
+
+  let encode e w =
+    if w < 0 || w land lnot e.mask <> 0 then
+      invalid_arg "Tt_backend.encode: word wider than bus";
+    e.buf.(e.buflen) <- w;
+    e.buflen <- e.buflen + 1;
+    if e.buflen = k then emit_block e ~first:(e.block_idx = 0) else []
+
+  let flush e =
+    let out =
+      if e.block_idx = 0 then
+        if e.buflen >= 1 then emit_block e ~first:true else []
+      else if e.buflen >= 2 then emit_block e ~first:false
+      else []
+    in
+    reset e;
+    out
+
+  type decoder = {
+    dwidth : int;
+    dbuf : (int * int) array;  (* received (data, aux) of the current block *)
+    mutable dbuflen : int;
+    mutable dblock : int;
+    mutable denc_boundary : int;  (* per-line last encoded bit of prev block *)
+  }
+
+  let decoder ~width =
+    Width.check_range ~scheme ~lo:min_width ~hi:max_width width;
+    { dwidth = width; dbuf = Array.make k (0, 0); dbuflen = 0; dblock = 0;
+      denc_boundary = 0 }
+
+  let reset_decoder d =
+    d.dbuflen <- 0;
+    d.dblock <- 0;
+    d.denc_boundary <- 0
+
+  let decode_block d ~first =
+    let m = d.dbuflen in
+    let len = if first then m else m + 1 in
+    let total = 3 * d.dwidth in
+    (* Reassemble the block's tau sideband from the aux chunks. *)
+    let tau_acc = ref 0 and off = ref 0 in
+    for i = 0 to m - 1 do
+      let chunk = chunk_size ~total ~m i in
+      let _, aux = d.dbuf.(i) in
+      tau_acc := !tau_acc lor ((aux land ((1 lsl chunk) - 1)) lsl !off);
+      off := !off + chunk
+    done;
+    let out = Array.make m 0 in
+    let boundary' = ref 0 in
+    for l = 0 to d.dwidth - 1 do
+      let tau = tau_of_position.((!tau_acc lsr (3 * l)) land 7) in
+      (* Encoded bit at span position i, the overlap bit coming from the
+         previous block's remembered last line values. *)
+      let c i =
+        if first then (fst d.dbuf.(i) lsr l) land 1
+        else if i = 0 then (d.denc_boundary lsr l) land 1
+        else (fst d.dbuf.(i - 1) lsr l) land 1
+      in
+      let xprev = ref false in
+      for i = (if first then 0 else 1) to len - 1 do
+        let v =
+          if i = 0 then c 0 = 1
+          else
+            let history = if i = 1 then c 0 = 1 else !xprev in
+            Boolfun.apply tau (c i = 1) history
+        in
+        xprev := v;
+        let emit_idx = if first then i else i - 1 in
+        if v then out.(emit_idx) <- out.(emit_idx) lor (1 lsl l)
+      done;
+      if c (len - 1) = 1 then boundary' := !boundary' lor (1 lsl l)
+    done;
+    d.denc_boundary <- !boundary';
+    d.dbuflen <- 0;
+    d.dblock <- d.dblock + 1;
+    Array.to_list out
+
+  let decode d (cw : Encoder.codeword) =
+    d.dbuf.(d.dbuflen) <- (cw.data, cw.aux);
+    d.dbuflen <- d.dbuflen + 1;
+    let first = d.dblock = 0 in
+    let full = if first then d.dbuflen = k else d.dbuflen = k - 1 in
+    if full then decode_block d ~first else []
+
+  let flush_decoder d =
+    let out =
+      if d.dbuflen > 0 then decode_block d ~first:(d.dblock = 0) else []
+    in
+    reset_decoder d;
+    out
+end
+
+module Tt5 = Make (struct
+  let k = 5
+end)
+
+let registered = ref false
+let registered_mutex = Mutex.create ()
+
+let ensure () =
+  Buspower.Backends.ensure ();
+  Mutex.lock registered_mutex;
+  if not !registered then begin
+    Encoder.register (module Tt5);
+    registered := true
+  end;
+  Mutex.unlock registered_mutex

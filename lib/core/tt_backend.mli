@@ -1,0 +1,31 @@
+(** The paper's TT transformation as a streaming {!Buspower.Encoder}
+    backend.
+
+    Each of the [width] bus lines is an independent bit stream over
+    time; the backend chain-encodes every line greedily with block size
+    [k] under the paper's eight-transformation subset — exactly
+    {!Chain.encode_greedy} per line, proven bit-identical by the
+    conformance suite's oracle law.
+
+    Unlike the stored-image TT of the pipeline (where the chosen
+    transformations are programmed into the table offline and never
+    travel on the bus), a {e streaming} TT encoder has no side channel:
+    the per-line 3-bit transformation indices of each code block are
+    packed into the codewords' [aux] lines, spread evenly over the
+    block's emissions.  That honesty shows up in the cost descriptor —
+    [3 * width] extra lines and a [k - 1]-word lookahead
+    ([latency_words]) — and is precisely why the pipeline's per-region
+    auto-selector never offers this backend on the fetch path: the
+    stored-image TT it already implements is the latency-free form. *)
+
+(** [Make (val k = …)] is a TT backend with block size [k] (2..7); its
+    scheme name is ["tt"] for [k = 5] (the paper's headline block size)
+    and ["tt-k<k>"] otherwise.  Maximum width 20 (the widest bus whose
+    [3 * width] sideband bits fit one aux word). *)
+module Make (K : sig
+  val k : int
+end) : Buspower.Encoder.S
+
+(** Registers the [k = 5] instance as ["tt"] (idempotent, domain-safe)
+    along with the built-in {!Buspower.Backends}. *)
+val ensure : unit -> unit

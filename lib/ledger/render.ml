@@ -128,10 +128,41 @@ let break_even_table (sheets : Sheet.t list) =
         sheets;
   }
 
-let all_tables sheets =
+type scheme_line = {
+  bench : string;
+  k : int;
+  counts : (string * int) list;
+  energy_j : float;
+  tt_energy_j : float;
+  reverted : bool;
+}
+
+let scheme_table lines =
+  {
+    title = "Encoder-backend selection per encoded region";
+    header =
+      [ "bench"; "k"; "regions by scheme"; "energy"; "all-TT energy";
+        "committed" ];
+    rows =
+      List.map
+        (fun l ->
+          [
+            l.bench;
+            string_of_int l.k;
+            String.concat " "
+              (List.map (fun (s, n) -> Printf.sprintf "%s=%d" s n) l.counts);
+            joules l.energy_j;
+            joules l.tt_energy_j;
+            (if l.reverted then "reverted to tt" else "as selected");
+          ])
+        lines;
+  }
+
+let all_tables ~schemes sheets =
   overview_tables sheets
   @ List.map component_table sheets
   @ [ break_even_table sheets ]
+  @ (if schemes = [] then [] else [ scheme_table schemes ])
 
 let title = "powercode energy ledger"
 
@@ -141,7 +172,7 @@ let model_line = function
 
 (* ---- markdown --------------------------------------------------------- *)
 
-let markdown sheets =
+let markdown ?(schemes = []) sheets =
   Metrics.incr Tel.ledger_reports;
   let b = Buffer.create 4096 in
   let p fmt = Printf.bprintf b fmt in
@@ -153,7 +184,7 @@ let markdown sheets =
       p "|%s|\n"
         (String.concat "|" (List.map (fun _ -> "---") t.header));
       List.iter (fun row -> p "| %s |\n" (String.concat " | " row)) t.rows)
-    (all_tables sheets);
+    (all_tables ~schemes sheets);
   p
     "\nNet savings charge every overhead component: TT SRAM reads, BBIT \
      probes, decode-gate toggles and the one-time table-programming writes \
@@ -173,7 +204,7 @@ let escape s =
     s;
   Buffer.contents b
 
-let html sheets =
+let html ?(schemes = []) sheets =
   Metrics.incr Tel.ledger_reports;
   let b = Buffer.create 8192 in
   let p fmt = Printf.bprintf b fmt in
@@ -201,7 +232,7 @@ let html sheets =
           p "</tr>\n")
         t.rows;
       p "</tbody>\n</table>\n")
-    (all_tables sheets);
+    (all_tables ~schemes sheets);
   p
     "<p>Net savings charge every overhead component: TT SRAM reads, BBIT \
      probes, decode-gate toggles and the one-time table-programming \

@@ -9,9 +9,26 @@
     Output is deterministic for deterministic sheets — wall-clock never
     appears — so cram tests pin it verbatim. *)
 
-(** [markdown sheets] — GitHub-flavoured Markdown. *)
-val markdown : Sheet.t list -> string
+(** One row of the optional encoder-backend selection table: which
+    {!Buspower.Encoder} backend each encoded region committed to at block
+    size [k], with the mixed-bus energy next to the all-TT account.
+    Deliberately free of pipeline types so the renderer stays below
+    [Pipeline] in the dependency order; the CLI flattens
+    [Pipeline.Evaluate.scheme_run] values into these. *)
+type scheme_line = {
+  bench : string;
+  k : int;
+  counts : (string * int) list;  (** scheme -> regions, ["tt"] first *)
+  energy_j : float;
+  tt_energy_j : float;
+  reverted : bool;
+}
 
-(** [html sheets] — a single self-contained HTML page (inline CSS, no
-    external assets). *)
-val html : Sheet.t list -> string
+(** [markdown ?schemes sheets] — GitHub-flavoured Markdown.  A non-empty
+    [schemes] appends the backend-selection table (default: absent, so
+    existing dashboards are byte-identical). *)
+val markdown : ?schemes:scheme_line list -> Sheet.t list -> string
+
+(** [html ?schemes sheets] — a single self-contained HTML page (inline
+    CSS, no external assets). *)
+val html : ?schemes:scheme_line list -> Sheet.t list -> string

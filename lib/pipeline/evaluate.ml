@@ -10,6 +10,29 @@ type encoded_run = {
   verified_fetches : int;
 }
 
+(* Per-region scheme selection (the multi-backend auto-tuner). *)
+type scheme = [ `Tt | `Auto | `Fixed of string ]
+
+type region_choice = {
+  rc_start : int;  (** instruction index of the encoded region head *)
+  rc_len : int;  (** words actually stored encoded *)
+  rc_weight : int;  (** dynamic execution count *)
+  rc_scheme : string;  (** ["tt"] or a registered backend name *)
+}
+
+type scheme_run = {
+  srun_k : int;
+  choices : region_choice list;
+  scheme_counts : (string * int) list;  (** scheme -> regions, ["tt"] first *)
+  auto_transitions : int;  (** exact bus transitions under the selection *)
+  auto_reduction_pct : float;
+  auto_energy_j : float;  (** bus + table reads/writes under the selection *)
+  tt_energy_j : float;  (** same accounting, every region TT *)
+  reverted : bool;
+      (** the measured selection cost more than all-TT, so the commit rule
+          fell back to TT everywhere (never reported worse than TT) *)
+}
+
 type report = {
   name : string;
   instructions : int;
@@ -20,6 +43,7 @@ type report = {
   output : string;
   attribution : Trace.Attribution.summary option;
   ledger : Ledger.Sheet.t option;
+  schemes : scheme_run list;  (** empty under the default [`Tt] scheme *)
 }
 
 exception Verification_failed of { pc : int; expected : int; got : int }
@@ -123,6 +147,7 @@ module Plan_cache = struct
     key_subset_mask : int option;
     key_optimal_chain : bool;
     key_selection : selection;
+    key_scheme : scheme;
   }
 
   type entry = {
@@ -147,6 +172,12 @@ module Plan_cache = struct
     h :=
       fnv_step !h
         (match k.key_selection with `Hot_blocks -> 0 | `Hot_loops -> 1);
+    (match k.key_scheme with
+    | `Tt -> h := fnv_step !h 0
+    | `Auto -> h := fnv_step !h 1
+    | `Fixed name ->
+        h := fnv_step !h 2;
+        String.iter (fun c -> h := fnv_step !h (Char.code c)) name);
     !h
 
   let key_equal a b =
@@ -155,6 +186,7 @@ module Plan_cache = struct
     && a.key_subset_mask = b.key_subset_mask
     && a.key_optimal_chain = b.key_optimal_chain
     && a.key_selection = b.key_selection
+    && a.key_scheme = b.key_scheme
     && (a.key_words == b.key_words || a.key_words = b.key_words)
 
   (* Enough for every workload in the bench suite plus a campaign's bench
@@ -211,7 +243,7 @@ end
    block selection) and one plan per block size, through the cache when it
    is enabled. *)
 let context_and_plans ~ks ~tt_capacity ~subset_mask ~optimal_chain ~selection
-    program =
+    ~scheme program =
   let compute () =
     let ctx = context ?subset_mask ?selection:(Some selection) program in
     (ctx, plan_only ~tt_capacity ~optimal_chain ctx ks)
@@ -226,6 +258,7 @@ let context_and_plans ~ks ~tt_capacity ~subset_mask ~optimal_chain ~selection
         key_subset_mask = subset_mask;
         key_optimal_chain = optimal_chain;
         key_selection = selection;
+        key_scheme = scheme;
       }
     in
     let hash = Plan_cache.hash_key key in
@@ -251,19 +284,137 @@ let prepare ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
     ?(optimal_chain = false) ?(selection = `Hot_blocks) program =
   let ctx, plans =
     context_and_plans ~ks ~tt_capacity ~subset_mask ~optimal_chain ~selection
-      program
+      ~scheme:`Tt program
   in
   systems_of_plans ~tt_capacity ctx program plans
 
+(* -------------------------------------------------------------------- *)
+(* Per-region scheme auto-selection.
+
+   Only word-at-a-time backends covering the full 32-line bus qualify as
+   fetch-path alternatives: a backend with [latency_words > 0] (the
+   streaming TT) would stall fetch waiting for lookahead — the paper's TT
+   gets its lookahead offline, through the stored image, which is the
+   form the pipeline already implements.  Region membership detection is
+   the BBIT's existing job, so a per-region decoder knows when to apply
+   its scheme, exactly as the TT regions do. *)
+
+let fetch_path_backends () =
+  Buspower.Backends.ensure ();
+  List.filter
+    (fun b ->
+      let module B = (val b : Buspower.Encoder.S) in
+      B.max_width >= 32
+      && (B.cost ~width:32).Buspower.Encoder.latency_words = 0)
+    (Buspower.Encoder.all ())
+
+(* [None]: every region stays TT; [Some (`Choose alts)]: per-region
+   scored choice among [alts], TT unless strictly cheaper; [Some
+   (`Force b)]: every region takes [b] regardless of score. *)
+let resolve_scheme = function
+  | `Tt | `Fixed "tt" -> None
+  | `Auto -> Some (`Choose (fetch_path_backends ()))
+  | `Fixed name -> (
+      let eligible = fetch_path_backends () in
+      match
+        List.find_opt
+          (fun b ->
+            let module B = (val b : Buspower.Encoder.S) in
+            String.equal B.scheme name)
+          eligible
+      with
+      | Some b -> Some (`Force b)
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Pipeline.Evaluate: %S is not a fetch-path scheme (want tt, \
+                auto, or one of: %s)"
+               name
+               (String.concat ", "
+                  (List.map
+                     (fun b ->
+                       let module B = (val b : Buspower.Encoder.S) in
+                       B.scheme)
+                     eligible))))
+
+(* One encoded region of one k-plan, with everything scoring needs. *)
+type region = {
+  rg_start : int;
+  rg_len : int;
+  rg_weight : int;
+  rg_tt_static : int;  (* stored-image transitions of one body traversal *)
+}
+
+(* Runtime state of a region that selected a non-TT backend: a persistent
+   encoder stepped once per fetch, plus the ledger charges its choice
+   carries.  The closure hides the backend's encoder type. *)
+type alt_runtime = {
+  art_scheme : string;
+  art_step : int -> Buspower.Encoder.codeword;
+  art_reads_per_fetch : int;
+  art_table_words : int;
+  mutable art_fetches : int;
+}
+
+(* Per-evaluation auto-selector state, one slot per k-image. *)
+type auto_state = {
+  as_region_of_pc : int array array;  (* pc -> encoded-region index or -1 *)
+  as_alt : alt_runtime option array array;  (* region -> non-TT choice *)
+  as_totals : int array;  (* exact mixed-bus transitions *)
+  as_prev_data : int array;
+  as_prev_aux : int array;
+  as_tt_fetches : int array;  (* fetches in regions left TT *)
+  mutable as_first : bool;
+}
+
+(* Conservative static score, in joules per program run: weighted encoded
+   stream transitions (plus a worst-case full-bus seam each traversal for
+   non-incumbent schemes), per-fetch side-table reads, and the one-time
+   table programming.  Deterministic: ties and near-ties keep TT, and
+   among alternatives the first strictly-better backend in registration
+   order wins. *)
+let choose_backend ~alts ~model ~per_t ~words (rg : region) =
+  let fl = float_of_int in
+  let w = fl rg.rg_weight in
+  let tt_score =
+    (w *. fl rg.rg_tt_static *. per_t)
+    +. (w *. fl rg.rg_len *. model.Ledger.Model.tt_read_j)
+  in
+  let body = Array.sub words rg.rg_start rg.rg_len in
+  let best = ref None and best_score = ref tt_score in
+  List.iter
+    (fun b ->
+      let module B = (val b : Buspower.Encoder.S) in
+      let c = B.cost ~width:32 in
+      let t = Buspower.Encoder.stream_transitions b ~width:32 body in
+      let seam = 32 + B.aux_width ~width:32 in
+      let score =
+        (w *. fl (t + seam) *. per_t)
+        +. (w *. fl rg.rg_len *. fl c.Buspower.Encoder.reads_per_fetch
+           *. model.Ledger.Model.tt_read_j)
+        +. (fl ((c.Buspower.Encoder.table_bits + 31) / 32)
+           *. model.Ledger.Model.table_write_j)
+      in
+      if score < !best_score then begin
+        best := Some b;
+        best_score := score
+      end)
+    alts;
+  !best
+
 let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
-    ?(optimal_chain = false) ?(selection = `Hot_blocks) ?(verify = false)
-    ?(attribution = false) ?ledger ~name program =
+    ?(optimal_chain = false) ?(selection = `Hot_blocks) ?(scheme = `Tt)
+    ?(verify = false) ?(attribution = false) ?ledger ~name program =
   Metrics.with_span Tel.span_evaluate @@ fun () ->
   Metrics.incr Tel.pipeline_evaluations;
   let words = Isa.Program.words program in
+  (* [`Fixed "tt"] is [`Tt] spelled through the CLI flag; normalise before
+     the plan-cache key so both share an entry *)
+  let scheme = match scheme with `Fixed "tt" -> `Tt | s -> s in
+  let scheme_alts = resolve_scheme scheme in
   let ctx, plans =
     context_and_plans ~ks ~tt_capacity ~subset_mask ~optimal_chain ~selection
-      program
+      ~scheme program
   in
   let { profile; blocks; hot_blocks; _ } = ctx in
   (* plans and decode systems, one per block size *)
@@ -323,40 +474,129 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
     blocks;
   (* per-image map of pcs stored encoded (a block's head may be covered
      only partially when the TT ran short, so extents come from the
-     encoding actually patched into the image, not the candidate body) *)
+     encoding actually patched into the image, not the candidate body);
+     shared by the ledger meter and the scheme auto-selector *)
+  let encoded_regions_of plan =
+    List.filter_map
+      (fun p ->
+        match p.Powercode.Program_encoder.encoding with
+        | None -> None
+        | Some enc ->
+            Some
+              {
+                rg_start = p.Powercode.Program_encoder.cand.start_index;
+                rg_len =
+                  Bitutil.Bitmat.rows enc.Powercode.Program_encoder.encoded;
+                rg_weight = p.Powercode.Program_encoder.cand.weight;
+                rg_tt_static =
+                  Bitutil.Bitmat.transitions
+                    enc.Powercode.Program_encoder.encoded;
+              })
+      plan.Powercode.Program_encoder.placements
+  in
+  let regions =
+    Array.of_list (List.map (fun (_, plan, _) -> encoded_regions_of plan) systems)
+  in
+  let encoded_pc =
+    lazy
+      (Array.map
+         (fun rgs ->
+           let map = Array.make npc false in
+           List.iter
+             (fun rg ->
+               for pc = rg.rg_start to min (npc - 1) (rg.rg_start + rg.rg_len - 1)
+               do
+                 map.(pc) <- true
+               done)
+             rgs;
+           map)
+         regions)
+  in
   let meter =
     match ledger with
     | None -> None
     | Some model ->
-        let encoded_pc =
-          Array.of_list
-            (List.map
-               (fun (_, plan, _) ->
-                 let map = Array.make npc false in
-                 List.iter
-                   (fun p ->
-                     match p.Powercode.Program_encoder.encoding with
-                     | None -> ()
-                     | Some enc ->
-                         let start =
-                           p.Powercode.Program_encoder.cand.start_index
-                         in
-                         let len =
-                           Bitutil.Bitmat.rows
-                             enc.Powercode.Program_encoder.encoded
-                         in
-                         for pc = start to min (npc - 1) (start + len - 1) do
-                           map.(pc) <- true
-                         done)
-                   plan.Powercode.Program_encoder.placements;
-                 map)
-               systems)
-        in
+        let encoded_pc = Lazy.force encoded_pc in
         Some
           (Ledger.Meter.create ~name ~model
              ~ks:(Array.of_list (List.map (fun (k, _, _) -> k) systems))
              ~encoded_region:(fun ~image ~pc ->
                pc >= 0 && pc < npc && encoded_pc.(image).(pc)))
+  in
+  (* Scheme auto-selection: score each encoded region against the
+     fetch-path alternatives, then account the chosen mixed bus exactly
+     during the same counting run (per-image previous data and aux lines;
+     TT/unencoded fetches drive the stored image while aux lines hold). *)
+  let scoring_model =
+    match ledger with Some m -> m | None -> Ledger.Model.on_chip
+  in
+  let per_t = Buspower.Energy.per_transition scoring_model.Ledger.Model.bus in
+  let auto =
+    match scheme_alts with
+    | None -> None
+    | Some sel ->
+        let pick rg =
+          match sel with
+          | `Force b -> Some b
+          | `Choose alts ->
+              choose_backend ~alts ~model:scoring_model ~per_t ~words rg
+        in
+        let region_of_pc =
+          Array.map
+            (fun rgs ->
+              let map = Array.make npc (-1) in
+              List.iteri
+                (fun ri rg ->
+                  for pc = rg.rg_start to min (npc - 1) (rg.rg_start + rg.rg_len - 1)
+                  do
+                    map.(pc) <- ri
+                  done)
+                rgs;
+              map)
+            regions
+        in
+        let alt_of_region =
+          Array.map
+            (fun rgs ->
+              Array.of_list
+                (List.map
+                   (fun rg ->
+                     match pick rg with
+                     | None -> None
+                     | Some b ->
+                         let module B = (val b : Buspower.Encoder.S) in
+                         let e = B.encoder ~width:32 in
+                         let c = B.cost ~width:32 in
+                         Some
+                           {
+                             art_scheme = B.scheme;
+                             art_step =
+                               (fun w ->
+                                 match B.encode e w with
+                                 | [ cw ] -> cw
+                                 | _ ->
+                                     failwith
+                                       "Pipeline.Evaluate: latency-0 backend \
+                                        emitted <> 1 codeword");
+                             art_reads_per_fetch =
+                               c.Buspower.Encoder.reads_per_fetch;
+                             art_table_words =
+                               (c.Buspower.Encoder.table_bits + 31) / 32;
+                             art_fetches = 0;
+                           })
+                   rgs))
+            regions
+        in
+        Some
+          {
+            as_region_of_pc = region_of_pc;
+            as_alt = alt_of_region;
+            as_totals = Array.make nimg 0;
+            as_prev_data = Array.make nimg 0;
+            as_prev_aux = Array.make nimg 0;
+            as_tt_fetches = Array.make nimg 0;
+            as_first = true;
+          }
   in
   let attr =
     if attribution then
@@ -407,6 +647,33 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
             (Trace.Event.Block_entry { time; pc; block = pc_block.(pc) })
       end
     end;
+    (match auto with
+    | None -> ()
+    | Some a ->
+        let first_auto = a.as_first in
+        a.as_first <- false;
+        for v = 0 to nimg - 1 do
+          let r = if pc < npc then a.as_region_of_pc.(v).(pc) else -1 in
+          let data, aux =
+            if r >= 0 then
+              match a.as_alt.(v).(r) with
+              | Some art ->
+                  art.art_fetches <- art.art_fetches + 1;
+                  let cw = art.art_step w in
+                  (cw.Buspower.Encoder.data, cw.Buspower.Encoder.aux)
+              | None ->
+                  a.as_tt_fetches.(v) <- a.as_tt_fetches.(v) + 1;
+                  ((Array.unsafe_get images v).(pc), a.as_prev_aux.(v))
+            else ((Array.unsafe_get images v).(pc), a.as_prev_aux.(v))
+          in
+          if not first_auto then
+            a.as_totals.(v) <-
+              a.as_totals.(v)
+              + popcount32 (data lxor a.as_prev_data.(v))
+              + popcount32 (aux lxor a.as_prev_aux.(v));
+          a.as_prev_data.(v) <- data;
+          a.as_prev_aux.(v) <- aux
+        done);
     ignore (Buspower.Businvert.encode businvert w);
     if verify then
       Array.iteri
@@ -447,6 +714,112 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
           verified_fetches = (if verify then verified.(v) else 0);
         })
       systems
+  in
+  let scheme_runs =
+    match auto with
+    | None -> []
+    | Some a ->
+        List.mapi
+          (fun v (k, _plan, _system) ->
+            let rgs = Array.of_list regions.(v) in
+            let alts_v = a.as_alt.(v) in
+            let fl = float_of_int in
+            let alt_fetches = ref 0 and alt_read_j = ref 0.0 in
+            Array.iter
+              (function
+                | Some art ->
+                    alt_fetches := !alt_fetches + art.art_fetches;
+                    alt_read_j :=
+                      !alt_read_j
+                      +. (fl (art.art_fetches * art.art_reads_per_fetch)
+                         *. scoring_model.Ledger.Model.tt_read_j)
+                      +. (fl art.art_table_words
+                         *. scoring_model.Ledger.Model.table_write_j)
+                | None -> ())
+              alts_v;
+            let enc_fetches = a.as_tt_fetches.(v) + !alt_fetches in
+            let tt_energy_j =
+              (fl totals.(v) *. per_t)
+              +. (fl enc_fetches *. scoring_model.Ledger.Model.tt_read_j)
+            in
+            let auto_energy_j =
+              (fl a.as_totals.(v) *. per_t)
+              +. (fl a.as_tt_fetches.(v)
+                 *. scoring_model.Ledger.Model.tt_read_j)
+              +. !alt_read_j
+            in
+            (* Commit rule: an [`Auto] selection that measured worse than
+               all-TT is discarded, so auto never reports higher energy
+               than TT.  A [`Fixed] override is honoured as-is and reports
+               honest (possibly worse) numbers. *)
+            let reverted =
+              (match scheme with `Auto -> true | `Tt | `Fixed _ -> false)
+              && auto_energy_j > tt_energy_j
+            in
+            let choice_of ri rg =
+              let rc_scheme =
+                if reverted then "tt"
+                else
+                  match alts_v.(ri) with
+                  | Some art -> art.art_scheme
+                  | None -> "tt"
+              in
+              {
+                rc_start = rg.rg_start;
+                rc_len = rg.rg_len;
+                rc_weight = rg.rg_weight;
+                rc_scheme;
+              }
+            in
+            let choices = Array.to_list (Array.mapi choice_of rgs) in
+            let counts =
+              let tally = Hashtbl.create 8 in
+              List.iter
+                (fun c ->
+                  Hashtbl.replace tally c.rc_scheme
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt tally c.rc_scheme)))
+                choices;
+              let order =
+                let alt_list =
+                  match scheme_alts with
+                  | None -> []
+                  | Some (`Choose alts) -> alts
+                  | Some (`Force b) -> [ b ]
+                in
+                "tt"
+                :: List.map
+                     (fun b ->
+                       let module B = (val b : Buspower.Encoder.S) in
+                       B.scheme)
+                     alt_list
+              in
+              List.filter_map
+                (fun s ->
+                  match Hashtbl.find_opt tally s with
+                  | Some n -> Some (s, n)
+                  | None -> if String.equal s "tt" then Some (s, 0) else None)
+                order
+            in
+            let auto_transitions =
+              if reverted then totals.(v) else a.as_totals.(v)
+            in
+            {
+              srun_k = k;
+              choices;
+              scheme_counts = counts;
+              auto_transitions;
+              auto_reduction_pct =
+                (if !baseline_total = 0 then 0.0
+                 else
+                   100.0
+                   *. (1.0
+                      -. float_of_int auto_transitions
+                         /. float_of_int !baseline_total));
+              auto_energy_j = (if reverted then tt_energy_j else auto_energy_j);
+              tt_energy_j;
+              reverted;
+            })
+          systems
   in
   let ledger_sheet =
     match meter with
@@ -491,11 +864,12 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
     output = Machine.Cpu.output state;
     attribution = Option.map Trace.Attribution.summarize attr;
     ledger = ledger_sheet;
+    schemes = scheme_runs;
   }
 
-let evaluate_workload ?ks ?verify ?attribution ?ledger w =
+let evaluate_workload ?ks ?scheme ?verify ?attribution ?ledger w =
   let compiled = Workloads.compile w in
-  evaluate ?ks ?verify ?attribution ?ledger ~name:w.Workloads.name
+  evaluate ?ks ?scheme ?verify ?attribution ?ledger ~name:w.Workloads.name
     compiled.Minic.Compile.program
 
 let pp_report fmt r =
@@ -508,6 +882,19 @@ let pp_report fmt r =
         "  k=%d: transitions=%d reduction=%.1f%% tt=%d blocks=%d@." run.k
         run.transitions run.reduction_pct run.tt_used run.blocks_encoded)
     r.runs;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt
+        "  k=%d scheme: transitions=%d reduction=%.1f%% energy=%.4e J (tt \
+         %.4e J)%s regions:%s@."
+        s.srun_k s.auto_transitions s.auto_reduction_pct s.auto_energy_j
+        s.tt_energy_j
+        (if s.reverted then " [reverted to tt]" else "")
+        (String.concat ""
+           (List.map
+              (fun (name, n) -> Printf.sprintf " %s=%d" name n)
+              s.scheme_counts)))
+    r.schemes;
   match r.ledger with
   | Some sheet -> Format.fprintf fmt "%a@." Ledger.Sheet.pp sheet
   | None -> ()

@@ -22,6 +22,50 @@ type encoded_run = {
   verified_fetches : int;  (** 0 when [verify] was off *)
 }
 
+(** Per-region encoding-scheme selection for the fetch path.
+
+    [`Tt] (default): every encoded region uses the paper's TT scheme —
+    byte-identical behaviour and reports to previous versions.  [`Auto]:
+    each encoded region is scored against every registered word-at-a-time
+    {!Buspower.Encoder} backend through the energy model (the [ledger]
+    model when one is passed, {!Ledger.Model.on_chip} otherwise) and takes
+    the cheapest, TT winning ties; the mixed bus (data plus the chosen
+    backends' redundant lines) is then accounted {e exactly} during the
+    counting run, and a selection that measured worse than all-TT is
+    discarded ([reverted]), so auto never reports higher energy than TT.
+    [`Fixed name]: force every encoded region to backend [name] (["tt"]
+    included), bypassing the scoring and the commit rule — the report
+    carries honest numbers even when the override measures worse than TT;
+    unknown or non-fetch-path names (a [latency_words > 0] backend such as
+    the streaming TT, or one not covering 32 lines) raise
+    [Invalid_argument].  Selection is deterministic: scores are pure
+    functions of the plan and model, and backend registration order breaks
+    ties. *)
+type scheme = [ `Tt | `Auto | `Fixed of string ]
+
+type region_choice = {
+  rc_start : int;  (** instruction index of the encoded region head *)
+  rc_len : int;  (** words actually stored encoded *)
+  rc_weight : int;  (** dynamic execution count *)
+  rc_scheme : string;  (** ["tt"] or a registered backend name *)
+}
+
+type scheme_run = {
+  srun_k : int;
+  choices : region_choice list;
+  scheme_counts : (string * int) list;  (** scheme -> regions, ["tt"] first *)
+  auto_transitions : int;
+      (** exact bus transitions (data + redundant lines) under the
+          committed selection *)
+  auto_reduction_pct : float;  (** versus the baseline image *)
+  auto_energy_j : float;
+      (** bus energy + side-table reads + one-time table writes under the
+          committed selection; never exceeds [tt_energy_j] under [`Auto]
+          (a [`Fixed] override may report worse) *)
+  tt_energy_j : float;  (** the same accounting with every region TT *)
+  reverted : bool;  (** [`Auto] commit rule fell back to all-TT *)
+}
+
 type report = {
   name : string;
   instructions : int;  (** dynamic instruction count *)
@@ -41,6 +85,8 @@ type report = {
           {!Ledger.Meter} and checked against the aggregate counting run
           before the report is returned — a mismatch raises rather than
           returning an inconsistent ledger. *)
+  schemes : scheme_run list;
+      (** one per [k], empty under the default [`Tt] scheme *)
 }
 
 exception Verification_failed of { pc : int; expected : int; got : int }
@@ -67,7 +113,7 @@ type prepared = {
 
     Entries are keyed on the full content that determines a plan: the
     program image words, [ks], [tt_capacity], [subset_mask],
-    [optimal_chain], and [selection] — an FNV-1a fingerprint
+    [optimal_chain], [selection], and [scheme] — an FNV-1a fingerprint
     short-circuits comparisons, but a hit requires full structural key
     equality.  Cached plans and contexts are immutable; decode systems are
     always rebuilt fresh, so repeated evaluations of the same program
@@ -123,6 +169,7 @@ val evaluate :
   ?subset_mask:int ->
   ?optimal_chain:bool ->
   ?selection:selection ->
+  ?scheme:scheme ->
   ?verify:bool ->
   ?attribution:bool ->
   ?ledger:Ledger.Model.t ->
@@ -130,10 +177,11 @@ val evaluate :
   Isa.Program.t ->
   report
 
-(** [evaluate_workload ?ks ?verify ?attribution ?ledger w] compiles and
-    evaluates a benchmark. *)
+(** [evaluate_workload ?ks ?scheme ?verify ?attribution ?ledger w]
+    compiles and evaluates a benchmark. *)
 val evaluate_workload :
   ?ks:int list ->
+  ?scheme:scheme ->
   ?verify:bool ->
   ?attribution:bool ->
   ?ledger:Ledger.Model.t ->

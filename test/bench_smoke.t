@@ -6,7 +6,7 @@ spans recorded) without depending on any timing value.
   $ POWERCODE_FAST=1 ../bench/main.exe > /dev/null
 
   $ jq -r '.schema' BENCH_encoding.json
-  powercode-bench-encoding/5
+  powercode-bench-encoding/6
 
   $ jq -r '.mode' BENCH_encoding.json
   fast
@@ -21,6 +21,7 @@ spans recorded) without depending on any timing value.
   mode
   plan_cache
   schema
+  schemes
   settings
   telemetry
   throughput
@@ -146,6 +147,32 @@ run, so these are double-checks against serialization bugs:
   tt_read_j
   vdd_v
 
+The schemes section (schema /6) records the auto-selector's outcome per
+evaluation and per k; the bench runs under `Auto, whose commit rule
+guarantees the committed energy never exceeds the all-TT energy, and the
+regions-per-backend counts must cover every encoded region:
+
+  $ jq -r '.schemes | length' BENCH_encoding.json
+  9
+
+  $ jq -r '[.evaluations[].name] == [.schemes[].name]' BENCH_encoding.json
+  true
+
+  $ jq -r '[.schemes[].runs | length == 4] | all' BENCH_encoding.json
+  true
+
+  $ jq -r '[.schemes[].runs[] | .energy_j <= .tt_energy_j] | all' BENCH_encoding.json
+  true
+
+  $ jq -r '[.schemes[].runs[] | .reverted | type == "boolean"] | all' BENCH_encoding.json
+  true
+
+  $ jq -r '[.schemes[].runs[] | ([.regions[]] | add) > 0] | all' BENCH_encoding.json
+  true
+
+  $ jq -r '[.evaluations[].runs[0].transitions] == [.schemes[].runs[0].transitions]' BENCH_encoding.json
+  true
+
 Each run also appends one line to the history log (history.jsonl here; in
 the repository it lands in bench/, which is gitignored):
 
@@ -153,7 +180,7 @@ the repository it lands in bench/, which is gitignored):
   1
 
   $ jq -r '.schema' history.jsonl
-  powercode-bench-encoding/5
+  powercode-bench-encoding/6
 
   $ jq -r '.benches' history.jsonl
   9

@@ -137,6 +137,51 @@ let test_t0_beats_raw_on_loops () =
   let t0 = T0.count_stream ~width:16 addrs in
   check_bool "t0 wins" true (t0 < raw)
 
+(* T0's redundant-line semantics, pinned through the [encode] entry point:
+   a sequential fetch freezes the address lines (the bus keeps its previous
+   value) and asserts INC; anything else drives the raw address with INC
+   deasserted.  The receiver-side reconstruction is exercised by the
+   encoder-backend conformance suite. *)
+let test_t0_inc_line_semantics () =
+  let t = T0.create ~width:16 () in
+  let bus0, inc0 = T0.encode t 40 in
+  check_int "first word drives the address" 40 bus0;
+  check_bool "first word cannot be sequential" false inc0;
+  let bus1, inc1 = T0.encode t 41 in
+  check_bool "sequential asserts INC" true inc1;
+  check_int "lines frozen at the previous value" 40 bus1;
+  let bus2, inc2 = T0.encode t 42 in
+  check_bool "still sequential" true inc2;
+  check_int "lines still frozen" 40 bus2;
+  let bus3, inc3 = T0.encode t 7 in
+  check_bool "branch deasserts INC" false inc3;
+  check_int "branch drives the raw address" 7 bus3
+
+let test_t0_stride_semantics () =
+  (* byte-addressed bus: stride 4 defines "sequential" *)
+  let t = T0.create ~width:16 ~stride:4 () in
+  let _ = T0.encode t 100 in
+  let _, inc_seq = T0.encode t 104 in
+  check_bool "stride-4 step is sequential" true inc_seq;
+  let _, inc_one = T0.encode t 105 in
+  check_bool "stride-1 step is not" false inc_one
+
+let test_t0_encode_matches_observe () =
+  (* xorshift_stream lives below in the differential section *)
+  let addrs =
+    let st = ref 4242 in
+    Array.init 300 (fun _ ->
+        st := !st lxor (!st lsl 13);
+        st := !st lxor (!st lsr 7);
+        st := !st lxor (!st lsl 17);
+        !st land 0xffff)
+  in
+  let by_observe = T0.count_stream ~width:16 addrs in
+  let t = T0.create ~width:16 () in
+  Array.iter (fun a -> ignore (T0.encode t a)) addrs;
+  check_int "encode and observe share the accumulator" by_observe
+    (T0.transitions t)
+
 (* ---- gray ------------------------------------------------------------------------ *)
 
 let test_gray_roundtrip () =
@@ -160,6 +205,50 @@ let prop_gray_injective =
     QCheck.(pair (int_bound 100000) (int_bound 100000))
     (fun (a, b) ->
       a = b || Buspower.Gray.encode a <> Buspower.Gray.encode b)
+
+let prop_gray_roundtrip =
+  QCheck.Test.make ~name:"gray roundtrip decode(encode a) = a" ~count:500
+    QCheck.(int_bound 0x3fffffff)
+    (fun a -> Buspower.Gray.decode (Buspower.Gray.encode a) = a)
+
+let prop_gray_encode_roundtrip =
+  (* the other direction: every word is some value's Gray code *)
+  QCheck.Test.make ~name:"gray roundtrip encode(decode g) = g" ~count:500
+    QCheck.(int_bound 0x3fffffff)
+    (fun g -> Buspower.Gray.encode (Buspower.Gray.decode g) = g)
+
+(* ---- width validation: the typed error, uniformly ---------------------------- *)
+
+let out_of_range ~scheme ~width f =
+  match f () with
+  | exception Buspower.Width.Out_of_range r ->
+      check_string (scheme ^ ": scheme field") scheme r.scheme;
+      check_int (scheme ^ ": width field") width r.width
+  | _ -> Alcotest.failf "%s: width %d accepted" scheme width
+
+let test_width_bounds_uniform () =
+  check_int "floor" 1 Buspower.Width.min_width;
+  check_int "ceiling" 32 Buspower.Width.max_width;
+  List.iter
+    (fun width ->
+      out_of_range ~scheme:"buscount" ~width (fun () ->
+          Buscount.create ~width ());
+      out_of_range ~scheme:"businvert" ~width (fun () ->
+          Businvert.create ~width ());
+      out_of_range ~scheme:"t0" ~width (fun () -> T0.create ~width ());
+      out_of_range ~scheme:"gray" ~width (fun () ->
+          Buspower.Gray.count_stream ~width [| 1; 2 |]))
+    [ 0; -3; 33; 63 ]
+
+let test_width_bounds_accept_edges () =
+  (* both edges of the range must construct without raising *)
+  List.iter
+    (fun width ->
+      ignore (Buscount.create ~width ());
+      ignore (Businvert.create ~width ());
+      ignore (T0.create ~width ());
+      ignore (Buspower.Gray.count_stream ~width [| 0; 1 |]))
+    [ Buspower.Width.min_width; Buspower.Width.max_width ]
 
 (* ---- energy -------------------------------------------------------------------- *)
 
@@ -356,6 +445,11 @@ let () =
           Alcotest.test_case "branch costs" `Quick test_t0_branch_costs;
           Alcotest.test_case "beats raw on loops" `Quick
             test_t0_beats_raw_on_loops;
+          Alcotest.test_case "INC line semantics" `Quick
+            test_t0_inc_line_semantics;
+          Alcotest.test_case "stride semantics" `Quick test_t0_stride_semantics;
+          Alcotest.test_case "encode matches observe" `Quick
+            test_t0_encode_matches_observe;
         ] );
       ( "gray",
         Alcotest.test_case "roundtrip" `Quick test_gray_roundtrip
@@ -363,7 +457,16 @@ let () =
              test_gray_adjacent_one_bit
         :: Alcotest.test_case "sequential run cost" `Quick
              test_gray_sequential_run_cost
-        :: List.map QCheck_alcotest.to_alcotest [ prop_gray_injective ] );
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_gray_injective; prop_gray_roundtrip;
+               prop_gray_encode_roundtrip ] );
+      ( "width",
+        [
+          Alcotest.test_case "typed error, uniform bounds" `Quick
+            test_width_bounds_uniform;
+          Alcotest.test_case "range edges accepted" `Quick
+            test_width_bounds_accept_edges;
+        ] );
       ( "energy",
         [
           Alcotest.test_case "model" `Quick test_energy_model;

@@ -222,6 +222,110 @@ let test_cache_disabled_equivalence () =
         (run_summary cached = run_summary uncached
         && run_summary cached = run_summary cached2))
 
+(* ---- scheme selection ------------------------------------------------------ *)
+
+let scheme_summary (r : Evaluate.report) =
+  List.map
+    (fun (s : Evaluate.scheme_run) ->
+      ( s.Evaluate.srun_k,
+        s.Evaluate.auto_transitions,
+        s.Evaluate.scheme_counts,
+        s.Evaluate.auto_energy_j,
+        s.Evaluate.tt_energy_j,
+        s.Evaluate.reverted ))
+    r.Evaluate.schemes
+
+let test_cache_scheme_key () =
+  with_fresh_cache (fun () ->
+      let program = (Workloads.compile (scaled "sor")).Minic.Compile.program in
+      let expect label hits misses =
+        Alcotest.(check (pair int int)) label (hits, misses)
+          (Evaluate.Plan_cache.stats ())
+      in
+      ignore (Evaluate.evaluate ~ks:[ 4; 5 ] ~name:"sor" program);
+      expect "cold default (tt)" 0 1;
+      ignore (Evaluate.evaluate ~ks:[ 4; 5 ] ~name:"sor" program);
+      expect "default hits before a scheme change" 1 1;
+      ignore (Evaluate.evaluate ~ks:[ 4; 5 ] ~scheme:`Auto ~name:"sor" program);
+      expect "auto misses: scheme is part of the key" 1 2;
+      ignore
+        (Evaluate.evaluate ~ks:[ 4; 5 ] ~scheme:(`Fixed "businvert")
+           ~name:"sor" program);
+      expect "fixed backend misses again" 1 3;
+      ignore (Evaluate.evaluate ~ks:[ 4; 5 ] ~scheme:`Auto ~name:"sor" program);
+      expect "auto key now cached" 2 3;
+      ignore (Evaluate.evaluate ~ks:[ 4; 5 ] ~scheme:(`Fixed "tt") ~name:"sor"
+                program);
+      expect "`Fixed tt shares the tt key" 3 3)
+
+let test_cache_disabled_scheme_equivalence () =
+  (* a cached scheme run and an uncached one must agree on every region
+     choice and every energy figure *)
+  with_fresh_cache (fun () ->
+      let program = (Workloads.compile (scaled "fft")).Minic.Compile.program in
+      let cached = Evaluate.evaluate ~scheme:`Auto ~name:"fft" program in
+      let cached2 = Evaluate.evaluate ~scheme:`Auto ~name:"fft" program in
+      Evaluate.Plan_cache.set_enabled false;
+      let uncached = Evaluate.evaluate ~scheme:`Auto ~name:"fft" program in
+      check_bool "scheme runs byte-identical with the cache bypassed" true
+        (scheme_summary cached = scheme_summary uncached
+        && scheme_summary cached = scheme_summary cached2);
+      check_bool "runs identical too" true
+        (run_summary cached = run_summary uncached))
+
+let test_auto_never_worse_than_tt () =
+  (* the PR's acceptance criterion: on every seed benchmark, at every block
+     size, auto-selection never reports more ledger energy than all-TT *)
+  List.iter
+    (fun name ->
+      let w = Workloads.by_name (Workloads.scaled @ Workloads.extended) name in
+      let r = Evaluate.evaluate_workload ~scheme:`Auto w in
+      check_int
+        (Printf.sprintf "%s: one scheme run per k" name)
+        4
+        (List.length r.Evaluate.schemes);
+      List.iter
+        (fun (s : Evaluate.scheme_run) ->
+          check_bool
+            (Printf.sprintf "%s k=%d auto <= tt" name s.Evaluate.srun_k)
+            true
+            (s.Evaluate.auto_energy_j <= s.Evaluate.tt_energy_j);
+          check_bool
+            (Printf.sprintf "%s k=%d counts cover every region" name
+               s.Evaluate.srun_k)
+            true
+            (List.fold_left (fun acc (_, n) -> acc + n) 0
+               s.Evaluate.scheme_counts
+            = List.length s.Evaluate.choices))
+        r.Evaluate.schemes)
+    [ "mmul"; "sor"; "ej"; "fft"; "tri"; "lu"; "fir"; "iir"; "dct" ]
+
+let test_fixed_scheme_forces_backend () =
+  let program = (Workloads.compile (scaled "sor")).Minic.Compile.program in
+  let forced =
+    Evaluate.evaluate ~ks:[ 5 ] ~scheme:(`Fixed "businvert") ~name:"sor"
+      program
+  in
+  (match forced.Evaluate.schemes with
+  | [ s ] ->
+      List.iter
+        (fun (c : Evaluate.region_choice) ->
+          Alcotest.(check string) "every region forced" "businvert"
+            c.Evaluate.rc_scheme)
+        s.Evaluate.choices;
+      check_bool "override reports honest numbers" true
+        (not s.Evaluate.reverted)
+  | _ -> Alcotest.fail "expected one scheme run");
+  (* an unknown or non-fetch-path backend is rejected up front *)
+  Alcotest.check_raises "streaming tt is not a fetch-path backend"
+    (Invalid_argument
+       "Pipeline.Evaluate: \"nonesuch\" is not a fetch-path scheme (want tt, \
+        auto, or one of: identity, businvert, t0, gray, lowweight)")
+    (fun () ->
+      ignore
+        (Evaluate.evaluate ~ks:[ 5 ] ~scheme:(`Fixed "nonesuch") ~name:"sor"
+           program))
+
 let test_coverage_bounds () =
   let r = Evaluate.evaluate_workload ~ks:[ 5 ] (scaled "mmul") in
   check_bool "0..100" true
@@ -254,6 +358,17 @@ let () =
             test_cache_key_sensitivity;
           Alcotest.test_case "disabled equivalence" `Quick
             test_cache_disabled_equivalence;
+          Alcotest.test_case "scheme is part of the key" `Quick
+            test_cache_scheme_key;
+          Alcotest.test_case "disabled equivalence with schemes" `Quick
+            test_cache_disabled_scheme_equivalence;
+        ] );
+      ( "scheme-selection",
+        [
+          Alcotest.test_case "auto never worse than tt" `Quick
+            test_auto_never_worse_than_tt;
+          Alcotest.test_case "fixed forces its backend" `Quick
+            test_fixed_scheme_forces_backend;
         ] );
       ( "ablation",
         [
