@@ -85,6 +85,14 @@ let banded_leaves =
     "cold_s"; "warm_s"; "warm_speedup";
     "before_minor_words_per_block"; "after_minor_words_per_block";
     "reduction_factor";
+    (* schema /7: the observability section's figures are scheduling- and
+       wall-clock-dependent (pool busy/idle split, GC pacing, sampler
+       cadence); the structural constants next to them (pool slots, the
+       sampler interval, the validator verdict) stay exact *)
+    "samples"; "bytes"; "width"; "busy_ns"; "idle_ns"; "chunks";
+    "utilization_pct"; "profile_minor_words"; "plan_minor_words";
+    "count_minor_words"; "major_words"; "collections"; "heap_words";
+    "top_heap_words";
   ]
 
 let classify path =

@@ -1007,6 +1007,100 @@ let alloc_accounting () =
      chain inner loop itself no longer allocates.@."
     (before /. Float.max 1.0 after)
 
+(* ---- Observability: sampler exercise, pool utilization, per-phase GC -------- *)
+
+(* One more evaluate feeds the metrics, then the live sampler runs over a
+   fixed wall window: the sample count tracks the clock alone
+   (window / interval), not machine speed, so the banded JSON leaf stays
+   well inside the gate's band on slow runners.  The pool and GC figures
+   themselves are read from the cumulative freeze at JSON-write time —
+   everything before this point in the run (including the domains sweep)
+   has already fed them. *)
+
+let sampler_interval_ms = 10
+let sampler_window_s = 0.15
+let observability_measurement = ref None
+
+let observability_sweep () =
+  section "Observability: live sampler, pool utilization, per-phase GC";
+  let w = Workloads.by_name Workloads.scaled "tri" in
+  let program = (Workloads.compile w).Minic.Compile.program in
+  ignore (Pipeline.Evaluate.evaluate ~ks:[ 5 ] ~name:w.Workloads.name program);
+  let lines = ref 0 in
+  let sampler =
+    Telemetry.Sampler.start
+      ~interval_s:(float_of_int sampler_interval_ms /. 1e3)
+      ~sink:(fun _line -> incr lines)
+      ()
+  in
+  Unix.sleepf sampler_window_s;
+  Telemetry.Sampler.stop sampler;
+  (* the sink runs on the sampler domain; stop joins it, so the count is
+     settled and must agree with the sampler's own *)
+  assert (!lines = Telemetry.Sampler.samples sampler);
+  observability_measurement := Some !lines;
+  Format.printf "  sampler: %d samples at %d ms over a %.0f ms window@."
+    !lines sampler_interval_ms (sampler_window_s *. 1e3);
+  let c = Telemetry.Metrics.counter_total in
+  let busy = c Telemetry.Registry.parpool_busy_ns in
+  let idle = c Telemetry.Registry.parpool_idle_ns in
+  let chunks = c Telemetry.Registry.parpool_chunks in
+  let width = Telemetry.Metrics.gauge_value Telemetry.Registry.parpool_width 0 in
+  let util =
+    if busy + idle = 0 then 0.0
+    else 100.0 *. float_of_int busy /. float_of_int (busy + idle)
+  in
+  Format.printf
+    "  pool: width %d, utilization %.1f%% (busy %.1f ms, idle %.1f ms, %d \
+     chunks)@."
+    width util
+    (float_of_int busy /. 1e6)
+    (float_of_int idle /. 1e6)
+    chunks;
+  Format.printf "  %6s %12s %12s %8s@." "slot" "busy ms" "idle ms" "tasks";
+  for i = 0 to Telemetry.Registry.pool_slots - 1 do
+    let g m = Telemetry.Metrics.gauge_value m i in
+    let b = g Telemetry.Registry.parpool_worker_busy_ns in
+    let id = g Telemetry.Registry.parpool_worker_idle_ns in
+    let t = g Telemetry.Registry.parpool_worker_tasks in
+    if b + id + t > 0 then
+      Format.printf "  %6s %12.1f %12.1f %8d@."
+        (Telemetry.Registry.pool_slot_label i)
+        (float_of_int b /. 1e6)
+        (float_of_int id /. 1e6)
+        t
+  done;
+  Format.printf "  %8s %14s %14s %8s@." "gc phase" "minor words" "major words"
+    "colls";
+  List.iter
+    (fun (name, mw, jw, mc, jc) ->
+      Format.printf "  %8s %14d %14d %8d@." name (c mw) (c jw) (c mc + c jc))
+    [
+      ( "profile",
+        Telemetry.Registry.gc_profile_minor_words,
+        Telemetry.Registry.gc_profile_major_words,
+        Telemetry.Registry.gc_profile_minor_collections,
+        Telemetry.Registry.gc_profile_major_collections );
+      ( "plan",
+        Telemetry.Registry.gc_plan_minor_words,
+        Telemetry.Registry.gc_plan_major_words,
+        Telemetry.Registry.gc_plan_minor_collections,
+        Telemetry.Registry.gc_plan_major_collections );
+      ( "count",
+        Telemetry.Registry.gc_count_minor_words,
+        Telemetry.Registry.gc_count_major_words,
+        Telemetry.Registry.gc_count_minor_collections,
+        Telemetry.Registry.gc_count_major_collections );
+    ];
+  let exposition =
+    Telemetry.Openmetrics.to_string (Telemetry.Metrics.freeze ())
+  in
+  match Telemetry.Openmetrics.validate exposition with
+  | Ok () ->
+      Format.printf "  openmetrics exposition: %d bytes, valid@."
+        (String.length exposition)
+  | Error e -> Format.printf "  openmetrics exposition: INVALID (%s)@." e
+
 (* ---- Encoding-engine timings: BENCH_encoding.json ------------------------------------- *)
 
 (* Machine-readable trajectory record: ns/instruction for block encode,
@@ -1118,7 +1212,7 @@ let bench_encoding_json () =
   let oc = open_out "BENCH_encoding.json" in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"powercode-bench-encoding/6\",\n";
+  p "  \"schema\": \"powercode-bench-encoding/7\",\n";
   p "  \"mode\": \"%s\",\n" (if fast then "fast" else "full");
   (* run conditions, so a regression gate can refuse apples-to-oranges
      diffs (bench/compare.ml); cores lets the gate skip parallel speedup
@@ -1255,6 +1349,77 @@ let bench_encoding_json () =
       p "    \"reduction_factor\": %.2f\n" (before /. Float.max 1.0 after);
       p "  },\n"
   | None -> ());
+  (* schema /7: live-observability figures.  Pool utilization, per-phase GC
+     and the sampler exercise are scheduling- and wall-clock-dependent, so
+     every numeric leaf here is banded; only the structural constants
+     (slots, interval_ms) and the validator verdict are exact.  The
+     domains=1 CI leg still records nonzero pool figures because the
+     throughput sweep overrides the width per leg, so the band's
+     zero-baseline hazard never arises. *)
+  (match !observability_measurement with
+  | Some samples ->
+      let c = Telemetry.Metrics.counter_total in
+      let busy = c Telemetry.Registry.parpool_busy_ns in
+      let idle = c Telemetry.Registry.parpool_idle_ns in
+      let util =
+        if busy + idle = 0 then 0.0
+        else 100.0 *. float_of_int busy /. float_of_int (busy + idle)
+      in
+      let exposition =
+        Telemetry.Openmetrics.to_string (Telemetry.Metrics.freeze ())
+      in
+      let valid =
+        match Telemetry.Openmetrics.validate exposition with
+        | Ok () -> true
+        | Error _ -> false
+      in
+      p "  \"observability\": {\n";
+      p "    \"sampler\": {\"interval_ms\": %d, \"samples\": %d},\n"
+        sampler_interval_ms samples;
+      p "    \"openmetrics\": {\"bytes\": %d, \"valid\": %b},\n"
+        (String.length exposition) valid;
+      p
+        "    \"pool\": {\"slots\": %d, \"width\": %d, \"busy_ns\": %d, \
+         \"idle_ns\": %d, \"chunks\": %d, \"utilization_pct\": %.4f},\n"
+        Telemetry.Registry.pool_slots
+        (Telemetry.Metrics.gauge_value Telemetry.Registry.parpool_width 0)
+        busy idle
+        (c Telemetry.Registry.parpool_chunks)
+        util;
+      (* per-phase minor words are precise (Gc.minor_words deltas) and
+         machine-independent; major words and collection counts only move
+         at GC boundaries, so near-zero phases record them
+         nondeterministically — they are summed across phases, where the
+         totals are robustly nonzero, to keep the band's denominators
+         meaningful *)
+      let gc_sum l = List.fold_left (fun acc m -> acc + c m) 0 l in
+      p
+        "    \"gc\": {\"profile_minor_words\": %d, \"plan_minor_words\": \
+         %d, \"count_minor_words\": %d, \"major_words\": %d, \
+         \"collections\": %d},\n"
+        (c Telemetry.Registry.gc_profile_minor_words)
+        (c Telemetry.Registry.gc_plan_minor_words)
+        (c Telemetry.Registry.gc_count_minor_words)
+        (gc_sum
+           [
+             Telemetry.Registry.gc_profile_major_words;
+             Telemetry.Registry.gc_plan_major_words;
+             Telemetry.Registry.gc_count_major_words;
+           ])
+        (gc_sum
+           [
+             Telemetry.Registry.gc_profile_minor_collections;
+             Telemetry.Registry.gc_profile_major_collections;
+             Telemetry.Registry.gc_plan_minor_collections;
+             Telemetry.Registry.gc_plan_major_collections;
+             Telemetry.Registry.gc_count_minor_collections;
+             Telemetry.Registry.gc_count_major_collections;
+           ]);
+      p "    \"heap\": {\"heap_words\": %d, \"top_heap_words\": %d}\n"
+        (Telemetry.Metrics.gauge_value Telemetry.Registry.gc_heap_words 0)
+        (Telemetry.Metrics.gauge_value Telemetry.Registry.gc_top_heap_words 0);
+      p "  },\n"
+  | None -> ());
   p "  \"workloads\": [\n";
   List.iteri
     (fun i t ->
@@ -1267,10 +1432,12 @@ let bench_encoding_json () =
       ignore i)
     timings;
   p "  ],\n";
-  (* the whole run's metrics: counters, tau/block-size histograms, span
-     tree (schema: Telemetry.Registry; documented in EXPERIMENTS.md) *)
+  (* the whole run's metrics: counters, tau/block-size histograms, pool and
+     GC gauges, span tree — annotated with per-metric doc and stability so
+     the file is self-describing (schema: Telemetry.Registry; documented in
+     EXPERIMENTS.md).  The gate ignores this section wholesale. *)
   p "  \"telemetry\": %s\n"
-    (Telemetry.Report.to_json (Telemetry.Metrics.freeze ()));
+    (Telemetry.Report.to_json_annotated (Telemetry.Metrics.freeze ()));
   p "}\n";
   close_out oc;
   Format.printf "Wrote %s@." (Filename.concat (Sys.getcwd ()) "BENCH_encoding.json")
@@ -1331,7 +1498,7 @@ let append_history () =
     | None -> 0.0
   in
   Printf.fprintf oc
-    "{\"schema\": \"powercode-bench-encoding/6\", \"mode\": \"%s\", \
+    "{\"schema\": \"powercode-bench-encoding/7\", \"mode\": \"%s\", \
      \"powercode_seq\": %b, \"domains\": %d, \"wall_s\": %.2f, \"benches\": \
      %d, \"mean_reduction_k4_pct\": %.4f, \"mean_net_savings_k4_pct\": \
      %.4f, \"inj_per_s_d1\": %.1f, \"inj_per_s_dmax\": %.1f, \
@@ -1378,6 +1545,7 @@ let () =
   throughput_sweep ();
   plan_cache_sweep ();
   alloc_accounting ();
+  observability_sweep ();
   telemetry_report ();
   bench_encoding_json ();
   append_history ();

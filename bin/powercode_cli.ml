@@ -7,8 +7,10 @@
      simulate  - assemble and run a .s file, print its output
      evaluate  - full Figure 6 style evaluation of named benchmarks
      trace     - record a fetch-path trace (VCD / Perfetto) + attribution
+     profile   - run one benchmark, emit a speedscope flamegraph + self-times
      report    - itemized energy-ledger dashboard (Markdown or HTML)
      fault     - seeded fault-injection campaign over the hardened fetch path
+     stats     - metric schema dump, OpenMetrics serve/refresh, validator
      cost      - hardware overhead sheet (paper section 7.2)                   *)
 
 open Cmdliner
@@ -139,17 +141,104 @@ let trace_out_arg =
 
 let default_encoded_names = [ "k4"; "k5"; "k6"; "k7" ]
 
+(* ---- live metrics helpers --------------------------------------------------- *)
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the final telemetry snapshot to $(docv) in \
+           OpenMetrics/Prometheus text format (implies telemetry \
+           collection for the run; check with $(b,powercode stats \
+           validate)).")
+
+let series_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "series" ] ~docv:"FILE"
+        ~doc:
+          "Sample every registered metric periodically while the run is in \
+           flight and append one JSON line per sample to $(docv) (implies \
+           telemetry collection; see --series-interval-ms).")
+
+let series_interval_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "series-interval-ms" ] ~docv:"MS"
+        ~doc:"Sampling interval for --series, in milliseconds (default 50).")
+
+(* Append-sink sampler over [f]'s window.  The sink runs on the sampler
+   domain, so writes are serialized through a mutex and flushed per line —
+   a tail -f on the series file sees whole JSON objects. *)
+let with_series series ~interval_ms f =
+  match series with
+  | None -> f ()
+  | Some path ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      let mutex = Mutex.create () in
+      let sink line =
+        Mutex.lock mutex;
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        Mutex.unlock mutex
+      in
+      let sampler =
+        Telemetry.Sampler.start
+          ~interval_s:(float_of_int (max 1 interval_ms) /. 1000.)
+          ~sink ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Telemetry.Sampler.stop sampler;
+          close_out oc;
+          Format.eprintf "metrics: series appended to %s@." path)
+        f
+
+(* Enable collection whenever a live-metrics sink asks for it; on the way
+   out, land the final OpenMetrics snapshot. *)
+let with_live_metrics ~metrics_out ~series ~interval_ms f =
+  if metrics_out = None && series = None then f ()
+  else begin
+    let had_stats = Telemetry.Metrics.enabled () in
+    Telemetry.Metrics.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        (match metrics_out with
+        | None -> ()
+        | Some path ->
+            write_text_file path
+              (Telemetry.Openmetrics.to_string (Telemetry.Metrics.freeze ()));
+            Format.eprintf "metrics: wrote %s@." path);
+        if not had_stats then Telemetry.Metrics.set_enabled false)
+      (fun () -> with_series series ~interval_ms f)
+  end
+
 let man_observability =
   [
     `S "OBSERVABILITY";
     `P
-      "$(b,--stats) collects telemetry (counters, histograms, timing spans) \
-       and prints the report to stderr.  $(b,--trace-out) $(i,FILE) records \
-       the structured fetch-path event trace and exports it as a VCD \
-       waveform dump ($(i,.vcd) suffix) or Chrome trace-event JSON \
-       (any other suffix).  The $(b,trace) subcommand adds the per-bitline \
-       transition attribution tables.  See EXPERIMENTS.md, 'Reading the \
-       traces'.";
+      "$(b,--stats) collects telemetry (counters, gauges, histograms, \
+       timing spans) and prints the report to stderr.  $(b,--trace-out) \
+       $(i,FILE) records the structured fetch-path event trace and exports \
+       it as a VCD waveform dump ($(i,.vcd) suffix) or Chrome trace-event \
+       JSON (any other suffix).  The $(b,trace) subcommand adds the \
+       per-bitline transition attribution tables.";
+    `P
+      "Live metrics: $(b,--metrics-out) $(i,FILE) writes the final \
+       snapshot in OpenMetrics/Prometheus text format ($(b,powercode \
+       stats validate) checks it); $(b,--series) $(i,FILE) appends a JSONL \
+       time-series sampled every $(b,--series-interval-ms) while the run \
+       is in flight.  $(b,powercode stats serve) evaluates benchmarks \
+       while refreshing an OpenMetrics snapshot each round; $(b,powercode \
+       stats schema) dumps every registered metric with kind, stability \
+       and doc.  $(b,powercode profile) $(i,BENCH) runs one benchmark and \
+       writes a speedscope flamegraph (speedscope.app) plus a span \
+       self-time table on stdout.  See EXPERIMENTS.md, 'Reading the \
+       traces' and 'Reading the pool utilization and flamegraph'.";
   ]
 
 (* ---- tables ---------------------------------------------------------------- *)
@@ -395,8 +484,10 @@ let resolve_scheme_flag = function
                      (Buspower.Encoder.all ())))))
 
 let evaluate names scaled verify trace_out csv energy sets stats no_plan_cache
-    scheme_name =
+    scheme_name metrics_out series series_interval =
   with_stats stats @@ fun () ->
+  with_live_metrics ~metrics_out ~series ~interval_ms:series_interval
+  @@ fun () ->
   apply_plan_cache_flag no_plan_cache;
   (* --energy asks for the ledger explicitly; --stats implies the on-chip
      preset so the telemetry view comes with its energy account. *)
@@ -507,7 +598,8 @@ let evaluate_cmd =
     Term.(
       ret (const evaluate $ names_arg $ scaled_arg $ verify_arg
            $ trace_out_arg $ csv_arg $ energy_arg $ set_arg $ stats_arg
-           $ no_plan_cache_arg $ scheme_arg))
+           $ no_plan_cache_arg $ scheme_arg $ metrics_out_arg $ series_arg
+           $ series_interval_arg))
 
 (* ---- report -------------------------------------------------------------------- *)
 
@@ -710,6 +802,199 @@ let trace_cmd =
       ret (const trace $ name_arg $ scaled_arg $ verify_arg $ vcd_arg
            $ perfetto_arg $ capacity_arg $ stats_arg))
 
+(* ---- profile ------------------------------------------------------------------- *)
+
+let profile name scaled out no_plan_cache =
+  apply_plan_cache_flag no_plan_cache;
+  match resolve_benchmarks (workload_set scaled) [ name ] with
+  | Error msg -> `Error (false, msg)
+  | Ok [] -> assert false
+  | Ok (w :: _) ->
+      Trace.Collector.start ();
+      let had_stats = Telemetry.Metrics.enabled () in
+      Telemetry.Metrics.set_enabled true;
+      let before = Telemetry.Metrics.freeze () in
+      let finally () =
+        Trace.Collector.stop ();
+        if not had_stats then Telemetry.Metrics.set_enabled false
+      in
+      Fun.protect ~finally (fun () ->
+          ignore (Pipeline.Evaluate.evaluate_workload w));
+      write_text_file out
+        (Trace.Speedscope.to_string ~name:w.Workloads.name
+           (Trace.Collector.events ()));
+      Trace.Collector.clear ();
+      Format.eprintf "profile: wrote %s@." out;
+      let window =
+        Telemetry.Metrics.diff ~before ~after:(Telemetry.Metrics.freeze ())
+      in
+      Format.printf
+        "span self-times — path, calls, total, self (heaviest self first)@.";
+      List.iter
+        (fun (path, calls, total, self) ->
+          Format.printf "  %-44s %6d %12s %12s@." path calls
+            (Telemetry.Report.human_ns total)
+            (Telemetry.Report.human_ns self))
+        (Telemetry.Report.self_times window);
+      `Ok ()
+
+let profile_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH"
+          ~doc:"Benchmark name: mmul sor ej fft tri lu fir iir dct.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "profile.speedscope.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Flamegraph output path (speedscope JSON).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one benchmark and emit a speedscope flamegraph plus a span \
+          self-time table"
+       ~man:man_observability)
+    Term.(
+      ret (const profile $ name_arg $ scaled_arg $ out_arg
+           $ no_plan_cache_arg))
+
+(* ---- stats --------------------------------------------------------------------- *)
+
+let metric_kind_str = function
+  | Telemetry.Metrics.Counter -> "counter"
+  | Telemetry.Metrics.Histogram -> "histogram"
+  | Telemetry.Metrics.Gauge -> "gauge"
+  | Telemetry.Metrics.Span -> "span"
+
+let metric_stability_str = function
+  | Telemetry.Metrics.Stable -> "stable"
+  | Telemetry.Metrics.Runtime -> "runtime"
+
+let stats_schema () =
+  List.iter
+    (fun (name, kind, st, doc) ->
+      Printf.printf "%-28s %-9s %-7s %s\n" name (metric_kind_str kind)
+        (metric_stability_str st) doc)
+    (Telemetry.Metrics.registered ());
+  `Ok ()
+
+let stats_schema_cmd =
+  Cmd.v
+    (Cmd.info "schema"
+       ~doc:
+         "Dump every registered metric (name, kind, stability, doc), \
+          sorted by name")
+    Term.(ret (const stats_schema $ const ()))
+
+let stats_serve names scaled watch interval_ms out series series_interval =
+  if watch < 1 then `Error (false, "--watch must be at least 1")
+  else begin
+    let names = if names = [] then paper_bench_names else names in
+    match resolve_benchmarks (workload_set scaled) names with
+    | Error msg -> `Error (false, msg)
+    | Ok ws ->
+        Telemetry.Metrics.set_enabled true;
+        Fun.protect
+          ~finally:(fun () -> Telemetry.Metrics.set_enabled false)
+        @@ fun () ->
+        with_series series ~interval_ms:series_interval @@ fun () ->
+        for round = 1 to watch do
+          List.iter
+            (fun w -> ignore (Pipeline.Evaluate.evaluate_workload w))
+            ws;
+          let text =
+            Telemetry.Openmetrics.to_string (Telemetry.Metrics.freeze ())
+          in
+          (match out with
+          | None -> print_string text
+          | Some path ->
+              write_text_file path text;
+              Format.eprintf "stats: refreshed %s (round %d/%d)@." path round
+                watch);
+          if round < watch then
+            Unix.sleepf (float_of_int (max 0 interval_ms) /. 1000.)
+        done;
+        `Ok ()
+  end
+
+let stats_serve_cmd =
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"BENCH"
+          ~doc:
+            "Benchmark names to evaluate each round; defaults to the \
+             paper's six.")
+  in
+  let watch_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "watch" ] ~docv:"N"
+          ~doc:
+            "Rounds to run: 1 (default) is a one-shot snapshot; larger \
+             values re-evaluate and refresh the snapshot $(docv) times — \
+             point a scraper or a watch(1) at the output file.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "interval-ms" ] ~docv:"MS"
+          ~doc:"Pause between watch rounds, in milliseconds.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Write each round's OpenMetrics snapshot to $(docv) (atomically \
+             rewritten per round) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Evaluate benchmarks while exporting OpenMetrics snapshots \
+          (one-shot or watch mode)"
+       ~man:man_observability)
+    Term.(
+      ret (const stats_serve $ names_arg $ scaled_arg $ watch_arg
+           $ interval_arg $ out_arg $ series_arg $ series_interval_arg))
+
+let stats_validate path =
+  match Telemetry.Openmetrics.validate (read_file path) with
+  | Ok () ->
+      Format.printf "%s: valid OpenMetrics exposition@." path;
+      `Ok ()
+  | Error msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
+
+let stats_validate_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"OpenMetrics text exposition to check.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Check a file against the OpenMetrics text format (exit non-zero \
+          on the first violation)")
+    Term.(ret (const stats_validate $ file_arg))
+
+let stats_cmd =
+  Cmd.group
+    (Cmd.info "stats"
+       ~doc:
+         "Metric schema dump, OpenMetrics export (one-shot/watch) and \
+          format validation"
+       ~man:man_observability)
+    [ stats_schema_cmd; stats_serve_cmd; stats_validate_cmd ]
+
 (* ---- fault --------------------------------------------------------------------- *)
 
 let all_bench_names = paper_bench_names @ [ "fir"; "iir"; "dct" ]
@@ -860,6 +1145,6 @@ let () =
        (Cmd.group info
           [
             tables_cmd; subset_cmd; encode_cmd; restore_cmd; simulate_cmd;
-            evaluate_cmd; report_cmd; trace_cmd; fault_cmd; disasm_cmd;
-            cost_cmd;
+            evaluate_cmd; report_cmd; trace_cmd; profile_cmd; stats_cmd;
+            fault_cmd; disasm_cmd; cost_cmd;
           ]))

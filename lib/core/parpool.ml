@@ -42,6 +42,13 @@ type pool = {
   mutable domains : unit Domain.t list;
 }
 
+(* Which per-worker gauge slot this domain reports under: 0 is the calling
+   domain (it runs chunk 0 and helps drain), workers get 1..max_workers at
+   spawn.  The slot is stable for the domain's lifetime, so per-slot
+   busy/idle/task levels partition the pool-wide counters exactly
+   (asserted by test/test_parallel.ml). *)
+let pool_slot = Domain.DLS.new_key (fun () -> 0)
+
 let finish_chunk pool job =
   (* called with [pool.mutex] held *)
   job.remaining <- job.remaining - 1;
@@ -49,13 +56,22 @@ let finish_chunk pool job =
 
 let run_chunk pool job thunk =
   (* called with [pool.mutex] held; runs the chunk unlocked *)
+  let slot = Domain.DLS.get pool_slot in
   Metrics.incr Tel.parpool_chunks;
+  Metrics.add_gauge Tel.parpool_worker_tasks slot 1;
   Mutex.unlock pool.mutex;
+  let timed = Metrics.enabled () in
+  let t0 = if timed then Metrics.now_ns () else 0.0 in
   (try thunk ()
    with exn ->
      Mutex.lock pool.mutex;
      if job.failure = None then job.failure <- Some exn;
      Mutex.unlock pool.mutex);
+  if timed then begin
+    let busy = int_of_float (Float.max 0.0 (Metrics.now_ns () -. t0)) in
+    Metrics.add Tel.parpool_busy_ns busy;
+    Metrics.add_gauge Tel.parpool_worker_busy_ns slot busy
+  end;
   Mutex.lock pool.mutex;
   finish_chunk pool job
 
@@ -66,6 +82,7 @@ let rec worker_loop pool =
     match pool.queue with
     | (job, thunk) :: rest ->
         pool.queue <- rest;
+        Metrics.add_gauge Tel.parpool_queue_depth 0 (-1);
         run_chunk pool job thunk;
         worker_loop pool
     | [] ->
@@ -73,8 +90,10 @@ let rec worker_loop pool =
         if Metrics.enabled () then begin
           let t0 = Metrics.now_ns () in
           Condition.wait pool.work_available pool.mutex;
-          Metrics.add Tel.parpool_idle_ns
-            (int_of_float (Float.max 0.0 (Metrics.now_ns () -. t0)))
+          let idle = int_of_float (Float.max 0.0 (Metrics.now_ns () -. t0)) in
+          Metrics.add Tel.parpool_idle_ns idle;
+          Metrics.add_gauge Tel.parpool_worker_idle_ns
+            (Domain.DLS.get pool_slot) idle
         end
         else Condition.wait pool.work_available pool.mutex;
         worker_loop pool
@@ -98,9 +117,10 @@ let pool_mutex = Mutex.create ()
    already owns all the parallelism there is. *)
 let in_worker_domain = Domain.DLS.new_key (fun () -> false)
 
-let spawn_worker pool =
+let spawn_worker pool slot =
   Domain.spawn (fun () ->
       Domain.DLS.set in_worker_domain true;
+      Domain.DLS.set pool_slot slot;
       Mutex.lock pool.mutex;
       worker_loop pool)
 
@@ -137,7 +157,10 @@ let get_pool () =
         let have = List.length pool.domains in
         if want > have then
           pool.domains <-
-            pool.domains @ List.init (want - have) (fun _ -> spawn_worker pool);
+            pool.domains
+            @ List.init (want - have) (fun i ->
+                  spawn_worker pool (have + i + 1));
+        Metrics.set_gauge Tel.parpool_width 0 (1 + List.length pool.domains);
         Some pool)
   end
 
@@ -170,6 +193,7 @@ let parallel_init n f =
         for c = 1 to nchunks - 1 do
           pool.queue <- pool.queue @ [ (job, chunk c) ]
         done;
+        Metrics.add_gauge Tel.parpool_queue_depth 0 (nchunks - 1);
         Condition.broadcast pool.work_available;
         (* the caller runs chunk 0 itself, then helps drain the queue *)
         run_chunk pool job (chunk 0);
@@ -177,6 +201,7 @@ let parallel_init n f =
           match pool.queue with
           | (j, thunk) :: rest when j == job ->
               pool.queue <- rest;
+              Metrics.add_gauge Tel.parpool_queue_depth 0 (-1);
               run_chunk pool job thunk;
               help ()
           | _ -> ()

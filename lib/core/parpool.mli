@@ -18,7 +18,15 @@
     differential tests must be able to exercise the multi-domain paths on
     single-core runners.  Without it the pool sizes itself from
     [Domain.recommended_domain_count ()].  The pool grows lazily when a
-    later call requests more workers than have been spawned. *)
+    later call requests more workers than have been spawned.
+
+    Instrumentation: when telemetry is enabled the pool reports per-slot
+    busy/idle nanoseconds and task counts into the
+    [parpool.worker_*] gauge vectors (slot 0 = the calling domain,
+    slots 1..8 = workers in spawn order), a [parpool.queue_depth] gauge,
+    and a [parpool.width] gauge, alongside the pool-wide
+    [parpool.busy_ns]/[parpool.idle_ns]/[parpool.chunks] counters the
+    per-slot levels partition exactly. *)
 
 (** Hard cap on worker domains: requests (environment or recommended) for
     more than [max_workers + 1] total domains are clamped. *)

@@ -63,6 +63,58 @@ let candidate_of_block words profile (b : Cfg.Block.t) =
 
 type selection = [ `Hot_blocks | `Hot_loops ]
 
+(* GC accounting around each pipeline phase: [Gc.quick_stat] deltas feed
+   the standing gc.<phase>.* counters, and the heap gauges track the major
+   heap at phase boundaries.  GC stats are per-domain in OCaml 5, so these
+   deltas cover the calling domain; worker-domain allocation shows up in
+   the pool's busy time, not here.  Minor words come from [Gc.minor_words],
+   the precise allocation counter: [quick_stat]'s copy only advances when
+   the young area flushes, so a phase allocating less than one minor heap
+   would nondeterministically record zero. *)
+let gc_phase (minor_words, major_words, minor_collections, major_collections)
+    f =
+  if not (Metrics.enabled ()) then f ()
+  else begin
+    let s0 = Gc.quick_stat () in
+    let mw0 = Gc.minor_words () in
+    Fun.protect
+      ~finally:(fun () ->
+        let s1 = Gc.quick_stat () in
+        Metrics.add minor_words (int_of_float (Gc.minor_words () -. mw0));
+        Metrics.add major_words
+          (int_of_float (s1.Gc.major_words -. s0.Gc.major_words));
+        Metrics.add minor_collections
+          (s1.Gc.minor_collections - s0.Gc.minor_collections);
+        Metrics.add major_collections
+          (s1.Gc.major_collections - s0.Gc.major_collections);
+        Metrics.set_gauge Tel.gc_heap_words 0 s1.Gc.heap_words;
+        if
+          s1.Gc.top_heap_words > Metrics.gauge_value Tel.gc_top_heap_words 0
+        then Metrics.set_gauge Tel.gc_top_heap_words 0 s1.Gc.top_heap_words)
+      f
+  end
+
+let gc_profile_phase =
+  Tel.
+    ( gc_profile_minor_words,
+      gc_profile_major_words,
+      gc_profile_minor_collections,
+      gc_profile_major_collections )
+
+let gc_plan_phase =
+  Tel.
+    ( gc_plan_minor_words,
+      gc_plan_major_words,
+      gc_plan_minor_collections,
+      gc_plan_major_collections )
+
+let gc_count_phase =
+  Tel.
+    ( gc_count_minor_words,
+      gc_count_major_words,
+      gc_count_minor_collections,
+      gc_count_major_collections )
+
 (* Everything block selection produces that both [evaluate] and the system
    preparation below need. *)
 type context = {
@@ -85,7 +137,8 @@ let context ?subset_mask ?(selection = `Hot_blocks) program =
   let blocks = Cfg.Block.partition (Isa.Program.insns program) in
   (* pass 1: profile *)
   let profile, _ =
-    Metrics.with_span Tel.span_profile (fun () -> Cfg.Profile.collect program)
+    Metrics.with_span Tel.span_profile (fun () ->
+        gc_phase gc_profile_phase (fun () -> Cfg.Profile.collect program))
   in
   let hot_blocks =
     Array.to_list blocks
@@ -118,6 +171,7 @@ type prepared = {
 
 let plan_only ~tt_capacity ~optimal_chain ctx ks =
   Metrics.with_span Tel.span_plan @@ fun () ->
+  gc_phase gc_plan_phase @@ fun () ->
   List.map
     (fun k ->
       let config =
@@ -687,7 +741,8 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
   let state = Machine.Cpu.create_state () in
   let result =
     Metrics.with_span Tel.span_count (fun () ->
-        Machine.Cpu.run ~on_fetch program state)
+        gc_phase gc_count_phase (fun () ->
+            Machine.Cpu.run ~on_fetch program state))
   in
   Metrics.add Tel.pipeline_fetches result.Machine.Cpu.instructions;
   Metrics.add Tel.pipeline_images nimg;

@@ -1,5 +1,5 @@
 type stability = Stable | Runtime
-type kind = Counter | Histogram | Span
+type kind = Counter | Histogram | Gauge | Span
 
 let enabled_flag = Atomic.make false
 let enabled () = Atomic.get enabled_flag
@@ -27,6 +27,19 @@ type histogram = {
   h_cells : int Atomic.t array array;
 }
 
+(* A gauge is a point-in-time level, not a flow: slots are plain atomic
+   cells written with [set_gauge]/[add_gauge] and read verbatim — no
+   sharding, because the last write wins by design.  A scalar gauge has one
+   slot; vector gauges (one slot per pool worker, say) carry a fixed slot
+   count chosen at declaration so the frozen shape never depends on the
+   machine the run happened to use. *)
+type gauge = {
+  g_name : string;
+  g_stability : stability;
+  g_slot_label : int -> string;
+  g_slots : int Atomic.t array;
+}
+
 type span = { s_name : string }
 
 type span_stat = {
@@ -41,6 +54,7 @@ let reg_mutex = Mutex.create ()
 let schema : (string, kind * stability * string) Hashtbl.t = Hashtbl.create 64
 let all_counters : counter list ref = ref []
 let all_histograms : histogram list ref = ref []
+let all_gauges : gauge list ref = ref []
 
 let register ~kind ~stability ~doc name =
   Mutex.lock reg_mutex;
@@ -83,6 +97,23 @@ let histogram ?(stability = Stable) ~doc ~buckets ~label name =
   Mutex.unlock reg_mutex;
   h
 
+let gauge ?(stability = Runtime) ?(slots = 1)
+    ?(slot_label = fun _ -> "value") ~doc name =
+  if slots < 1 then invalid_arg "Telemetry.Metrics.gauge: no slots";
+  register ~kind:Gauge ~stability ~doc name;
+  let g =
+    {
+      g_name = name;
+      g_stability = stability;
+      g_slot_label = slot_label;
+      g_slots = Array.init slots (fun _ -> Atomic.make 0);
+    }
+  in
+  Mutex.lock reg_mutex;
+  all_gauges := g :: !all_gauges;
+  Mutex.unlock reg_mutex;
+  g
+
 let span ~doc name =
   register ~kind:Span ~stability:Runtime ~doc name;
   { s_name = name }
@@ -107,6 +138,25 @@ let observe h bucket =
     ignore
       (Atomic.fetch_and_add (Array.unsafe_get h.h_cells (shard ())).(b) 1)
   end
+
+let set_gauge g slot v =
+  if Atomic.get enabled_flag then begin
+    let s = if slot < 0 then 0 else min slot (Array.length g.g_slots - 1) in
+    Atomic.set (Array.unsafe_get g.g_slots s) v
+  end
+
+let add_gauge g slot n =
+  if Atomic.get enabled_flag then begin
+    let s = if slot < 0 then 0 else min slot (Array.length g.g_slots - 1) in
+    ignore (Atomic.fetch_and_add (Array.unsafe_get g.g_slots s) n)
+  end
+
+let gauge_value g slot =
+  let s = if slot < 0 then 0 else min slot (Array.length g.g_slots - 1) in
+  Atomic.get g.g_slots.(s)
+
+let gauge_name g = g.g_name
+let gauge_slots g = Array.length g.g_slots
 
 let log2_bucket v =
   let r = ref 0 and x = ref v in
@@ -177,6 +227,7 @@ type span_record = { span_count : int; total_ns : float; max_ns : float }
 type frozen = {
   counters : (string * stability * int) list;
   histograms : (string * stability * (string * int) list) list;
+  gauges : (string * stability * (string * int) list) list;
   spans : (string * span_record) list;
 }
 
@@ -199,6 +250,18 @@ let freeze () =
            (h.h_name, h.h_stability, sums))
     |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
   in
+  let gauges =
+    !all_gauges
+    |> List.rev_map (fun g ->
+           let slots =
+             Array.to_list
+               (Array.mapi
+                  (fun i cell -> (g.g_slot_label i, Atomic.get cell))
+                  g.g_slots)
+           in
+           (g.g_name, g.g_stability, slots))
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
   let spans =
     Mutex.lock span_mutex;
     Fun.protect
@@ -216,7 +279,7 @@ let freeze () =
           span_table []
         |> List.sort (fun (a, _) (b, _) -> String.compare a b))
   in
-  { counters; histograms; spans }
+  { counters; histograms; gauges; spans }
 
 (* Delta between two snapshots of one process: what a bounded phase (one
    workload of a multi-workload run) recorded.  Metrics registered after
@@ -273,7 +336,9 @@ let diff ~(before : frozen) ~(after : frozen) =
               } ))
       after.spans
   in
-  { counters; histograms; spans }
+  (* Gauges are levels, not flows: the delta of a point-in-time reading is
+     meaningless, so the window keeps [after]'s values verbatim. *)
+  { counters; histograms; gauges = after.gauges; spans }
 
 let reset () =
   List.iter
@@ -284,6 +349,9 @@ let reset () =
       Array.iter (fun row -> Array.iter (fun cell -> Atomic.set cell 0) row)
         h.h_cells)
     !all_histograms;
+  List.iter
+    (fun g -> Array.iter (fun cell -> Atomic.set cell 0) g.g_slots)
+    !all_gauges;
   Mutex.lock span_mutex;
   Hashtbl.reset span_table;
   Mutex.unlock span_mutex

@@ -26,7 +26,7 @@
     time); excluded from sequential-vs-parallel equality checks. *)
 type stability = Stable | Runtime
 
-type kind = Counter | Histogram | Span
+type kind = Counter | Histogram | Gauge | Span
 
 val enabled : unit -> bool
 val set_enabled : bool -> unit
@@ -71,6 +71,37 @@ val observe : histogram -> int -> unit
     conventional exponential bucketing for sizes. *)
 val log2_bucket : int -> int
 
+(** {1 Gauges}
+
+    A gauge is a point-in-time level — queue depth, pool width, heap words
+    — written with {!set_gauge} (last write wins) or nudged with
+    {!add_gauge}, and read verbatim at {!freeze} time.  A scalar gauge has
+    one slot; vector gauges carry a fixed slot count chosen at declaration
+    (e.g. one slot per potential pool worker), so the frozen shape never
+    depends on how wide the machine happened to run.  Out-of-range slot
+    indices clamp to the edges, like histogram buckets.  Default stability
+    is [Runtime]: levels describe how the run executed. *)
+
+type gauge
+
+val gauge :
+  ?stability:stability ->
+  ?slots:int ->
+  ?slot_label:(int -> string) ->
+  doc:string ->
+  string ->
+  gauge
+
+val set_gauge : gauge -> int -> int -> unit
+val add_gauge : gauge -> int -> int -> unit
+
+(** [gauge_value g slot] reads one slot; exact only when no domain is
+    concurrently writing. *)
+val gauge_value : gauge -> int -> int
+
+val gauge_name : gauge -> string
+val gauge_slots : gauge -> int
+
 (** {1 Spans}
 
     A span times a lexical extent with a monotonic-enough wall clock.
@@ -105,6 +136,8 @@ type frozen = {
   counters : (string * stability * int) list;  (** sorted by name *)
   histograms : (string * stability * (string * int) list) list;
       (** per-bucket [(label, count)], buckets in index order *)
+  gauges : (string * stability * (string * int) list) list;
+      (** per-slot [(label, value)], slots in index order; sorted by name *)
   spans : (string * span_record) list;  (** sorted by path *)
 }
 
@@ -116,7 +149,8 @@ val reset : unit -> unit
     multi-workload run (the CLI's per-benchmark [--stats] deltas).
     Counters and histogram buckets subtract; spans keep only paths whose
     count moved, with [max_ns] taken from [after] (the running maximum is
-    not recoverable per window). *)
+    not recoverable per window).  Gauges are levels, not flows, so the
+    window keeps [after]'s readings verbatim. *)
 val diff : before:frozen -> after:frozen -> frozen
 
 (** {1 Span hook}

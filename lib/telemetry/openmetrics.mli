@@ -1,0 +1,24 @@
+(** OpenMetrics / Prometheus text exposition of a {!Metrics.frozen}
+    record, with a self-contained format validator.
+
+    Every metric exports under a [powercode_] prefix with dots mangled to
+    underscores.  Counters become counter families sampled as
+    [fam_total v]; histograms (categorical buckets) become counter
+    families labeled [{bucket="..."}] with zero buckets elided; gauges
+    export every slot as [{slot="..."}]; spans export as
+    [powercode_span_calls]/[powercode_span_ns] (counters) and
+    [powercode_span_max_ns] (gauge) labeled [{path="..."}].  The
+    exposition ends with [# EOF]. *)
+
+(** [to_string f] renders the full exposition, newline-terminated. *)
+val to_string : Metrics.frozen -> string
+
+(** [validate text] checks [text] against the subset of the OpenMetrics
+    text format this exporter emits: [# TYPE]/[# HELP]/[# EOF] comment
+    syntax, TYPE before samples and at most once per family, counter
+    samples suffixed [_total], well-formed metric and label names, quoted
+    and escaped label values, float-parseable sample values, no empty
+    lines, nothing after the mandatory [# EOF].  Returns
+    [Error "line N: reason"] on first violation.  CI runs this over the
+    exported snapshot artifact. *)
+val validate : string -> (unit, string) result

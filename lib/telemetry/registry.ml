@@ -215,6 +215,110 @@ let parpool_idle_ns =
     ~doc:"Wall nanoseconds worker domains spent waiting for work"
     "parpool.idle_ns"
 
+let parpool_busy_ns =
+  counter ~stability:runtime
+    ~doc:"Wall nanoseconds spent executing chunks, pool-wide (workers and \
+          the helping caller)"
+    "parpool.busy_ns"
+
+(* Per-slot pool gauges: slot 0 is the calling domain (it runs chunk 0 and
+   helps drain the queue), slots 1..8 are the lazily spawned workers —
+   1 + Parpool.max_workers slots, fixed at declaration so the frozen shape
+   never depends on how wide this machine happened to run.  The per-slot
+   busy/idle/task levels sum to the pool-wide parpool.busy_ns /
+   parpool.idle_ns / parpool.chunks counters (pinned by
+   test/test_parallel.ml). *)
+
+let pool_slots = 9
+let pool_slot_label i = if i = 0 then "caller" else Printf.sprintf "w%d" i
+
+let parpool_worker_busy_ns =
+  Metrics.gauge ~slots:pool_slots ~slot_label:pool_slot_label
+    ~doc:"Wall nanoseconds each pool slot spent executing chunks"
+    "parpool.worker_busy_ns"
+
+let parpool_worker_idle_ns =
+  Metrics.gauge ~slots:pool_slots ~slot_label:pool_slot_label
+    ~doc:"Wall nanoseconds each worker slot spent waiting for work"
+    "parpool.worker_idle_ns"
+
+let parpool_worker_tasks =
+  Metrics.gauge ~slots:pool_slots ~slot_label:pool_slot_label
+    ~doc:"Chunks each pool slot executed" "parpool.worker_tasks"
+
+let parpool_queue_depth =
+  Metrics.gauge ~doc:"Chunks currently enqueued and not yet claimed"
+    "parpool.queue_depth"
+
+let parpool_width =
+  Metrics.gauge
+    ~doc:"Current pool width: 1 caller + spawned worker domains"
+    "parpool.width"
+
+(* ---- GC, per evaluate phase (runtime: allocation depends on cache and
+   scheduling state) ----------------------------------------------------- *)
+
+let gc_counter phase what doc =
+  counter ~stability:runtime ~doc (Printf.sprintf "gc.%s.%s" phase what)
+
+let gc_profile_minor_words =
+  gc_counter "profile" "minor_words"
+    "Minor-heap words allocated during profiling passes"
+
+let gc_profile_major_words =
+  gc_counter "profile" "major_words"
+    "Major-heap words allocated during profiling passes"
+
+let gc_profile_minor_collections =
+  gc_counter "profile" "minor_collections"
+    "Minor collections during profiling passes"
+
+let gc_profile_major_collections =
+  gc_counter "profile" "major_collections"
+    "Major collections during profiling passes"
+
+let gc_plan_minor_words =
+  gc_counter "plan" "minor_words"
+    "Minor-heap words allocated during planning + encoding"
+
+let gc_plan_major_words =
+  gc_counter "plan" "major_words"
+    "Major-heap words allocated during planning + encoding"
+
+let gc_plan_minor_collections =
+  gc_counter "plan" "minor_collections"
+    "Minor collections during planning + encoding"
+
+let gc_plan_major_collections =
+  gc_counter "plan" "major_collections"
+    "Major collections during planning + encoding"
+
+let gc_count_minor_words =
+  gc_counter "count" "minor_words"
+    "Minor-heap words allocated during counting runs"
+
+let gc_count_major_words =
+  gc_counter "count" "major_words"
+    "Major-heap words allocated during counting runs"
+
+let gc_count_minor_collections =
+  gc_counter "count" "minor_collections"
+    "Minor collections during counting runs"
+
+let gc_count_major_collections =
+  gc_counter "count" "major_collections"
+    "Major collections during counting runs"
+
+let gc_heap_words =
+  Metrics.gauge ~doc:"Major heap size in words at the last phase boundary"
+    "gc.heap_words"
+
+let gc_top_heap_words =
+  Metrics.gauge
+    ~doc:"Largest major heap size in words the process has reached, as \
+          read at the last phase boundary"
+    "gc.top_heap_words"
+
 (* ---- spans (always runtime) ------------------------------------------- *)
 
 let span_evaluate =

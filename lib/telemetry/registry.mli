@@ -84,6 +84,42 @@ val parpool_jobs : Metrics.counter
 val parpool_chunks : Metrics.counter
 val parpool_seq_fallbacks : Metrics.counter
 val parpool_idle_ns : Metrics.counter
+val parpool_busy_ns : Metrics.counter
+
+(** Per-slot pool gauges: slot 0 is the calling domain, slots 1..8 the
+    lazily spawned workers ([1 + Parpool.max_workers] slots, fixed).  The
+    per-slot levels sum to the pool-wide [parpool.busy_ns] /
+    [parpool.idle_ns] / [parpool.chunks] counters (pinned by
+    [test/test_parallel.ml]). *)
+
+val pool_slots : int
+val pool_slot_label : int -> string
+val parpool_worker_busy_ns : Metrics.gauge
+val parpool_worker_idle_ns : Metrics.gauge
+val parpool_worker_tasks : Metrics.gauge
+val parpool_queue_depth : Metrics.gauge
+val parpool_width : Metrics.gauge
+
+(** {1 GC, per evaluate phase — runtime}
+
+    Sampled around every [Pipeline.Evaluate] phase ([profile], [plan],
+    [count]) via [Gc.quick_stat] deltas, turning one-off allocation
+    figures into standing per-phase metrics. *)
+
+val gc_profile_minor_words : Metrics.counter
+val gc_profile_major_words : Metrics.counter
+val gc_profile_minor_collections : Metrics.counter
+val gc_profile_major_collections : Metrics.counter
+val gc_plan_minor_words : Metrics.counter
+val gc_plan_major_words : Metrics.counter
+val gc_plan_minor_collections : Metrics.counter
+val gc_plan_major_collections : Metrics.counter
+val gc_count_minor_words : Metrics.counter
+val gc_count_major_words : Metrics.counter
+val gc_count_minor_collections : Metrics.counter
+val gc_count_major_collections : Metrics.counter
+val gc_heap_words : Metrics.gauge
+val gc_top_heap_words : Metrics.gauge
 
 (** {1 Spans} *)
 

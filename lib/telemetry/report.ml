@@ -40,6 +40,14 @@ let to_json (f : Metrics.frozen) =
         (fun (label, n) -> p "\"%s\": %d" (json_escape label) n);
       p "}");
   p "}, ";
+  p "\"gauges\": {";
+  sep_iter f.Metrics.gauges (fun (name, _, slots) ->
+      p "\"%s\": {" (json_escape name);
+      (* all slots, even zero: a gauge's slot set is small and fixed, and a
+         zero level is a reading, not an absence *)
+      sep_iter slots (fun (label, v) -> p "\"%s\": %d" (json_escape label) v);
+      p "}");
+  p "}, ";
   p "\"spans\": {";
   sep_iter f.Metrics.spans (fun (path, r) ->
       p "\"%s\": {\"count\": %d, \"total_ns\": %.0f, \"max_ns\": %.0f}"
@@ -48,6 +56,90 @@ let to_json (f : Metrics.frozen) =
   p "}";
   p "}";
   Buffer.contents b
+
+let stability_str = function
+  | Metrics.Stable -> "stable"
+  | Metrics.Runtime -> "runtime"
+
+(* The bench JSON's "telemetry" object: like [to_json] but every counter,
+   histogram and gauge carries its registry doc and stability class, so the
+   schema is inspectable from the artifact without grepping registry.mli.
+   Docs come from [Metrics.registered]; a metric frozen before this process
+   registered it (impossible today) would fall back to an empty doc. *)
+let to_json_annotated (f : Metrics.frozen) =
+  let docs = Hashtbl.create 64 in
+  List.iter
+    (fun (name, _, _, doc) -> Hashtbl.replace docs name doc)
+    (Metrics.registered ());
+  let doc_of name =
+    match Hashtbl.find_opt docs name with Some d -> d | None -> ""
+  in
+  let b = Buffer.create 4096 in
+  let p fmt = Printf.bprintf b fmt in
+  let sep_iter items emit =
+    List.iteri (fun i x ->
+        if i > 0 then p ",";
+        emit x)
+      items
+  in
+  p "{";
+  p "\"counters\": {";
+  sep_iter f.Metrics.counters (fun (name, st, total) ->
+      p "\"%s\": {\"value\": %d, \"stability\": \"%s\", \"doc\": \"%s\"}"
+        (json_escape name) total (stability_str st)
+        (json_escape (doc_of name)));
+  p "}, ";
+  p "\"histograms\": {";
+  sep_iter f.Metrics.histograms (fun (name, st, buckets) ->
+      p "\"%s\": {\"stability\": \"%s\", \"doc\": \"%s\", \"buckets\": {"
+        (json_escape name) (stability_str st)
+        (json_escape (doc_of name));
+      sep_iter
+        (List.filter (fun (_, n) -> n > 0) buckets)
+        (fun (label, n) -> p "\"%s\": %d" (json_escape label) n);
+      p "}}");
+  p "}, ";
+  p "\"gauges\": {";
+  sep_iter f.Metrics.gauges (fun (name, st, slots) ->
+      p "\"%s\": {\"stability\": \"%s\", \"doc\": \"%s\", \"slots\": {"
+        (json_escape name) (stability_str st)
+        (json_escape (doc_of name));
+      sep_iter slots (fun (label, v) -> p "\"%s\": %d" (json_escape label) v);
+      p "}}");
+  p "}, ";
+  p "\"spans\": {";
+  sep_iter f.Metrics.spans (fun (path, r) ->
+      p "\"%s\": {\"count\": %d, \"total_ns\": %.0f, \"max_ns\": %.0f}"
+        (json_escape path) r.Metrics.span_count r.Metrics.total_ns
+        r.Metrics.max_ns);
+  p "}";
+  p "}";
+  Buffer.contents b
+
+(* Self time per span path: total minus the totals of direct children
+   (paths one '/'-segment deeper).  Negative rounding residue clamps to 0.
+   Sorted by self time, heaviest first — the profile subcommand's table. *)
+let self_times (f : Metrics.frozen) =
+  let direct_child_total path =
+    let prefix = path ^ "/" in
+    let plen = String.length prefix in
+    List.fold_left
+      (fun acc (p, r) ->
+        if
+          String.length p > plen
+          && String.sub p 0 plen = prefix
+          && not (String.contains_from p plen '/')
+        then acc +. r.Metrics.total_ns
+        else acc)
+      0.0 f.Metrics.spans
+  in
+  f.Metrics.spans
+  |> List.map (fun (path, r) ->
+         let self =
+           Float.max 0.0 (r.Metrics.total_ns -. direct_child_total path)
+         in
+         (path, r.Metrics.span_count, r.Metrics.total_ns, self))
+  |> List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare b a)
 
 let human_ns v =
   if v >= 1e9 then Printf.sprintf "%.2f s" (v /. 1e9)
@@ -67,6 +159,9 @@ let has_data (f : Metrics.frozen) =
   || List.exists
        (fun (_, _, buckets) -> List.exists (fun (_, n) -> n <> 0) buckets)
        f.Metrics.histograms
+  || List.exists
+       (fun (_, _, slots) -> List.exists (fun (_, v) -> v <> 0) slots)
+       f.Metrics.gauges
   || f.Metrics.spans <> []
 
 let pp_human fmt (f : Metrics.frozen) =
@@ -100,6 +195,16 @@ let pp_human fmt (f : Metrics.frozen) =
             (fun (label, n) -> Format.fprintf fmt "  %-28s %12d@." label n)
             live)
     f.Metrics.histograms;
+  List.iter
+    (fun (name, _, slots) ->
+      match List.filter (fun (_, v) -> v <> 0) slots with
+      | [] -> ()
+      | live ->
+          Format.fprintf fmt "telemetry gauge — %s@." name;
+          List.iter
+            (fun (label, v) -> Format.fprintf fmt "  %-28s %12d@." label v)
+            live)
+    f.Metrics.gauges;
   if f.Metrics.spans <> [] then begin
     Format.fprintf fmt
       "telemetry spans — path, calls, total, max (children indent under \

@@ -3,11 +3,27 @@
 (** [to_json f] renders the record as one JSON object
     [{"counters": {name: total, ...},
       "histograms": {name: {label: count, ...}, ...},
+      "gauges": {name: {slot: value, ...}, ...},
       "spans": {path: {"count": n, "total_ns": t, "max_ns": m}, ...}}] —
-    zero histogram buckets are elided.  Embeds verbatim into larger
-    hand-rolled JSON documents (see [BENCH_encoding.json], schema
-    documented in EXPERIMENTS.md). *)
+    zero histogram buckets are elided; gauge slots are not (a zero level is
+    a reading, not an absence).  Embeds verbatim into larger hand-rolled
+    JSON documents; the {!Sampler}'s JSONL lines use this compact form. *)
 val to_json : Metrics.frozen -> string
+
+(** [to_json_annotated f] is {!to_json} with every counter, histogram and
+    gauge carrying its registry [doc] and [stability] class
+    ([{"value": n, "stability": "stable"|"runtime", "doc": "..."}] for
+    counters; histograms/gauges nest their buckets/slots under
+    ["buckets"]/["slots"]).  This is the [telemetry] object of
+    [BENCH_encoding.json] (schema /7, documented in EXPERIMENTS.md), so the
+    metric schema is inspectable from the artifact alone. *)
+val to_json_annotated : Metrics.frozen -> string
+
+(** [self_times f] is one row per span path —
+    [(path, calls, total_ns, self_ns)] where self time is the total minus
+    the totals of direct children — sorted heaviest self time first.  The
+    [profile] subcommand prints this table next to the flamegraph. *)
+val self_times : Metrics.frozen -> (string * int * float * float) list
 
 (** [pp_human fmt f] prints counters grouped by stability class, live
     histogram buckets, then the span tree (children indented under their

@@ -1,0 +1,28 @@
+(** Periodic metric sampling into an append-only JSONL time-series.
+
+    [start] spawns one background domain that snapshots every registered
+    metric (via {!Metrics.freeze} — non-destructive, so the sampled run's
+    own totals are untouched) at a fixed interval and passes each snapshot
+    to the sink as one JSON line
+    [{"seq": n, "t_ns": t, "metrics": {...}}] (the compact
+    {!Report.to_json} form).  Sample 0 fires immediately at start and
+    {!stop} always emits one final sample, so even a window shorter than
+    one interval records its endpoints.  The CLI's [--series FILE] flag
+    appends lines to a file; tests hand in an accumulating sink. *)
+
+type t
+
+(** [start ~interval_s ~sink ()] begins sampling every [interval_s]
+    seconds (default [1.0]; must be positive).  [sink] is called from the
+    sampler domain with one complete JSON line (no trailing newline) per
+    sample — it must be safe to call from another domain.  A raising sink
+    kills the sampler; the exception resurfaces from {!stop}. *)
+val start : ?interval_s:float -> sink:(string -> unit) -> unit -> t
+
+(** [stop t] requests the final sample and joins the sampler domain.
+    Stop latency is bounded by the polling slice (≤ 10 ms), not the
+    interval. *)
+val stop : t -> unit
+
+(** [samples t] is the number of lines emitted so far. *)
+val samples : t -> int

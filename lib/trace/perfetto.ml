@@ -50,7 +50,10 @@ let counter_samples ~max events =
      match !last_fetch with Some t -> flush_tick t | None -> ());
   let samples = List.rev !ticks in
   let total = List.length samples in
-  let stride = Stdlib.max 1 (total / Stdlib.max 1 max) in
+  (* ceiling division: floor keeps stride 1 up to 2 * max - 1 ticks, which
+     would overshoot the cap for every count in (max, 2 * max) *)
+  let max = Stdlib.max 1 max in
+  let stride = Stdlib.max 1 ((total + max - 1) / max) in
   let kept = ref [] in
   List.iteri
     (fun i s -> if i mod stride = 0 || i = total - 1 then kept := s :: !kept)

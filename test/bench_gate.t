@@ -9,7 +9,7 @@ domain-count notes).
   $ POWERCODE_FAST=1 ../bench/main.exe > /dev/null
 
   $ ../bench/compare.exe --baseline ../bench/baseline.json --time-band 100000 2> /dev/null
-  bench compare: OK (exact=4859 banded=39, time band +/-100000%)
+  bench compare: OK (exact=4862 banded=53, time band +/-100000%)
 
 A single flipped transition count anywhere is a regression (exit 1), and
 the offending path is named:
@@ -78,7 +78,7 @@ count and the sweep rates to exercise both verdicts):
   >   BENCH_encoding.json > fastsweep.json
 
   $ ../bench/compare.exe --baseline ../bench/baseline.json --current fastsweep.json --time-band 100000 2> /dev/null
-  bench compare: OK (exact=4859 banded=39, time band +/-100000%)
+  bench compare: OK (exact=4862 banded=53, time band +/-100000%)
 
 Runs made under different settings are refused outright (exit 2), never
 silently diffed:
@@ -124,4 +124,4 @@ only the header line is pinned here:
 A short or missing history is silently skipped, never an error:
 
   $ ../bench/compare.exe --baseline ../bench/baseline.json --history nohistory.jsonl --time-band 100000 2> /dev/null
-  bench compare: OK (exact=4859 banded=39, time band +/-100000%)
+  bench compare: OK (exact=4862 banded=53, time band +/-100000%)

@@ -6,7 +6,7 @@ spans recorded) without depending on any timing value.
   $ POWERCODE_FAST=1 ../bench/main.exe > /dev/null
 
   $ jq -r '.schema' BENCH_encoding.json
-  powercode-bench-encoding/6
+  powercode-bench-encoding/7
 
   $ jq -r '.mode' BENCH_encoding.json
   fast
@@ -19,6 +19,7 @@ spans recorded) without depending on any timing value.
   evaluations
   ledger
   mode
+  observability
   plan_cache
   schema
   schemes
@@ -180,7 +181,7 @@ the repository it lands in bench/, which is gitignored):
   1
 
   $ jq -r '.schema' history.jsonl
-  powercode-bench-encoding/6
+  powercode-bench-encoding/7
 
   $ jq -r '.benches' history.jsonl
   9
@@ -202,21 +203,62 @@ the repository it lands in bench/, which is gitignored):
 
   $ jq -r '.telemetry | keys | sort | .[]' BENCH_encoding.json
   counters
+  gauges
   histograms
   spans
 
   $ jq -r '.workloads | length > 0' BENCH_encoding.json
   true
 
-Telemetry must actually have recorded the encoding work:
+The observability section (schema /7) carries pool utilization, per-phase
+GC figures, and the sampler/exporter exercise; its structural constants
+are pinned here, the numeric figures are banded by the gate:
 
-  $ jq -r '.telemetry.counters["encode.blocks"] > 0' BENCH_encoding.json
+  $ jq -r '.observability | keys | sort | .[]' BENCH_encoding.json
+  gc
+  heap
+  openmetrics
+  pool
+  sampler
+
+  $ jq -r '.observability.pool.slots' BENCH_encoding.json
+  9
+
+  $ jq -r '.observability.sampler.samples >= 2' BENCH_encoding.json
   true
 
-  $ jq -r '.telemetry.counters["chain.streams"] > 0' BENCH_encoding.json
+  $ jq -r '.observability.openmetrics.valid' BENCH_encoding.json
   true
 
-  $ jq -r '.telemetry.histograms["encode.tau_selected"] | length > 0' BENCH_encoding.json
+  $ jq -r '.observability.pool.busy_ns > 0 and .observability.pool.chunks > 0' BENCH_encoding.json
+  true
+
+  $ jq -r '.observability.gc | [.profile_minor_words, .plan_minor_words, .count_minor_words, .major_words, .collections] | all(. > 0)' BENCH_encoding.json
+  true
+
+  $ jq -r '.observability.heap.top_heap_words >= .observability.heap.heap_words' BENCH_encoding.json
+  true
+
+Telemetry must actually have recorded the encoding work; schema /7 embeds
+the annotated form, so every metric carries its value, stability class and
+doc string:
+
+  $ jq -r '.telemetry.counters["encode.blocks"].value > 0' BENCH_encoding.json
+  true
+
+  $ jq -r '.telemetry.counters["encode.blocks"].stability' BENCH_encoding.json
+  stable
+
+  $ jq -r '.telemetry.counters["chain.streams"].doc | length > 0' BENCH_encoding.json
+  true
+
+  $ jq -r '.telemetry.histograms["encode.tau_selected"].buckets | length > 0' BENCH_encoding.json
+  true
+
+  $ jq -r '.telemetry.gauges["parpool.width"].slots.value >= 1' BENCH_encoding.json
+  true
+
+  $ jq -r '.telemetry.gauges["parpool.worker_busy_ns"] | .stability == "runtime" and (.slots | length == 9)' BENCH_encoding.json
   true
 
   $ jq -r '.telemetry.spans | length > 0' BENCH_encoding.json

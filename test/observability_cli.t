@@ -1,0 +1,67 @@
+The live observability surface: speedscope profiles, the metric schema
+dump, OpenMetrics export and its validator.
+
+`powercode profile` runs one benchmark and writes a speedscope document
+(the span self-time table on stdout is timing-dependent, so only the
+file is pinned here):
+
+  $ ../bin/powercode_cli.exe profile tri --scaled -o profile.speedscope.json > /dev/null
+  profile: wrote profile.speedscope.json
+  $ jq -r '."$schema"' profile.speedscope.json
+  https://www.speedscope.app/file-format-schema.json
+  $ jq -r '.profiles | length >= 1' profile.speedscope.json
+  true
+  $ jq -r '.profiles[0].type' profile.speedscope.json
+  evented
+  $ jq -r '(.shared.frames | length) as $n | [.profiles[].events[].frame] | max < $n' profile.speedscope.json
+  true
+  $ jq -r '.shared.frames | map(.name) | any(. == "pipeline.evaluate")' profile.speedscope.json
+  true
+
+Every profile's event stream opens and closes in balance:
+
+  $ jq -r '.profiles[] | ((.events | map(select(.type == "O")) | length) == (.events | map(select(.type == "C")) | length))' profile.speedscope.json | sort -u
+  true
+
+`stats schema` dumps the registry sorted by name, with kind, stability
+and doc for each metric:
+
+  $ ../bin/powercode_cli.exe stats schema | head -3
+  blockword.memo_hits          counter   runtime codewords_by_transitions served from the memo
+  blockword.memo_misses        counter   runtime codewords_by_transitions that had to sort the universe
+  chain.code_blocks            counter   stable  k-bit code blocks chosen across all chain encodes
+  $ ../bin/powercode_cli.exe stats schema | awk '{print $1}' | sort -c && echo sorted
+  sorted
+  $ ../bin/powercode_cli.exe stats schema | grep parpool.worker_busy_ns
+  parpool.worker_busy_ns       gauge     runtime Wall nanoseconds each pool slot spent executing chunks
+
+`stats serve` evaluates and snapshots; the validator accepts the output:
+
+  $ ../bin/powercode_cli.exe stats serve tri --scaled -o serve.om > /dev/null
+  stats: refreshed serve.om (round 1/1)
+  $ ../bin/powercode_cli.exe stats validate serve.om
+  serve.om: valid OpenMetrics exposition
+  $ grep -c "^# TYPE " serve.om > /dev/null && tail -1 serve.om
+  # EOF
+
+`evaluate --metrics-out` writes the same format from the main pipeline,
+and `--series` appends a JSONL time-series while the run is in flight:
+
+  $ ../bin/powercode_cli.exe evaluate tri --scaled --metrics-out eval.om --series series.jsonl > /dev/null
+  metrics: series appended to series.jsonl
+  metrics: wrote eval.om
+  $ ../bin/powercode_cli.exe stats validate eval.om
+  eval.om: valid OpenMetrics exposition
+  $ grep "^powercode_encode_blocks_total " eval.om | awk '{exit !($2 > 0)}' && echo nonzero
+  nonzero
+  $ jq -r '.seq' series.jsonl | head -1
+  0
+  $ jq -e '.metrics.counters | has("cpu.instructions")' series.jsonl | sort -u
+  true
+
+The validator rejects malformed expositions (sample without TYPE):
+
+  $ printf 'powercode_bogus 1\n# EOF\n' > bad.om
+  $ ../bin/powercode_cli.exe stats validate bad.om
+  powercode: bad.om: line 1: sample powercode_bogus has no preceding TYPE
+  [124]

@@ -88,6 +88,33 @@ let test_images_and_stable_totals_match () =
   Alcotest.check histograms_t "stable histogram totals" histograms_seq
     histograms_par
 
+let test_stable_totals_match_under_sampler () =
+  (* acceptance pin for the live sampler: concurrent freezes from the
+     sampler domain are non-destructive, so running it throughout must not
+     perturb the seq-vs-parallel Stable equality *)
+  with_telemetry @@ fun () ->
+  let sampled = Atomic.make 0 in
+  let sampler =
+    Telemetry.Sampler.start ~interval_s:0.002
+      ~sink:(fun _ -> Atomic.incr sampled)
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Telemetry.Sampler.stop sampler)
+  @@ fun () ->
+  force_sequential true;
+  let images_seq, counters_seq, histograms_seq = run_corpus () in
+  force_sequential false;
+  let images_par, counters_par, histograms_par = run_corpus () in
+  List.iter2
+    (fun seq par ->
+      Alcotest.(check (array int)) "image under sampler" seq par)
+    images_seq images_par;
+  Alcotest.check counters_t "stable counter totals under sampler" counters_seq
+    counters_par;
+  Alcotest.check histograms_t "stable histogram totals under sampler"
+    histograms_seq histograms_par;
+  Alcotest.(check bool) "sampler actually sampled" true (Atomic.get sampled >= 1)
+
 let test_stable_totals_are_live () =
   (* guard against the equality above passing vacuously: the corpus must
      actually move the Stable counters *)
@@ -119,5 +146,7 @@ let () =
             test_images_and_stable_totals_match;
           Alcotest.test_case "stable totals are live" `Quick
             test_stable_totals_are_live;
+          Alcotest.test_case "stable totals match with the sampler running"
+            `Quick test_stable_totals_match_under_sampler;
         ] );
     ]

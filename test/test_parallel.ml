@@ -121,6 +121,48 @@ let test_domains_env_results_identical () =
           check_same_encoding ~msg:("domains=" ^ width) seq par))
     [ "2"; "4"; "8" ]
 
+let test_per_slot_gauges_sum_to_pool_totals () =
+  (* acceptance pin: the per-slot busy/idle/task gauges partition the
+     pool-wide parpool.busy_ns / parpool.idle_ns / parpool.chunks counters
+     exactly — slot 0 is the helping caller, slots 1.. the workers *)
+  let module Metrics = Telemetry.Metrics in
+  let module Tel = Telemetry.Registry in
+  force_sequential false;
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+  @@ fun () ->
+  with_domains "4" (fun () ->
+      for seed = 1 to 3 do
+        ignore
+          (PE.encode_block (PE.default_config ())
+             (random_matrix ~seed:(seed * 7919) ~rows:big_rows))
+      done);
+  let sum g =
+    let acc = ref 0 in
+    for i = 0 to Metrics.gauge_slots g - 1 do
+      acc := !acc + Metrics.gauge_value g i
+    done;
+    !acc
+  in
+  let chunks = Metrics.counter_total Tel.parpool_chunks in
+  Alcotest.(check bool) "pool actually ran chunks" true (chunks > 0);
+  check_int "slot tasks partition parpool.chunks" chunks
+    (sum Tel.parpool_worker_tasks);
+  check_int "slot busy partitions parpool.busy_ns"
+    (Metrics.counter_total Tel.parpool_busy_ns)
+    (sum Tel.parpool_worker_busy_ns);
+  check_int "slot idle partitions parpool.idle_ns"
+    (Metrics.counter_total Tel.parpool_idle_ns)
+    (sum Tel.parpool_worker_idle_ns);
+  check_int "queue drained back to depth 0" 0
+    (Metrics.gauge_value Tel.parpool_queue_depth 0);
+  Alcotest.(check bool) "width gauge saw the pool" true
+    (Metrics.gauge_value Tel.parpool_width 0 >= 1)
+
 let test_parallel_init_propagates_exception () =
   force_sequential false;
   match
@@ -152,5 +194,7 @@ let () =
             test_domains_env_pins_width;
           Alcotest.test_case "pinned widths agree" `Quick
             test_domains_env_results_identical;
+          Alcotest.test_case "per-slot gauges sum to pool totals" `Quick
+            test_per_slot_gauges_sum_to_pool_totals;
         ] );
     ]

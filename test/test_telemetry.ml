@@ -11,6 +11,7 @@ module Boolfun = Powercode.Boolfun
 let kind_str = function
   | Metrics.Counter -> "counter"
   | Metrics.Histogram -> "histogram"
+  | Metrics.Gauge -> "gauge"
   | Metrics.Span -> "span"
 
 let stability_str = function
@@ -41,6 +42,20 @@ let expected_schema =
     ("fault.injections", "counter", "stable");
     ("fault.recoveries", "counter", "stable");
     ("fault.tt_parity_detected", "counter", "stable");
+    ("gc.count.major_collections", "counter", "runtime");
+    ("gc.count.major_words", "counter", "runtime");
+    ("gc.count.minor_collections", "counter", "runtime");
+    ("gc.count.minor_words", "counter", "runtime");
+    ("gc.heap_words", "gauge", "runtime");
+    ("gc.plan.major_collections", "counter", "runtime");
+    ("gc.plan.major_words", "counter", "runtime");
+    ("gc.plan.minor_collections", "counter", "runtime");
+    ("gc.plan.minor_words", "counter", "runtime");
+    ("gc.profile.major_collections", "counter", "runtime");
+    ("gc.profile.major_words", "counter", "runtime");
+    ("gc.profile.minor_collections", "counter", "runtime");
+    ("gc.profile.minor_words", "counter", "runtime");
+    ("gc.top_heap_words", "gauge", "runtime");
     ("icache.accesses", "counter", "stable");
     ("icache.hits", "counter", "stable");
     ("icache.misses", "counter", "stable");
@@ -49,10 +64,16 @@ let expected_schema =
     ("ledger.fetches", "counter", "stable");
     ("ledger.meters", "counter", "stable");
     ("ledger.reports", "counter", "stable");
+    ("parpool.busy_ns", "counter", "runtime");
     ("parpool.chunks", "counter", "runtime");
     ("parpool.idle_ns", "counter", "runtime");
     ("parpool.jobs", "counter", "runtime");
+    ("parpool.queue_depth", "gauge", "runtime");
     ("parpool.seq_fallbacks", "counter", "runtime");
+    ("parpool.width", "gauge", "runtime");
+    ("parpool.worker_busy_ns", "gauge", "runtime");
+    ("parpool.worker_idle_ns", "gauge", "runtime");
+    ("parpool.worker_tasks", "gauge", "runtime");
     ("pipeline.count", "span", "runtime");
     ("pipeline.evaluate", "span", "runtime");
     ("pipeline.evaluations", "counter", "stable");
@@ -245,6 +266,192 @@ let test_span_hook_fires () =
     ]
     (List.rev !seen)
 
+(* ---- gauges ----------------------------------------------------------- *)
+
+let gauge_of frozen name =
+  let _, _, slots =
+    List.find (fun (n, _, _) -> n = name) frozen.Metrics.gauges
+  in
+  slots
+
+let test_gauge_set_add_and_freeze () =
+  with_clean_telemetry @@ fun () ->
+  Metrics.set_gauge Tel.parpool_width 0 5;
+  Metrics.set_gauge Tel.parpool_worker_tasks 1 10;
+  Metrics.add_gauge Tel.parpool_worker_tasks 1 (-3);
+  let f = Metrics.freeze () in
+  Alcotest.(check int) "scalar gauge reads the last write" 5
+    (List.assoc "value" (gauge_of f "parpool.width"));
+  let slots = gauge_of f "parpool.worker_tasks" in
+  Alcotest.(check int) "declared slot count survives the freeze" 9
+    (List.length slots);
+  Alcotest.(check (list string))
+    "slot labels in index order"
+    [ "caller"; "w1"; "w2"; "w3"; "w4"; "w5"; "w6"; "w7"; "w8" ]
+    (List.map fst slots);
+  Alcotest.(check int) "add_gauge nudges the level" 7 (List.assoc "w1" slots);
+  Alcotest.(check int) "untouched slot is zero" 0 (List.assoc "w2" slots);
+  Alcotest.(check int) "direct read agrees" 7
+    (Metrics.gauge_value Tel.parpool_worker_tasks 1)
+
+let test_gauge_slot_clamps () =
+  with_clean_telemetry @@ fun () ->
+  Metrics.set_gauge Tel.parpool_worker_tasks (-4) 11;
+  Metrics.set_gauge Tel.parpool_worker_tasks 99 22;
+  Alcotest.(check int) "low slot clamps to 0" 11
+    (Metrics.gauge_value Tel.parpool_worker_tasks 0);
+  Alcotest.(check int) "high slot clamps to the last" 22
+    (Metrics.gauge_value Tel.parpool_worker_tasks 8)
+
+let test_gauge_disabled_and_reset () =
+  Metrics.reset ();
+  Metrics.set_enabled false;
+  Metrics.set_gauge Tel.parpool_width 0 9;
+  Alcotest.(check int) "disabled set_gauge is a no-op" 0
+    (Metrics.gauge_value Tel.parpool_width 0);
+  Metrics.set_enabled true;
+  Metrics.set_gauge Tel.parpool_width 0 9;
+  Metrics.set_enabled false;
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes gauge slots" 0
+    (Metrics.gauge_value Tel.parpool_width 0)
+
+let test_diff_keeps_gauge_levels () =
+  with_clean_telemetry @@ fun () ->
+  Metrics.set_gauge Tel.parpool_width 0 3;
+  let before = Metrics.freeze () in
+  Metrics.set_gauge Tel.parpool_width 0 8;
+  let after = Metrics.freeze () in
+  let d = Metrics.diff ~before ~after in
+  Alcotest.(check int)
+    "a gauge is a level, not a flow: diff keeps after's reading" 8
+    (List.assoc "value" (gauge_of d "parpool.width"))
+
+(* The human reporter's ordering guarantee is the freeze's: counters,
+   histograms and gauges come out sorted by name (the satellite issue
+   asked for sorted [--stats] output; freeze already provides it, so the
+   invariant is pinned here rather than re-sorted downstream). *)
+let test_freeze_is_sorted () =
+  with_clean_telemetry @@ fun () ->
+  let f = Metrics.freeze () in
+  let sorted l = List.sort compare l = l in
+  let names l = List.map (fun (n, _, _) -> n) l in
+  Alcotest.(check bool) "counters sorted" true (sorted (names f.Metrics.counters));
+  Alcotest.(check bool) "histograms sorted" true
+    (sorted (names f.Metrics.histograms));
+  Alcotest.(check bool) "gauges sorted" true (sorted (names f.Metrics.gauges));
+  Alcotest.(check bool) "spans sorted" true
+    (sorted (List.map fst f.Metrics.spans))
+
+(* ---- sampler ----------------------------------------------------------- *)
+
+let test_sampler_endpoints () =
+  with_clean_telemetry @@ fun () ->
+  Metrics.add Tel.cpu_instructions 17;
+  let lines = ref [] in
+  let mu = Mutex.create () in
+  let sink l =
+    Mutex.lock mu;
+    lines := l :: !lines;
+    Mutex.unlock mu
+  in
+  let s = Telemetry.Sampler.start ~interval_s:10.0 ~sink () in
+  Telemetry.Sampler.stop s;
+  (* a window far shorter than one interval still records both endpoints *)
+  let lines = List.rev !lines in
+  Alcotest.(check int) "start + stop samples" 2 (List.length lines);
+  Alcotest.(check int) "samples () agrees" 2 (Telemetry.Sampler.samples s);
+  let has_prefix p l = String.length l >= String.length p
+                       && String.sub l 0 (String.length p) = p in
+  Alcotest.(check bool) "sample 0 is seq 0" true
+    (has_prefix "{\"seq\": 0," (List.nth lines 0));
+  Alcotest.(check bool) "final sample is seq 1" true
+    (has_prefix "{\"seq\": 1," (List.nth lines 1));
+  List.iter
+    (fun l ->
+      let contains sub =
+        let n = String.length sub and m = String.length l in
+        let rec go i = i + n <= m && (String.sub l i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "line embeds the metrics object" true
+        (contains "\"metrics\": {");
+      Alcotest.(check bool) "snapshot sees the counter" true
+        (contains "\"cpu.instructions\": 17"))
+    lines
+
+let test_sampler_periodic_and_nondestructive () =
+  with_clean_telemetry @@ fun () ->
+  Metrics.add Tel.cpu_instructions 5;
+  let n = Atomic.make 0 in
+  let s =
+    Telemetry.Sampler.start ~interval_s:0.01
+      ~sink:(fun _ -> Atomic.incr n)
+      ()
+  in
+  Unix.sleepf 0.08;
+  Telemetry.Sampler.stop s;
+  Alcotest.(check bool)
+    (Printf.sprintf "periodic samples landed (%d)" (Atomic.get n))
+    true
+    (Atomic.get n >= 4);
+  Alcotest.(check int) "freeze is non-destructive: totals survive sampling" 5
+    (Metrics.counter_total Tel.cpu_instructions)
+
+(* ---- OpenMetrics exposition ------------------------------------------- *)
+
+let test_openmetrics_roundtrip () =
+  with_clean_telemetry @@ fun () ->
+  Metrics.add Tel.cpu_instructions 123;
+  Metrics.observe Tel.tau_selected 6;
+  Metrics.set_gauge Tel.parpool_width 0 4;
+  Metrics.with_span Tel.span_evaluate (fun () -> ());
+  let text = Telemetry.Openmetrics.to_string (Metrics.freeze ()) in
+  (match Telemetry.Openmetrics.validate text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "exporter output rejected: %s" e);
+  let contains sub =
+    let n = String.length sub and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" s) true (contains s))
+    [
+      "# TYPE powercode_cpu_instructions counter";
+      "powercode_cpu_instructions_total 123";
+      "# TYPE powercode_parpool_width gauge";
+      "powercode_parpool_width{slot=\"value\"} 4";
+      "powercode_encode_tau_selected_total{bucket=\"x^y\"} 1";
+      "powercode_span_calls_total{path=\"pipeline.evaluate\"} 1";
+      "# EOF";
+    ]
+
+let test_openmetrics_validator_rejects () =
+  let check_error name text =
+    match Telemetry.Openmetrics.validate text with
+    | Ok () -> Alcotest.failf "%s: accepted invalid exposition" name
+    | Error _ -> ()
+  in
+  check_error "missing EOF" "# TYPE powercode_x counter\npowercode_x_total 1\n";
+  check_error "sample before TYPE" "powercode_x_total 1\n# EOF\n";
+  check_error "counter sample without _total suffix"
+    "# TYPE powercode_x counter\npowercode_x 1\n# EOF\n";
+  check_error "gauge sample with _total suffix"
+    "# TYPE powercode_x gauge\npowercode_x_total 1\n# EOF\n";
+  check_error "text after EOF"
+    "# TYPE powercode_x counter\npowercode_x_total 1\n# EOF\nmore\n";
+  check_error "empty line" "# TYPE powercode_x counter\n\n# EOF\n";
+  check_error "unparseable value"
+    "# TYPE powercode_x counter\npowercode_x_total one\n# EOF\n";
+  check_error "unterminated label quote"
+    "# TYPE powercode_x gauge\npowercode_x{slot=\"a} 1\n# EOF\n";
+  check_error "duplicate TYPE"
+    "# TYPE powercode_x counter\n# TYPE powercode_x counter\n# EOF\n";
+  Alcotest.(check bool) "minimal valid doc accepted" true
+    (Telemetry.Openmetrics.validate "# EOF\n" = Ok ())
+
 let test_multi_domain_sum () =
   with_clean_telemetry @@ fun () ->
   let bump () =
@@ -288,5 +495,31 @@ let () =
           Alcotest.test_case "span hook fires at exit" `Quick
             test_span_hook_fires;
           Alcotest.test_case "multi-domain sum" `Quick test_multi_domain_sum;
+        ] );
+      ( "gauges",
+        [
+          Alcotest.test_case "set/add and freeze shape" `Quick
+            test_gauge_set_add_and_freeze;
+          Alcotest.test_case "slot indices clamp" `Quick test_gauge_slot_clamps;
+          Alcotest.test_case "disabled no-op and reset" `Quick
+            test_gauge_disabled_and_reset;
+          Alcotest.test_case "diff keeps levels" `Quick
+            test_diff_keeps_gauge_levels;
+          Alcotest.test_case "freeze sorts every section" `Quick
+            test_freeze_is_sorted;
+        ] );
+      ( "sampler",
+        [
+          Alcotest.test_case "start and stop endpoints" `Quick
+            test_sampler_endpoints;
+          Alcotest.test_case "periodic and non-destructive" `Quick
+            test_sampler_periodic_and_nondestructive;
+        ] );
+      ( "openmetrics",
+        [
+          Alcotest.test_case "exporter output passes the validator" `Quick
+            test_openmetrics_roundtrip;
+          Alcotest.test_case "validator rejects malformed input" `Quick
+            test_openmetrics_validator_rejects;
         ] );
     ]

@@ -230,6 +230,114 @@ let test_perfetto_shape () =
      done;
      !count)
 
+let count_occurrences doc needle =
+  let count = ref 0 and i = ref 0 in
+  let nl = String.length needle in
+  while !i + nl <= String.length doc do
+    if String.sub doc !i nl = needle then incr count;
+    incr i
+  done;
+  !count
+
+let test_perfetto_downsampling_boundaries () =
+  (* one Bus event per tick = one counter sample per tick, downsampled to
+     at most max_counter_samples points with the final tick always kept *)
+  let bus_ticks n =
+    List.concat
+      (List.init n (fun i ->
+           [
+             fetch ~time:i ~pc:i ~word:i;
+             Event.Bus { time = i; pc = i; encoded = [| i land 1 |] };
+           ]))
+  in
+  let baseline_samples events =
+    count_occurrences
+      (Trace.Perfetto.to_string ~encoded_names:[ "k5" ] events)
+      "\"name\":\"transitions.baseline\""
+  in
+  (* exactly at the cap: stride stays 1 and nothing is dropped *)
+  check_int "2000 ticks keep all 2000 samples" 2000
+    (baseline_samples (bus_ticks 2000));
+  (* one past the cap: stride jumps to 2 (ceiling division) — the count
+     must drop under the cap, not overshoot to 2001 *)
+  check_int "2001 ticks downsample to 1001" 1001
+    (baseline_samples (bus_ticks 2001));
+  let doc_2001 =
+    Trace.Perfetto.to_string ~encoded_names:[ "k5" ] (bus_ticks 2001)
+  in
+  (* both counter tracks (baseline and k5) sample the final tick *)
+  check_int "final tick survives downsampling" 2
+    (count_occurrences doc_2001 "\"ts\":2000,");
+  (* zero samples: an eventless trace has no counter track at all, and a
+     pure-baseline trace (fetches, no Bus) still gets one closing sample *)
+  check_int "no events, no counter samples" 0 (baseline_samples []);
+  check_int "fetch-only trace gets one sample" 1
+    (baseline_samples [ fetch ~time:4 ~pc:0 ~word:9 ])
+
+let test_vcd_empty_trace () =
+  let dump = Vcd.to_string ~encoded_names:[ "k4"; "k5" ] [] in
+  let p = Vcd.parse dump in
+  Alcotest.(check string) "timescale still declared" "1 ns" p.Vcd.timescale;
+  Alcotest.(check (list string))
+    "bus wires declared, pulse wires elided"
+    [ "baseline"; "k4"; "k5" ]
+    (List.map (fun (v : Vcd.var) -> v.Vcd.name) p.Vcd.vars);
+  check_int "no change sections" 0 (List.length p.Vcd.changes);
+  Alcotest.(check (list (pair int int)))
+    "no baseline changes" []
+    (Vcd.changes_for p ~name:"baseline")
+
+(* ---- speedscope --------------------------------------------------------- *)
+
+let test_speedscope_structure () =
+  let span path tid start_ns stop_ns =
+    Event.Span { path; tid; start_ns; stop_ns }
+  in
+  let doc =
+    Trace.Speedscope.to_string ~name:"unit"
+      [
+        span "pipeline.evaluate" 0 1000. 1100.;
+        (* child overhangs its parent by clock jitter: the exporter must
+           clamp its close to the parent's, keeping events nested *)
+        span "pipeline.evaluate/pipeline.plan" 0 1010. 1130.;
+        span "encode.block" 3 1005. 1050.;
+        (* same leaf again, other domain: frame table must deduplicate *)
+        span "encode.block" 0 1150. 1160.;
+      ]
+  in
+  let contains needle = count_occurrences doc needle > 0 in
+  check_bool "schema url" true (contains Trace.Speedscope.schema_url);
+  check_bool "document name" true (contains "\"name\": \"unit\"");
+  check_int "frames deduplicated by leaf" 3
+    (count_occurrences doc "{\"name\": ");
+  check_int "one evented profile per domain" 2
+    (count_occurrences doc "\"type\": \"evented\"");
+  check_bool "profiles named by domain" true
+    (contains "\"name\": \"domain 0\"" && contains "\"name\": \"domain 3\"");
+  check_bool "active profile set" true (contains "\"activeProfileIndex\": 0");
+  check_bool "times normalized to the earliest start" true
+    (contains "\"at\": 0}");
+  (* frame ids: pipeline.evaluate=0, pipeline.plan=1, encode.block=2 *)
+  check_bool "overhanging child clamps to its parent's stop" true
+    (contains "{\"type\": \"C\", \"frame\": 1, \"at\": 100}");
+  check_bool "parent closes at its own stop" true
+    (contains "{\"type\": \"C\", \"frame\": 0, \"at\": 100}");
+  check_int "opens and closes balance" 0
+    (count_occurrences doc "\"type\": \"O\""
+    - count_occurrences doc "\"type\": \"C\"")
+
+let test_speedscope_empty_trace () =
+  let doc = Trace.Speedscope.to_string [] in
+  let contains needle = count_occurrences doc needle > 0 in
+  check_bool "schema url" true (contains Trace.Speedscope.schema_url);
+  check_bool "empty frame table" true (contains "\"frames\": []");
+  check_bool "empty profile list" true (contains "\"profiles\": []");
+  check_bool "no active profile index" false (contains "activeProfileIndex");
+  (* non-span events alone are still an empty document *)
+  let doc2 = Trace.Speedscope.to_string [ fetch ~time:0 ~pc:0 ~word:1 ] in
+  check_bool "non-span events ignored" true
+    (count_occurrences doc2 "\"profiles\": []" > 0)
+
 (* ---- attribution -------------------------------------------------------- *)
 
 let test_attribution_validates_width () =
@@ -398,9 +506,21 @@ let () =
           Alcotest.test_case "parser rejects garbage" `Quick
             test_vcd_rejects_garbage;
           Alcotest.test_case "round-trip, real run" `Quick test_vcd_from_real_run;
+          Alcotest.test_case "empty trace still renders" `Quick
+            test_vcd_empty_trace;
         ] );
       ( "perfetto",
-        [ Alcotest.test_case "document shape" `Quick test_perfetto_shape ] );
+        [
+          Alcotest.test_case "document shape" `Quick test_perfetto_shape;
+          Alcotest.test_case "downsampling boundaries" `Quick
+            test_perfetto_downsampling_boundaries;
+        ] );
+      ( "speedscope",
+        [
+          Alcotest.test_case "frames, profiles, clamping" `Quick
+            test_speedscope_structure;
+          Alcotest.test_case "empty trace" `Quick test_speedscope_empty_trace;
+        ] );
       ( "attribution",
         [
           Alcotest.test_case "validates width" `Quick
