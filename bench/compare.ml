@@ -33,6 +33,7 @@ let baseline_path = ref "bench/baseline.json"
 let current_path = ref "BENCH_encoding.json"
 let history_path = ref "bench/history.jsonl"
 let time_band = ref 300.0
+let run_trend = ref false
 
 let args =
   [
@@ -45,6 +46,10 @@ let args =
     ( "--time-band",
       Arg.Set_float time_band,
       "PCT allowed wall-clock drift, percent (default 300)" );
+    ( "--trend",
+      Arg.Set run_trend,
+      " gate the latest history entry against its trailing same-schema \
+       window (trend.ml policy); a trend regression fails the compare" );
   ]
 
 let usage =
@@ -93,6 +98,11 @@ let banded_leaves =
     "utilization_pct"; "profile_minor_words"; "plan_minor_words";
     "count_minor_words"; "major_words"; "collections"; "heap_words";
     "top_heap_words";
+    (* schema /8: the eventlog window's Stable-event counts are a pure
+       function of the pinned workload and diff exactly; Runtime events
+       (worker lifecycle) depend on scheduling, and the serialized byte
+       total ("bytes", banded above) rides on the run_id length *)
+    "runtime_events";
   ]
 
 let classify path =
@@ -365,6 +375,32 @@ let trend_summary () =
           ]
       end
 
+(* ---- trend gate -------------------------------------------------------- *)
+
+(* Opt-in (--trend): the full analyzer from trend.ml over the same
+   history file.  Regression names go to stdout without numbers (stable
+   for cram); details and warnings to stderr.  Trend regressions count
+   toward the exit-1 total like any other. *)
+let trend_gate () =
+  if !run_trend then begin
+    match Trend.load_history !history_path with
+    | Error msg -> Printf.eprintf "trend: no history (%s); gate skipped\n" msg
+    | Ok (entries, skipped) ->
+        let r = Trend.analyze entries skipped in
+        List.iter
+          (fun (leaf, detail) ->
+            incr regressions;
+            Printf.printf "trend regression: %s\n" leaf;
+            Printf.eprintf "  trend %s: %s\n" leaf detail)
+          r.Trend.regressions;
+        List.iter
+          (fun (leaf, detail) ->
+            Printf.eprintf "trend warning: %s (%s)\n" leaf detail)
+          r.Trend.warnings;
+        Printf.eprintf "trend: %d leaves over %d same-schema prior run(s)\n"
+          (List.length r.Trend.rows) r.Trend.window
+  end
+
 (* ---- preconditions ---------------------------------------------------- *)
 
 let get_str doc key =
@@ -411,6 +447,7 @@ let () =
   walk [] base cur;
   check_speedup_floors cur;
   trend_summary ();
+  trend_gate ();
   if !regressions > 0 then begin
     Printf.printf "bench compare: %d regression(s)\n" !regressions;
     exit 1

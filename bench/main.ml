@@ -1101,6 +1101,82 @@ let observability_sweep () =
         (String.length exposition)
   | Error e -> Format.printf "  openmetrics exposition: INVALID (%s)@." e
 
+(* ---- Event log: pinned-window structured events ----------------------------- *)
+
+(* The gate diffs Stable event counts exactly, so the window must be a
+   pure function of the workload: clear the log and the plan cache, then
+   run a fixed sequence — two [`Auto] evaluates (the second served
+   entirely from the cache) and a small seeded campaign.  Everything the
+   window emits is Stable by construction; Runtime events (worker
+   lifecycle) fire at pool spawn and process exit, outside any window,
+   and their JSON leaf is banded regardless. *)
+
+type eventlog_measurement = {
+  ev_stable : int;
+  ev_runtime : int;
+  ev_dropped : int;
+  ev_bytes : int;
+  ev_run_id_present : bool;
+  ev_levels : (string * int) list;
+  ev_slugs : (string * int) list;
+}
+
+let eventlog_result = ref None
+
+let eventlog_sweep () =
+  section "Event log: pinned-window structured events";
+  let w = Workloads.by_name Workloads.scaled "tri" in
+  let program = (Workloads.compile w).Minic.Compile.program in
+  Telemetry.Log.clear ();
+  Pipeline.Evaluate.Plan_cache.clear ();
+  ignore
+    (Pipeline.Evaluate.evaluate ~ks:[ 4; 5 ] ~scheme:`Auto
+       ~name:w.Workloads.name program);
+  ignore
+    (Pipeline.Evaluate.evaluate ~ks:[ 4; 5 ] ~scheme:`Auto
+       ~name:w.Workloads.name program);
+  let benches = [ Workloads.by_name Workloads.scaled "sor" ] in
+  ignore
+    (Fault.Campaign.run
+       { Fault.Campaign.seed = 11; injections = 24; ks = [ 5 ]; benches });
+  let events = Telemetry.Log.events () in
+  let stable, runtime =
+    List.partition
+      (fun e -> e.Telemetry.Log.stability = Telemetry.Metrics.Stable)
+      events
+  in
+  (* serialize every line once: the byte total feeds the JSON, and the
+     parse-back proves each carries the run id (codec round-trip) *)
+  let bytes = ref 0 and with_run_id = ref 0 in
+  List.iter
+    (fun e ->
+      let line = Telemetry.Log.to_json e in
+      bytes := !bytes + String.length line + 1;
+      match Telemetry.Log.of_json line with
+      | Ok (id, _) when id <> "" -> incr with_run_id
+      | _ -> ())
+    events;
+  let m =
+    {
+      ev_stable = List.length stable;
+      ev_runtime = List.length runtime;
+      ev_dropped = Telemetry.Log.dropped ();
+      ev_bytes = !bytes;
+      ev_run_id_present = !with_run_id = List.length events;
+      ev_levels = Telemetry.Log.by_level ();
+      ev_slugs = Telemetry.Log.by_event ();
+    }
+  in
+  eventlog_result := Some m;
+  Format.printf
+    "  window: %d events (%d stable, %d runtime), %d dropped, %d bytes, \
+     run_id on all: %b@."
+    (List.length events) m.ev_stable m.ev_runtime m.ev_dropped m.ev_bytes
+    m.ev_run_id_present;
+  List.iter
+    (fun (slug, n) -> Format.printf "  %9d  %s@." n slug)
+    m.ev_slugs
+
 (* ---- Encoding-engine timings: BENCH_encoding.json ------------------------------------- *)
 
 (* Machine-readable trajectory record: ns/instruction for block encode,
@@ -1212,7 +1288,7 @@ let bench_encoding_json () =
   let oc = open_out "BENCH_encoding.json" in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"powercode-bench-encoding/7\",\n";
+  p "  \"schema\": \"powercode-bench-encoding/8\",\n";
   p "  \"mode\": \"%s\",\n" (if fast then "fast" else "full");
   (* run conditions, so a regression gate can refuse apples-to-oranges
      diffs (bench/compare.ml); cores lets the gate skip parallel speedup
@@ -1420,6 +1496,32 @@ let bench_encoding_json () =
         (Telemetry.Metrics.gauge_value Telemetry.Registry.gc_top_heap_words 0);
       p "  },\n"
   | None -> ());
+  (* schema /8: pinned-window event-log counts.  Stable counts, the level
+     and per-slug tallies and the run_id verdict are pure functions of the
+     window's workload and diff exactly; runtime_events and bytes are
+     banded (scheduling / run_id length) *)
+  (match !eventlog_result with
+  | Some e ->
+      p "  \"eventlog\": {\n";
+      p "    \"run_id_present\": %b,\n" e.ev_run_id_present;
+      p "    \"stable_events\": %d,\n" e.ev_stable;
+      p "    \"runtime_events\": %d,\n" e.ev_runtime;
+      p "    \"dropped\": %d,\n" e.ev_dropped;
+      p "    \"bytes\": %d,\n" e.ev_bytes;
+      p "    \"levels\": {";
+      List.iteri
+        (fun i (name, n) ->
+          p "%s\"%s\": %d" (if i > 0 then ", " else "") name n)
+        e.ev_levels;
+      p "},\n";
+      p "    \"events\": {";
+      List.iteri
+        (fun i (slug, n) ->
+          p "%s\"%s\": %d" (if i > 0 then ", " else "") slug n)
+        e.ev_slugs;
+      p "}\n";
+      p "  },\n"
+  | None -> ());
   p "  \"workloads\": [\n";
   List.iteri
     (fun i t ->
@@ -1498,7 +1600,7 @@ let append_history () =
     | None -> 0.0
   in
   Printf.fprintf oc
-    "{\"schema\": \"powercode-bench-encoding/7\", \"mode\": \"%s\", \
+    "{\"schema\": \"powercode-bench-encoding/8\", \"mode\": \"%s\", \
      \"powercode_seq\": %b, \"domains\": %d, \"wall_s\": %.2f, \"benches\": \
      %d, \"mean_reduction_k4_pct\": %.4f, \"mean_net_savings_k4_pct\": \
      %.4f, \"inj_per_s_d1\": %.1f, \"inj_per_s_dmax\": %.1f, \
@@ -1520,6 +1622,7 @@ let () =
     "Power Efficiency through Application-Specific Instruction Memory \
      Transformations@.(DATE 2003) -- reproduction harness@.";
   Telemetry.Metrics.set_enabled true;
+  Telemetry.Log.set_enabled true;
   fig2 ();
   fig3 ();
   fig4 ();
@@ -1546,6 +1649,7 @@ let () =
   plan_cache_sweep ();
   alloc_accounting ();
   observability_sweep ();
+  eventlog_sweep ();
   telemetry_report ();
   bench_encoding_json ();
   append_history ();

@@ -1,0 +1,69 @@
+(* Standalone trend gate over bench/history.jsonl.
+
+     dune exec bench/trend_main.exe -- [--history FILE] [--window N]
+                                       [--format md|html] [-o FILE]
+
+   Prints the report (Markdown by default) to stdout or -o FILE, a
+   one-line verdict to stderr, and exits 1 when the latest run regressed
+   against its same-schema trailing window (see trend.ml for the
+   policy).  A missing or empty history is a pass with a note — CI's
+   first run has nothing to compare against. *)
+
+let history_path = ref "bench/history.jsonl"
+let window = ref Trend.default_window
+let format = ref "md"
+let out_path = ref ""
+
+let args =
+  [
+    ("--history", Arg.Set_string history_path, "FILE append-only run log");
+    ( "--window",
+      Arg.Set_int window,
+      Printf.sprintf "N trailing same-schema runs to compare against \
+                      (default %d)" Trend.default_window );
+    ("--format", Arg.Set_string format, "md|html report format (default md)");
+    ("-o", Arg.Set_string out_path, "FILE write the report here, not stdout");
+  ]
+
+let usage = "trend_main [--history FILE] [--window N] [--format md|html] [-o FILE]"
+
+let () =
+  Arg.parse args
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    usage;
+  (match !format with
+  | "md" | "html" -> ()
+  | f ->
+      prerr_endline ("trend: unknown format " ^ f ^ " (md|html)");
+      exit 2);
+  match Trend.load_history !history_path with
+  | Error msg ->
+      Printf.eprintf "trend: no history (%s); nothing to gate\n" msg;
+      exit 0
+  | Ok (entries, skipped) ->
+      let r = Trend.analyze ~window:!window entries skipped in
+      let report =
+        if !format = "html" then Trend.to_html r else Trend.to_markdown r
+      in
+      (if !out_path = "" then print_string report
+       else
+         let oc = open_out !out_path in
+         output_string oc report;
+         close_out oc);
+      if r.Trend.regressions <> [] then begin
+        List.iter
+          (fun (leaf, detail) ->
+            Printf.eprintf "trend regression: %s (%s)\n" leaf detail)
+          r.Trend.regressions;
+        Printf.eprintf "trend: %d regression(s) over %d-run window\n"
+          (List.length r.Trend.regressions)
+          r.Trend.window;
+        exit 1
+      end
+      else begin
+        Printf.eprintf
+          "trend: OK (%d leaves, %d same-schema prior run(s), %d warning(s))\n"
+          (List.length r.Trend.rows) r.Trend.window
+          (List.length r.Trend.warnings);
+        exit 0
+      end

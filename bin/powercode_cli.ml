@@ -198,6 +198,46 @@ let with_series series ~interval_ms f =
           Format.eprintf "metrics: series appended to %s@." path)
         f
 
+let log_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable the structured event log for the run and write every \
+           event to $(docv), one JSON line each (tail or filter with \
+           $(b,powercode logs)).  Each line carries the run's run_id and, \
+           for events emitted inside a telemetry span, the span path.")
+
+(* The log starts cleared so the file covers exactly this invocation's
+   window; events drain on the way out in t_ns order.  Metrics collection
+   comes on with it — span paths on log lines read the span stack, which
+   only exists while Metrics is enabled. *)
+let with_event_log ~log_out f =
+  match log_out with
+  | None -> f ()
+  | Some path ->
+      let had_log = Telemetry.Log.enabled () in
+      let had_stats = Telemetry.Metrics.enabled () in
+      Telemetry.Log.clear ();
+      Telemetry.Log.set_enabled true;
+      Telemetry.Metrics.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          if not had_log then Telemetry.Log.set_enabled false;
+          if not had_stats then Telemetry.Metrics.set_enabled false;
+          let events = Telemetry.Log.events () in
+          let oc = open_out path in
+          List.iter
+            (fun e ->
+              output_string oc (Telemetry.Log.to_json e);
+              output_char oc '\n')
+            events;
+          close_out oc;
+          Format.eprintf "log: wrote %s (%d events, run %s)@." path
+            (List.length events) (Telemetry.Log.run_id ()))
+        f
+
 (* Enable collection whenever a live-metrics sink asks for it; on the way
    out, land the final OpenMetrics snapshot. *)
 let with_live_metrics ~metrics_out ~series ~interval_ms f =
@@ -484,10 +524,11 @@ let resolve_scheme_flag = function
                      (Buspower.Encoder.all ())))))
 
 let evaluate names scaled verify trace_out csv energy sets stats no_plan_cache
-    scheme_name metrics_out series series_interval =
+    scheme_name metrics_out series series_interval log_out =
   with_stats stats @@ fun () ->
   with_live_metrics ~metrics_out ~series ~interval_ms:series_interval
   @@ fun () ->
+  with_event_log ~log_out @@ fun () ->
   apply_plan_cache_flag no_plan_cache;
   (* --energy asks for the ledger explicitly; --stats implies the on-chip
      preset so the telemetry view comes with its energy account. *)
@@ -599,7 +640,7 @@ let evaluate_cmd =
       ret (const evaluate $ names_arg $ scaled_arg $ verify_arg
            $ trace_out_arg $ csv_arg $ energy_arg $ set_arg $ stats_arg
            $ no_plan_cache_arg $ scheme_arg $ metrics_out_arg $ series_arg
-           $ series_interval_arg))
+           $ series_interval_arg $ log_out_arg))
 
 (* ---- report -------------------------------------------------------------------- *)
 
@@ -1093,6 +1134,138 @@ let fault_cmd =
       ret (const fault $ seed_arg $ injections_arg $ ks_arg $ names_arg
            $ format_arg $ out_arg $ stats_arg $ no_plan_cache_arg))
 
+(* ---- logs --------------------------------------------------------------------- *)
+
+(* Filter/tail a JSONL event-log file ([evaluate --log-out], bench runs).
+   Matching lines are reprinted verbatim — the output is itself a valid
+   event log, so filters compose through pipes or repeated invocation. *)
+let logs path min_level event_prefix span_prefix tail =
+  let min_rank =
+    match Telemetry.Log.level_of_name min_level with
+    | Some l ->
+        Ok
+          (match l with
+          | Telemetry.Log.Debug -> 0
+          | Telemetry.Log.Info -> 1
+          | Telemetry.Log.Warn -> 2
+          | Telemetry.Log.Error -> 3)
+    | None ->
+        Error
+          (Printf.sprintf "unknown level %s (debug|info|warn|error)" min_level)
+  in
+  match min_rank with
+  | Error msg -> `Error (false, msg)
+  | Ok min_rank ->
+      let rank e =
+        match e.Telemetry.Log.level with
+        | Telemetry.Log.Debug -> 0
+        | Telemetry.Log.Info -> 1
+        | Telemetry.Log.Warn -> 2
+        | Telemetry.Log.Error -> 3
+      in
+      let starts_with ~prefix s =
+        String.length s >= String.length prefix
+        && String.sub s 0 (String.length prefix) = prefix
+      in
+      let ic = open_in path in
+      let keep = ref [] and bad = ref 0 and total = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then begin
+             incr total;
+             match Telemetry.Log.of_json line with
+             | Error _ -> incr bad
+             | Ok (_, e) ->
+                 let matches =
+                   rank e >= min_rank
+                   && (match event_prefix with
+                      | None -> true
+                      | Some p -> starts_with ~prefix:p e.Telemetry.Log.event)
+                   &&
+                   match span_prefix with
+                   | None -> true
+                   | Some p -> (
+                       match e.Telemetry.Log.span with
+                       | Some s -> starts_with ~prefix:p s
+                       | None -> false)
+                 in
+                 if matches then keep := line :: !keep
+           end
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let kept = List.rev !keep in
+      let kept =
+        match tail with
+        | None -> kept
+        | Some n ->
+            let len = List.length kept in
+            if len <= n then kept
+            else List.filteri (fun i _ -> i >= len - n) kept
+      in
+      List.iter print_endline kept;
+      if !bad > 0 then
+        Format.eprintf "logs: %d of %d line(s) failed to parse (skipped)@."
+          !bad !total;
+      `Ok ()
+
+let logs_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Event-log JSONL file (from $(b,evaluate --log-out)).")
+  in
+  let level_arg =
+    Arg.(
+      value & opt string "debug"
+      & info [ "level" ] ~docv:"LEVEL"
+          ~doc:"Minimum level to keep: debug (default), info, warn, error.")
+  in
+  let event_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "event" ] ~docv:"PREFIX"
+          ~doc:
+            "Keep only events whose slug starts with $(docv) (e.g. \
+             $(b,plan.) or $(b,scheme.region)).")
+  in
+  let span_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "span" ] ~docv:"PREFIX"
+          ~doc:
+            "Keep only events emitted inside a span whose path starts \
+             with $(docv) (e.g. $(b,pipeline.evaluate/)); events outside \
+             any span never match.")
+  in
+  let tail_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tail" ] ~docv:"N" ~doc:"Print only the last $(docv) matches.")
+  in
+  Cmd.v
+    (Cmd.info "logs"
+       ~doc:"Tail/filter a structured event-log JSONL file"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Reads a JSONL event log written by $(b,evaluate --log-out) \
+              (or the bench harness), filters by minimum level, event-slug \
+              prefix and span-path prefix, and reprints the matching lines \
+              verbatim — every line keeps its run_id, so records from \
+              different runs stay distinguishable after any amount of \
+              filtering.  See EXPERIMENTS.md, 'Reading the event log'.";
+         ])
+    Term.(
+      ret (const logs $ file_arg $ level_arg $ event_arg $ span_arg $ tail_arg))
+
 (* ---- disasm ------------------------------------------------------------------- *)
 
 let disasm path =
@@ -1146,5 +1319,5 @@ let () =
           [
             tables_cmd; subset_cmd; encode_cmd; restore_cmd; simulate_cmd;
             evaluate_cmd; report_cmd; trace_cmd; profile_cmd; stats_cmd;
-            fault_cmd; disasm_cmd; cost_cmd;
+            fault_cmd; logs_cmd; disasm_cmd; cost_cmd;
           ]))

@@ -1,5 +1,6 @@
 module Metrics = Telemetry.Metrics
 module Tel = Telemetry.Registry
+module Log = Telemetry.Log
 
 let sequential_mode () = Sys.getenv_opt "POWERCODE_SEQ" = Some "1"
 
@@ -77,7 +78,15 @@ let run_chunk pool job thunk =
 
 let rec worker_loop pool =
   (* entered with [pool.mutex] held *)
-  if pool.stop then Mutex.unlock pool.mutex
+  if pool.stop then begin
+    Mutex.unlock pool.mutex;
+    (* Runtime stability: exit order depends on scheduling, and the pool
+       only stops at process exit, so the event never lands in a bench
+       window. *)
+    if Log.enabled () then
+      Log.debug ~stability:Metrics.Runtime "parpool.worker_exit"
+        [ ("slot", Log.Int (Domain.DLS.get pool_slot)) ]
+  end
   else
     match pool.queue with
     | (job, thunk) :: rest ->
@@ -121,6 +130,9 @@ let spawn_worker pool slot =
   Domain.spawn (fun () ->
       Domain.DLS.set in_worker_domain true;
       Domain.DLS.set pool_slot slot;
+      if Log.enabled () then
+        Log.debug ~stability:Metrics.Runtime "parpool.worker_start"
+          [ ("slot", Log.Int slot) ];
       Mutex.lock pool.mutex;
       worker_loop pool)
 

@@ -233,13 +233,28 @@ let inject_target ~id (pair : pair) target =
     | exception Machine.Memory.Fault _ -> Trap { cause = "memory-fault" }
     | exception Invalid_argument _ -> Trap { cause = "machine-abort" }
   in
-  {
-    id;
-    bench = pair.pair_bench;
-    k = pair.pair_k;
-    target = Model.label target;
-    outcome;
-  }
+  let record =
+    {
+      id;
+      bench = pair.pair_bench;
+      k = pair.pair_k;
+      target = Model.label target;
+      outcome;
+    }
+  in
+  (* One event per injection.  The classification is a pure function of
+     the seed, so the event is Stable: the seq-vs-parallel multisets match
+     even though injections fan out over the pool. *)
+  if Telemetry.Log.enabled () then
+    Telemetry.Log.info "fault.injection"
+      [
+        ("id", Telemetry.Log.Int record.id);
+        ("bench", Telemetry.Log.Str record.bench);
+        ("k", Telemetry.Log.Int record.k);
+        ("target", Telemetry.Log.Str record.target);
+        ("class", Telemetry.Log.Str (outcome_class record.outcome));
+      ];
+  record
 
 let run config =
   if config.injections < 0 then

@@ -1,5 +1,6 @@
 module Metrics = Telemetry.Metrics
 module Tel = Telemetry.Registry
+module Log = Telemetry.Log
 
 type encoded_run = {
   k : int;
@@ -156,6 +157,13 @@ let context ?subset_mask ?(selection = `Hot_blocks) program =
           hot_blocks
   in
   let candidates = List.map (candidate_of_block words profile) selected_blocks in
+  if Log.enabled () then
+    Log.info "pipeline.phase"
+      [
+        ("phase", Log.Str "profile");
+        ("hot_blocks", Log.Int (List.length hot_blocks));
+        ("candidates", Log.Int (List.length candidates));
+      ];
   (* the hardware's gate set must match the subset the encoder drew from *)
   let functions = Array.of_list (Powercode.Boolfun.list_of_mask subset_mask) in
   let bbit_capacity = max 16 (List.length candidates) in
@@ -172,18 +180,28 @@ type prepared = {
 let plan_only ~tt_capacity ~optimal_chain ctx ks =
   Metrics.with_span Tel.span_plan @@ fun () ->
   gc_phase gc_plan_phase @@ fun () ->
-  List.map
-    (fun k ->
-      let config =
-        {
-          Powercode.Program_encoder.k;
-          subset_mask = ctx.subset_mask;
-          tt_capacity;
-          optimal_chain;
-        }
-      in
-      (k, Powercode.Program_encoder.plan config ctx.candidates))
-    ks
+  let plans =
+    List.map
+      (fun k ->
+        let config =
+          {
+            Powercode.Program_encoder.k;
+            subset_mask = ctx.subset_mask;
+            tt_capacity;
+            optimal_chain;
+          }
+        in
+        (k, Powercode.Program_encoder.plan config ctx.candidates))
+      ks
+  in
+  if Log.enabled () then
+    Log.info "pipeline.phase"
+      [
+        ("phase", Log.Str "plan");
+        ("ks", Log.Str (String.concat "," (List.map string_of_int ks)));
+        ("plans", Log.Int (List.length plans));
+      ];
+  plans
 
 (* Content-addressed cache of the expensive front half (profile + plan).
    The cached context and plans are immutable once built: decode systems
@@ -265,6 +283,9 @@ module Plan_cache = struct
 
   let stats () = (!hit_count, !miss_count)
 
+  (* the FNV fingerprint, printed the way log events and humans compare *)
+  let key_hex hash = Printf.sprintf "%016x" hash
+
   let find hash key =
     Mutex.lock mutex;
     Fun.protect
@@ -278,12 +299,16 @@ module Plan_cache = struct
         | Some e ->
             incr hit_count;
             Metrics.incr Tel.plan_cache_hits;
+            if Log.enabled () then
+              Log.debug "plan.cache_hit" [ ("key", Log.Str (key_hex hash)) ];
             (* move-to-front: the list doubles as LRU order *)
             entries := e :: List.filter (fun e' -> e' != e) !entries;
             Some (e.ctx, e.plans)
         | None ->
             incr miss_count;
             Metrics.incr Tel.plan_cache_misses;
+            if Log.enabled () then
+              Log.debug "plan.cache_miss" [ ("key", Log.Str (key_hex hash)) ];
             None)
 
   let insert hash key ctx plans =
@@ -426,7 +451,9 @@ type auto_state = {
    non-incumbent schemes), per-fetch side-table reads, and the one-time
    table programming.  Deterministic: ties and near-ties keep TT, and
    among alternatives the first strictly-better backend in registration
-   order wins. *)
+   order wins.  Returns the winner (None = keep TT) together with every
+   candidate's score, TT first — the event log records the full slate so
+   a choice can be audited without rescoring. *)
 let choose_backend ~alts ~model ~per_t ~words (rg : region) =
   let fl = float_of_int in
   let w = fl rg.rg_weight in
@@ -436,6 +463,7 @@ let choose_backend ~alts ~model ~per_t ~words (rg : region) =
   in
   let body = Array.sub words rg.rg_start rg.rg_len in
   let best = ref None and best_score = ref tt_score in
+  let scores = ref [ ("tt", tt_score) ] in
   List.iter
     (fun b ->
       let module B = (val b : Buspower.Encoder.S) in
@@ -449,12 +477,13 @@ let choose_backend ~alts ~model ~per_t ~words (rg : region) =
         +. (fl ((c.Buspower.Encoder.table_bits + 31) / 32)
            *. model.Ledger.Model.table_write_j)
       in
+      scores := (B.scheme, score) :: !scores;
       if score < !best_score then begin
         best := Some b;
         best_score := score
       end)
     alts;
-  !best
+  (!best, List.rev !scores)
 
 let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
     ?(optimal_chain = false) ?(selection = `Hot_blocks) ?(scheme = `Tt)
@@ -589,11 +618,46 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
     match scheme_alts with
     | None -> None
     | Some sel ->
-        let pick rg =
+        (* one event per region: the scored slate, the winner, and whether
+           the choice was forced rather than scored *)
+        let region_event ~k ~forced rg winner scores =
+          Log.info "scheme.region"
+            ([
+               ("k", Log.Int k);
+               ("start", Log.Int rg.rg_start);
+               ("len", Log.Int rg.rg_len);
+               ("weight", Log.Int rg.rg_weight);
+               ("winner", Log.Str winner);
+               ("forced", Log.Bool forced);
+             ]
+            @ List.map (fun (s, v) -> ("cost_" ^ s, Log.Float v)) scores)
+        in
+        let pick ~k rg =
           match sel with
-          | `Force b -> Some b
+          | `Force b ->
+              if Log.enabled () then begin
+                let module B = (val b : Buspower.Encoder.S) in
+                region_event ~k ~forced:true rg B.scheme []
+              end;
+              Some b
           | `Choose alts ->
-              choose_backend ~alts ~model:scoring_model ~per_t ~words rg
+              let winner, scores =
+                choose_backend ~alts ~model:scoring_model ~per_t ~words rg
+              in
+              if Log.enabled () then begin
+                let name =
+                  match winner with
+                  | None -> "tt"
+                  | Some b ->
+                      let module B = (val b : Buspower.Encoder.S) in
+                      B.scheme
+                in
+                region_event ~k ~forced:false rg name scores
+              end;
+              winner
+        in
+        let k_of_image =
+          Array.of_list (List.map (fun (k, _, _) -> k) systems)
         in
         let region_of_pc =
           Array.map
@@ -610,12 +674,12 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
             regions
         in
         let alt_of_region =
-          Array.map
-            (fun rgs ->
+          Array.mapi
+            (fun v rgs ->
               Array.of_list
                 (List.map
                    (fun rg ->
-                     match pick rg with
+                     match pick ~k:k_of_image.(v) rg with
                      | None -> None
                      | Some b ->
                          let module B = (val b : Buspower.Encoder.S) in
@@ -746,6 +810,13 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
   in
   Metrics.add Tel.pipeline_fetches result.Machine.Cpu.instructions;
   Metrics.add Tel.pipeline_images nimg;
+  if Log.enabled () then
+    Log.info "pipeline.phase"
+      [
+        ("phase", Log.Str "count");
+        ("instructions", Log.Int result.Machine.Cpu.instructions);
+        ("images", Log.Int nimg);
+      ];
   let runs =
     List.mapi
       (fun v (k, plan, _system) ->
@@ -811,6 +882,14 @@ let evaluate ?(ks = [ 4; 5; 6; 7 ]) ?(tt_capacity = 16) ?subset_mask
               (match scheme with `Auto -> true | `Tt | `Fixed _ -> false)
               && auto_energy_j > tt_energy_j
             in
+            if Log.enabled () then
+              Log.info "scheme.commit"
+                [
+                  ("k", Log.Int k);
+                  ("auto_energy_j", Log.Float auto_energy_j);
+                  ("tt_energy_j", Log.Float tt_energy_j);
+                  ("reverted", Log.Bool reverted);
+                ];
             let choice_of ri rg =
               let rc_scheme =
                 if reverted then "tt"

@@ -186,6 +186,13 @@ let stack_key : string list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
 
 let now_ns () = Unix.gettimeofday () *. 1e9
 
+(* The calling domain's innermost open span path, if any.  The event log
+   stamps this onto every line emitted inside a span so logs, span stats
+   and exported profiles cross-reference by path.  The stack is only
+   maintained while collection is enabled, so this is [None] otherwise. *)
+let current_span_path () =
+  match Domain.DLS.get stack_key with [] -> None | path :: _ -> Some path
+
 let record_span path elapsed =
   Mutex.lock span_mutex;
   (match Hashtbl.find_opt span_table path with

@@ -123,6 +123,13 @@ val with_span : span -> (unit -> 'a) -> 'a
     must time non-lexical extents (e.g. pool idle waits). *)
 val now_ns : unit -> float
 
+(** [current_span_path ()] is the calling domain's innermost open span
+    path ([parent/child/...]), or [None] outside any span.  The span stack
+    is only maintained while collection is {!enabled}; the event log
+    ({!Log}) stamps this onto lines emitted inside spans so logs and span
+    stats cross-reference by path. *)
+val current_span_path : unit -> string option
+
 (** {1 Freeze-to-record}
 
     [freeze] snapshots every registered metric into an immutable record;

@@ -124,9 +124,13 @@ let valid_label s =
   && String.for_all (fun c -> is_label_start c || (c >= '0' && c <= '9')) s
 
 (* Parse [{k="v",...}] starting at [pos] (which must point at '{');
-   returns the position just past '}' or an error string. *)
+   returns the position just past '}' or an error string.  Label names
+   must be unique within one set (per the exposition format) — an
+   unescaped quote inside a value is exactly what smuggles a phantom
+   second label past a laxer parser. *)
 let parse_labelset line pos =
   let len = String.length line in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 4 in
   let rec labels pos first =
     if pos >= len then Error "unterminated label set"
     else if line.[pos] = '}' then Ok (pos + 1)
@@ -149,11 +153,14 @@ let parse_labelset line pos =
         let lname = String.sub line n0 (ne - n0) in
         if not (valid_label lname) then
           Error (Printf.sprintf "bad label name %S" lname)
+        else if Hashtbl.mem seen lname then
+          Error (Printf.sprintf "duplicate label name %S" lname)
         else if ne >= len || line.[ne] <> '=' then
           Error "expected '=' after label name"
         else if ne + 1 >= len || line.[ne + 1] <> '"' then
           Error "label value must be double-quoted"
         else begin
+          Hashtbl.add seen lname ();
           (* quoted value; backslash, quote and newline escapes *)
           let rec value i =
             if i >= len then Error "unterminated label value"

@@ -8,6 +8,7 @@
 
 type t = {
   stop_flag : bool Atomic.t;
+  joined : bool Atomic.t;
   emitted : int Atomic.t;
   domain : unit Domain.t;
 }
@@ -46,10 +47,13 @@ let start ?(interval_s = 1.0) ~sink () =
         done;
         emit !seq)
   in
-  { stop_flag; emitted; domain }
+  { stop_flag; joined = Atomic.make false; emitted; domain }
 
+(* Idempotent: exactly one caller wins the join (and with it the final
+   sample already emitted by the loop); later calls are no-ops instead of
+   a second Domain.join raising or a double-emitted endpoint. *)
 let stop t =
   Atomic.set t.stop_flag true;
-  Domain.join t.domain
+  if Atomic.compare_and_set t.joined false true then Domain.join t.domain
 
 let samples t = Atomic.get t.emitted

@@ -21,7 +21,8 @@ val start : ?interval_s:float -> sink:(string -> unit) -> unit -> t
 
 (** [stop t] requests the final sample and joins the sampler domain.
     Stop latency is bounded by the polling slice (≤ 10 ms), not the
-    interval. *)
+    interval.  Idempotent: a second call is a no-op — it neither raises
+    nor emits another final sample. *)
 val stop : t -> unit
 
 (** [samples t] is the number of lines emitted so far. *)

@@ -9,7 +9,7 @@ domain-count notes).
   $ POWERCODE_FAST=1 ../bench/main.exe > /dev/null
 
   $ ../bench/compare.exe --baseline ../bench/baseline.json --time-band 100000 2> /dev/null
-  bench compare: OK (exact=4862 banded=53, time band +/-100000%)
+  bench compare: OK (exact=4875 banded=55, time band +/-100000%)
 
 A single flipped transition count anywhere is a regression (exit 1), and
 the offending path is named:
@@ -78,7 +78,7 @@ count and the sweep rates to exercise both verdicts):
   >   BENCH_encoding.json > fastsweep.json
 
   $ ../bench/compare.exe --baseline ../bench/baseline.json --current fastsweep.json --time-band 100000 2> /dev/null
-  bench compare: OK (exact=4862 banded=53, time band +/-100000%)
+  bench compare: OK (exact=4875 banded=55, time band +/-100000%)
 
 Runs made under different settings are refused outright (exit 2), never
 silently diffed:
@@ -124,4 +124,47 @@ only the header line is pinned here:
 A short or missing history is silently skipped, never an error:
 
   $ ../bench/compare.exe --baseline ../bench/baseline.json --history nohistory.jsonl --time-band 100000 2> /dev/null
-  bench compare: OK (exact=4862 banded=53, time band +/-100000%)
+  bench compare: OK (exact=4875 banded=55, time band +/-100000%)
+
+The trend gate reads the same history log.  A synthetic window whose
+last entry drops throughput 3x must trip the per-leaf ratio limit
+(2.5x for injection rates); the same window without the drop passes.
+The detail lines carry numbers, so only exit codes and the regression
+names on stdout are pinned (compare emits the leaf name alone there):
+
+  $ for i in 100 101 99 100; do
+  >   printf '{"schema":"powercode-bench-encoding/8","mode":"fast","powercode_seq":false,"domains":1,"benches":9,"wall_s":30.0,"mean_reduction_k4_pct":32.06,"mean_net_savings_k4_pct":11.07,"inj_per_s_d1":%s.0,"inj_per_s_dmax":%s.0,"bits_per_s_d1":60000000.0,"bits_per_s_dmax":60000000.0,"plan_warm_speedup":2.0}\n' "$i" "$i"
+  > done > synth.jsonl
+  $ cp synth.jsonl regress.jsonl
+  $ printf '{"schema":"powercode-bench-encoding/8","mode":"fast","powercode_seq":false,"domains":1,"benches":9,"wall_s":30.0,"mean_reduction_k4_pct":32.06,"mean_net_savings_k4_pct":11.07,"inj_per_s_d1":33.0,"inj_per_s_dmax":33.0,"bits_per_s_d1":60000000.0,"bits_per_s_dmax":60000000.0,"plan_warm_speedup":2.0}\n' >> regress.jsonl
+  $ printf '{"schema":"powercode-bench-encoding/8","mode":"fast","powercode_seq":false,"domains":1,"benches":9,"wall_s":30.0,"mean_reduction_k4_pct":32.06,"mean_net_savings_k4_pct":11.07,"inj_per_s_d1":100.0,"inj_per_s_dmax":100.0,"bits_per_s_d1":60000000.0,"bits_per_s_dmax":60000000.0,"plan_warm_speedup":2.0}\n' >> synth.jsonl
+
+  $ ../bench/trend_main.exe --history synth.jsonl -o trend.md 2> /dev/null
+
+  $ ../bench/trend_main.exe --history regress.jsonl -o trend.md 2> /dev/null
+  [1]
+
+  $ grep -c REGRESSION trend.md
+  2
+
+Standalone runs also write the self-contained HTML report:
+
+  $ ../bench/trend_main.exe --history regress.jsonl --format html -o trend.html 2> /dev/null
+  [1]
+  $ head -1 trend.html
+  <!DOCTYPE html>
+
+A missing history is a note, never a failure (first CI run):
+
+  $ ../bench/trend_main.exe --history nohistory.jsonl 2> /dev/null
+
+`compare.exe --trend` folds the same verdict into the bench gate:
+
+  $ ../bench/compare.exe --baseline ../bench/baseline.json --history regress.jsonl --trend --time-band 100000 2> /dev/null
+  trend regression: inj_per_s_d1
+  trend regression: inj_per_s_dmax
+  bench compare: 2 regression(s)
+  [1]
+
+  $ ../bench/compare.exe --baseline ../bench/baseline.json --history synth.jsonl --trend --time-band 100000 2> /dev/null
+  bench compare: OK (exact=4875 banded=55, time band +/-100000%)

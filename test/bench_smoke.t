@@ -6,7 +6,7 @@ spans recorded) without depending on any timing value.
   $ POWERCODE_FAST=1 ../bench/main.exe > /dev/null
 
   $ jq -r '.schema' BENCH_encoding.json
-  powercode-bench-encoding/7
+  powercode-bench-encoding/8
 
   $ jq -r '.mode' BENCH_encoding.json
   fast
@@ -17,6 +17,7 @@ spans recorded) without depending on any timing value.
   block_size_k
   chain_encode_256
   evaluations
+  eventlog
   ledger
   mode
   observability
@@ -181,7 +182,7 @@ the repository it lands in bench/, which is gitignored):
   1
 
   $ jq -r '.schema' history.jsonl
-  powercode-bench-encoding/7
+  powercode-bench-encoding/8
 
   $ jq -r '.benches' history.jsonl
   9
@@ -237,6 +238,38 @@ are pinned here, the numeric figures are banded by the gate:
   true
 
   $ jq -r '.observability.heap.top_heap_words >= .observability.heap.heap_words' BENCH_encoding.json
+  true
+
+The eventlog section (schema /8) measures a pinned window — a cold and a
+warm `Auto evaluate plus a small seeded fault campaign, over a cleared
+log and plan cache — so the Stable event counts are exact while bytes and
+any Runtime events stay banded:
+
+  $ jq -r '.eventlog | keys | sort | .[]' BENCH_encoding.json
+  bytes
+  dropped
+  events
+  levels
+  run_id_present
+  runtime_events
+  stable_events
+
+  $ jq -r '.eventlog.run_id_present, .eventlog.dropped' BENCH_encoding.json
+  true
+  0
+
+  $ jq -r '.eventlog.events | to_entries | sort_by(.key) | .[] | "\(.key) \(.value)"' BENCH_encoding.json
+  fault.injection 24
+  pipeline.phase 6
+  plan.cache_hit 1
+  plan.cache_miss 2
+  scheme.commit 4
+  scheme.region 20
+
+  $ jq -r '.eventlog.levels.error + .eventlog.levels.warn' BENCH_encoding.json
+  0
+
+  $ jq -r '.eventlog.bytes > 0' BENCH_encoding.json
   true
 
 Telemetry must actually have recorded the encoding work; schema /7 embeds

@@ -65,3 +65,44 @@ The validator rejects malformed expositions (sample without TYPE):
   $ ../bin/powercode_cli.exe stats validate bad.om
   powercode: bad.om: line 1: sample powercode_bogus has no preceding TYPE
   [124]
+
+`evaluate --log-out` drains the structured event log to JSONL.  The
+Stable event sequence of a sequential evaluate is deterministic; every
+line carries the single run id, and lines emitted inside spans carry the
+span path (the run-id note on stderr is machine-dependent, so dropped):
+
+  $ ../bin/powercode_cli.exe evaluate tri --scaled --log-out events.jsonl > /dev/null 2> /dev/null
+
+  $ jq -r '.event' events.jsonl
+  plan.cache_miss
+  pipeline.phase
+  pipeline.phase
+  pipeline.phase
+
+  $ jq -r '.run_id' events.jsonl | sort -u | wc -l | tr -d ' '
+  1
+
+  $ jq -r 'select(.event == "pipeline.phase") | .fields.phase' events.jsonl
+  profile
+  plan
+  count
+
+  $ jq -r '.span // "none"' events.jsonl | sort -u
+  pipeline.evaluate
+  pipeline.evaluate/pipeline.plan
+
+`powercode logs` tails and filters the file by minimum level, event
+prefix and span prefix, reprinting matching lines verbatim:
+
+  $ ../bin/powercode_cli.exe logs events.jsonl --event pipeline | jq -r '.event' | sort -u
+  pipeline.phase
+
+  $ ../bin/powercode_cli.exe logs events.jsonl --level info | wc -l | tr -d ' '
+  3
+
+  $ ../bin/powercode_cli.exe logs events.jsonl --span pipeline.evaluate/pipeline.plan | jq -r '.fields.phase'
+  plan
+
+  $ ../bin/powercode_cli.exe logs events.jsonl --tail 2 | jq -r '.fields.phase'
+  plan
+  count

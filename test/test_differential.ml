@@ -113,6 +113,13 @@ let test_stable_totals_match_under_sampler () =
     counters_par;
   Alcotest.check histograms_t "stable histogram totals under sampler"
     histograms_seq histograms_par;
+  (* the corpus can finish inside the first sampling interval on a fast
+     machine; wait (bounded) for one tick so the liveness guard is about
+     the sampler running, not about scheduling luck *)
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  while Atomic.get sampled < 1 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.002
+  done;
   Alcotest.(check bool) "sampler actually sampled" true (Atomic.get sampled >= 1)
 
 let test_stable_totals_are_live () =
@@ -137,6 +144,77 @@ let test_stable_totals_are_live () =
     (total "chain.code_blocks")
     observed
 
+(* ---- structured event log --------------------------------------------- *)
+
+module Log = Telemetry.Log
+
+(* One pinned pipeline+campaign window (the same shape the bench's
+   eventlog section measures); returns the multiset of Stable event keys.
+   stable_key excludes t_ns/domain/seq, so worker scheduling must not
+   show — Runtime events (pool lifecycle) are filtered by their class,
+   exactly as Runtime metrics are above. *)
+let run_logged_window () =
+  Log.clear ();
+  Pipeline.Evaluate.Plan_cache.clear ();
+  let w = Workloads.by_name Workloads.scaled "tri" in
+  let program = (Workloads.compile w).Minic.Compile.program in
+  ignore
+    (Pipeline.Evaluate.evaluate ~ks:[ 4; 5 ] ~scheme:`Auto
+       ~name:w.Workloads.name program);
+  let benches = [ Workloads.by_name Workloads.scaled "sor" ] in
+  ignore
+    (Fault.Campaign.run
+       { Fault.Campaign.seed = 3; injections = 16; ks = [ 5 ]; benches });
+  let stable =
+    List.filter (fun e -> e.Log.stability = Metrics.Stable) (Log.events ())
+  in
+  List.sort compare (List.map Log.stable_key stable)
+
+let with_log f =
+  Log.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_enabled false;
+      Log.clear ())
+    f
+
+let test_stable_log_events_match () =
+  with_telemetry @@ fun () ->
+  with_log @@ fun () ->
+  force_sequential true;
+  let seq = run_logged_window () in
+  force_sequential false;
+  let par = run_logged_window () in
+  Alcotest.(check bool) "window emitted events" true (List.length seq > 0);
+  Alcotest.(check (list string)) "stable event multisets" seq par
+
+let test_log_lines_correlate () =
+  (* acceptance pins for the event schema: every serialized line carries
+     this run's run_id, and every span path on a line names a span that
+     exists in the frozen telemetry record *)
+  with_telemetry @@ fun () ->
+  with_log @@ fun () ->
+  force_sequential false;
+  ignore (run_logged_window ());
+  let events = Log.events () in
+  let frozen_paths = List.map fst (Metrics.freeze ()).Metrics.spans in
+  let spanned = ref 0 in
+  List.iter
+    (fun e ->
+      (match Log.of_json (Log.to_json e) with
+      | Ok (id, _) ->
+          Alcotest.(check string) "line carries the run id" (Log.run_id ()) id
+      | Error msg -> Alcotest.failf "emitted line failed to parse: %s" msg);
+      match e.Log.span with
+      | None -> ()
+      | Some p ->
+          incr spanned;
+          Alcotest.(check bool)
+            (Printf.sprintf "span %s exists in frozen record" p)
+            true (List.mem p frozen_paths))
+    events;
+  Alcotest.(check bool) "some events carried span paths" true (!spanned > 0)
+
 let () =
   Alcotest.run "differential"
     [
@@ -148,5 +226,9 @@ let () =
             test_stable_totals_are_live;
           Alcotest.test_case "stable totals match with the sampler running"
             `Quick test_stable_totals_match_under_sampler;
+          Alcotest.test_case "stable log event multisets match" `Quick
+            test_stable_log_events_match;
+          Alcotest.test_case "log lines carry run id and live span paths"
+            `Quick test_log_lines_correlate;
         ] );
     ]

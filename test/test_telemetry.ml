@@ -398,6 +398,23 @@ let test_sampler_periodic_and_nondestructive () =
   Alcotest.(check int) "freeze is non-destructive: totals survive sampling" 5
     (Metrics.counter_total Tel.cpu_instructions)
 
+let test_sampler_stop_idempotent () =
+  with_clean_telemetry @@ fun () ->
+  let n = Atomic.make 0 in
+  let s =
+    Telemetry.Sampler.start ~interval_s:1.0
+      ~sink:(fun _ -> Atomic.incr n)
+      ()
+  in
+  Telemetry.Sampler.stop s;
+  let after_first = Atomic.get n in
+  Alcotest.(check bool) "endpoints landed" true (after_first >= 2);
+  (* second stop: no raise, no extra final sample *)
+  Telemetry.Sampler.stop s;
+  Alcotest.(check int) "second stop emits nothing" after_first (Atomic.get n);
+  Alcotest.(check int) "samples count settled" after_first
+    (Telemetry.Sampler.samples s)
+
 (* ---- OpenMetrics exposition ------------------------------------------- *)
 
 let test_openmetrics_roundtrip () =
@@ -449,8 +466,216 @@ let test_openmetrics_validator_rejects () =
     "# TYPE powercode_x gauge\npowercode_x{slot=\"a} 1\n# EOF\n";
   check_error "duplicate TYPE"
     "# TYPE powercode_x counter\n# TYPE powercode_x counter\n# EOF\n";
+  (* an unescaped quote inside a value smuggles a phantom second label
+     past a laxer parser; both the raw form and the duplicate it fakes
+     must be rejected *)
+  check_error "unescaped quote in label value"
+    "# TYPE powercode_x gauge\npowercode_x{slot=\"a\"b\"} 1\n# EOF\n";
+  check_error "duplicate label name"
+    "# TYPE powercode_x gauge\npowercode_x{a=\"1\",a=\"2\"} 1\n# EOF\n";
+  check_error "unknown escape in label value"
+    "# TYPE powercode_x gauge\npowercode_x{slot=\"a\\q\"} 1\n# EOF\n";
   Alcotest.(check bool) "minimal valid doc accepted" true
     (Telemetry.Openmetrics.validate "# EOF\n" = Ok ())
+
+(* Pinned hostile-label escaping: a gauge slot label carrying the three
+   exposition-format specials (backslash, double quote, newline) must
+   export escaped, and the escaped form must pass the validator.  Built
+   from a frozen record directly — registering a throwaway gauge would
+   break the schema pin above (one process, one registry). *)
+let test_openmetrics_hostile_label () =
+  let hostile = "he\"llo\\wor\nld" in
+  let f =
+    {
+      Metrics.counters = [];
+      histograms = [];
+      gauges = [ ("hostile.gauge", Metrics.Runtime, [ (hostile, 3) ]) ];
+      spans = [];
+    }
+  in
+  let text = Telemetry.Openmetrics.to_string f in
+  let expected = "powercode_hostile_gauge{slot=\"he\\\"llo\\\\wor\\nld\"} 3" in
+  let contains sub =
+    let n = String.length sub and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "escaped sample line pinned" true (contains expected);
+  Alcotest.(check bool) "raw quote never reaches the wire" false
+    (contains "slot=\"he\"");
+  match Telemetry.Openmetrics.validate text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "hostile label rejected: %s" e
+
+(* ---- event log --------------------------------------------------------- *)
+
+module Log = Telemetry.Log
+
+let with_clean_log f =
+  Log.clear ();
+  Log.set_enabled true;
+  Log.set_level Log.Debug;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_enabled false;
+      Log.set_level Log.Debug;
+      Log.clear ())
+    f
+
+let test_log_disabled_is_noop () =
+  Log.clear ();
+  Log.set_enabled false;
+  Log.info "test.event" [ ("x", Log.Int 1) ];
+  Alcotest.(check int) "nothing emitted" 0 (Log.emitted ());
+  Alcotest.(check int) "nothing retained" 0 (List.length (Log.events ()))
+
+let test_log_level_filter () =
+  with_clean_log @@ fun () ->
+  Log.set_level Log.Warn;
+  Log.debug "test.d" [];
+  Log.info "test.i" [];
+  Log.warn "test.w" [];
+  Log.error "test.e" [];
+  Alcotest.(check int) "only warn+error pass" 2 (Log.emitted ());
+  Alcotest.(check (list (pair string int)))
+    "per-level counts"
+    [ ("debug", 0); ("error", 1); ("info", 0); ("warn", 1) ]
+    (Log.by_level ());
+  Alcotest.(check (list (pair string int)))
+    "per-slug counts" [ ("test.e", 1); ("test.w", 1) ] (Log.by_event ())
+
+let test_log_ring_bound_and_drop () =
+  with_clean_log @@ fun () ->
+  Log.set_capacity 4;
+  Fun.protect ~finally:(fun () -> Log.set_capacity 8192) @@ fun () ->
+  for i = 1 to 6 do
+    Log.info "test.tick" [ ("i", Log.Int i) ]
+  done;
+  Alcotest.(check int) "ring keeps the newest capacity" 4
+    (List.length (Log.events ()));
+  Alcotest.(check int) "overwrites counted as drops" 2 (Log.dropped ());
+  Alcotest.(check int) "cumulative count survives eviction" 6 (Log.emitted ());
+  let kept =
+    List.filter_map
+      (fun e ->
+        match e.Log.fields with [ ("i", Log.Int i) ] -> Some i | _ -> None)
+      (Log.events ())
+  in
+  Alcotest.(check (list int)) "oldest evicted first" [ 3; 4; 5; 6 ] kept
+
+let test_log_span_correlation () =
+  with_clean_telemetry @@ fun () ->
+  with_clean_log @@ fun () ->
+  Log.info "test.outside" [];
+  Metrics.with_span Tel.span_evaluate (fun () ->
+      Log.info "test.outer" [];
+      Metrics.with_span Tel.span_profile (fun () -> Log.info "test.inner" []));
+  let span_of name =
+    let e = List.find (fun e -> e.Log.event = name) (Log.events ()) in
+    e.Log.span
+  in
+  Alcotest.(check (option string)) "outside any span" None
+    (span_of "test.outside");
+  Alcotest.(check (option string))
+    "outer path" (Some "pipeline.evaluate") (span_of "test.outer");
+  Alcotest.(check (option string))
+    "nested path"
+    (Some "pipeline.evaluate/pipeline.profile")
+    (span_of "test.inner");
+  (* the span path on a log line must exist in the frozen record, so the
+     two observability views correlate *)
+  let frozen_paths = List.map fst (Metrics.freeze ()).Metrics.spans in
+  List.iter
+    (fun e ->
+      match e.Log.span with
+      | None -> ()
+      | Some p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "span %s exists in frozen record" p)
+            true (List.mem p frozen_paths))
+    (Log.events ())
+
+let test_log_json_line_shape () =
+  with_clean_log @@ fun () ->
+  Log.set_run_id "rtest000000001";
+  Log.warn "test.shape"
+    [
+      ("i", Log.Int (-3)); ("f", Log.Float 1.5); ("s", Log.Str "a\"b\\c\nd");
+      ("b", Log.Bool true);
+    ];
+  let e = List.hd (Log.events ()) in
+  let line = Log.to_json e in
+  (match Log.of_json line with
+  | Error msg -> Alcotest.failf "round-trip parse failed: %s" msg
+  | Ok (id, back) ->
+      Alcotest.(check string) "run_id round-trips" "rtest000000001" id;
+      Alcotest.(check bool) "event round-trips exactly" true (back = e));
+  let contains sub =
+    let n = String.length sub and m = String.length line in
+    let rec go i = i + n <= m && (String.sub line i n = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "line has %S" s) true (contains s))
+    [
+      "\"run_id\":\"rtest000000001\""; "\"level\":\"warn\"";
+      "\"stability\":\"stable\""; "\"event\":\"test.shape\"";
+      "\"i\":-3"; "\"b\":true"; "\"s\":\"a\\\"b\\\\c\\nd\"";
+    ]
+
+let test_log_stable_key_ignores_timing () =
+  with_clean_log @@ fun () ->
+  Log.info "test.same" [ ("k", Log.Int 7) ];
+  Log.info "test.same" [ ("k", Log.Int 7) ];
+  Log.info "test.same" [ ("k", Log.Int 8) ];
+  match Log.events () with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "t_ns/seq excluded" true
+        (Log.stable_key a = Log.stable_key b);
+      Alcotest.(check bool) "fields included" false
+        (Log.stable_key a = Log.stable_key c)
+  | l -> Alcotest.failf "expected 3 events, got %d" (List.length l)
+
+(* QCheck: any event the emitter can construct survives the JSONL codec.
+   Floats are finite by construction (QCheck.float); strings range over
+   printable and control bytes, exercising the \u escapes. *)
+let qcheck_log_roundtrip =
+  let open QCheck in
+  let value_gen =
+    oneof
+      [
+        map (fun i -> Log.Int i) int;
+        map (fun f -> Log.Float f) float;
+        map (fun s -> Log.Str s) string;
+        map (fun b -> Log.Bool b) bool;
+      ]
+  in
+  let event_gen =
+    let level = oneofl [ Log.Debug; Log.Info; Log.Warn; Log.Error ] in
+    let stability = oneofl [ Metrics.Stable; Metrics.Runtime ] in
+    let fields = small_list (pair string value_gen) in
+    let tuple5 =
+      pair (pair level stability) (pair (pair string (option string)) fields)
+    in
+    map
+      (fun ((level, stability), ((slug, span), fields)) ->
+        {
+          Log.seq = 0;
+          t_ns = 1e18;
+          domain = 0;
+          level;
+          stability;
+          event = slug;
+          span;
+          fields;
+        })
+      tuple5
+  in
+  Test.make ~count:500 ~name:"log JSON line round-trips" event_gen (fun e ->
+      match Log.of_json (Log.to_json e) with
+      | Ok (id, back) -> id = Log.run_id () && back = e
+      | Error _ -> false)
 
 let test_multi_domain_sum () =
   with_clean_telemetry @@ fun () ->
@@ -514,6 +739,23 @@ let () =
             test_sampler_endpoints;
           Alcotest.test_case "periodic and non-destructive" `Quick
             test_sampler_periodic_and_nondestructive;
+          Alcotest.test_case "stop is idempotent" `Quick
+            test_sampler_stop_idempotent;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_log_disabled_is_noop;
+          Alcotest.test_case "level filter" `Quick test_log_level_filter;
+          Alcotest.test_case "ring bound and drop accounting" `Quick
+            test_log_ring_bound_and_drop;
+          Alcotest.test_case "span correlation" `Quick
+            test_log_span_correlation;
+          Alcotest.test_case "JSON line shape and round-trip" `Quick
+            test_log_json_line_shape;
+          Alcotest.test_case "stable key ignores timing" `Quick
+            test_log_stable_key_ignores_timing;
+          QCheck_alcotest.to_alcotest qcheck_log_roundtrip;
         ] );
       ( "openmetrics",
         [
@@ -521,5 +763,7 @@ let () =
             test_openmetrics_roundtrip;
           Alcotest.test_case "validator rejects malformed input" `Quick
             test_openmetrics_validator_rejects;
+          Alcotest.test_case "hostile label escapes and validates" `Quick
+            test_openmetrics_hostile_label;
         ] );
     ]
